@@ -1,0 +1,100 @@
+//! Criterion benches for the wire codec and the §5.3 payload mangler.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use punch_net::Duration;
+use punch_rendezvous::{FrameBuf, Message, PeerId};
+
+fn sample_messages() -> Vec<Message> {
+    vec![
+        Message::Register {
+            peer_id: PeerId(7),
+            private: "10.0.0.1:4321".parse().expect("ep"),
+        },
+        Message::Introduce {
+            peer: PeerId(9),
+            public: "138.76.29.7:31000".parse().expect("ep"),
+            private: "10.1.1.3:4321".parse().expect("ep"),
+            nonce: 0xdead_beef,
+            initiator: true,
+        },
+        Message::PeerData {
+            data: Bytes::from(vec![7u8; 512]),
+        },
+        Message::KeepAlive,
+    ]
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let msgs = sample_messages();
+    let mut group = c.benchmark_group("codec");
+    group.throughput(Throughput::Elements(msgs.len() as u64));
+    group.bench_function("encode", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for m in &msgs {
+                total += m.encode(true).len();
+            }
+            total
+        })
+    });
+    let encoded: Vec<Bytes> = msgs.iter().map(|m| m.encode(true)).collect();
+    group.bench_function("decode", |b| {
+        b.iter(|| {
+            for e in &encoded {
+                Message::decode(e).expect("valid");
+            }
+        })
+    });
+    let stream: Vec<u8> = msgs
+        .iter()
+        .flat_map(|m| punch_rendezvous::encode_frame(m, true).to_vec())
+        .collect();
+    group.bench_function("frame_reassembly_3byte_chunks", |b| {
+        b.iter(|| {
+            let mut fb = FrameBuf::new();
+            let mut n = 0;
+            for chunk in stream.chunks(3) {
+                fb.push(chunk);
+                while let Some(m) = fb.next_message() {
+                    m.expect("valid");
+                    n += 1;
+                }
+            }
+            assert_eq!(n, msgs.len());
+        })
+    });
+    group.finish();
+}
+
+fn bench_mangler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mangler");
+    // 1400-byte payload with two embedded addresses.
+    let from: std::net::Ipv4Addr = "10.0.0.1".parse().expect("ip");
+    let to: std::net::Ipv4Addr = "155.99.25.11".parse().expect("ip");
+    let mut payload = vec![0x55u8; 1400];
+    payload[100..104].copy_from_slice(&from.octets());
+    payload[900..904].copy_from_slice(&from.octets());
+    group.throughput(Throughput::Bytes(payload.len() as u64));
+    group.bench_function("scan_and_rewrite_1400B", |b| {
+        b.iter(|| punch_nat::rewrite_addr(&payload, from, to).expect("two hits"))
+    });
+    let clean = vec![0x55u8; 1400];
+    group.bench_function("scan_no_match_1400B", |b| {
+        b.iter(|| punch_nat::rewrite_addr(&clean, from, to))
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_codec, bench_mangler
+}
+criterion_main!(benches);

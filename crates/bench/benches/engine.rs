@@ -1,0 +1,114 @@
+//! Criterion benches for the simulator substrate itself: event
+//! throughput, routing, and NAT translation cost.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use punch_nat::{NatBehavior, NatDevice};
+use punch_net::testutil::{EchoDevice, SinkDevice};
+use punch_net::{Duration, Endpoint, LinkSpec, Packet, Router, Sim};
+
+fn ep(s: &str) -> Endpoint {
+    s.parse().expect("endpoint")
+}
+
+/// Ping-pong between two echo devices: two events per round trip.
+fn bench_event_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    let rounds: u64 = 10_000;
+    group.throughput(Throughput::Elements(rounds * 2));
+    group.bench_function("echo_ping_pong", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(1);
+            let a = sim.add_node("a", Box::new(EchoDevice::default()));
+            let bn = sim.add_node("b", Box::new(EchoDevice::default()));
+            sim.connect(a, bn, LinkSpec::lan());
+            sim.inject(
+                a,
+                0,
+                Packet::udp(ep("1.1.1.1:1"), ep("2.2.2.2:2"), b"x".as_ref()),
+            );
+            // Echoes bounce forever; run a fixed number of events.
+            for _ in 0..rounds * 2 {
+                sim.step();
+            }
+            sim.stats().events
+        })
+    });
+    group.finish();
+}
+
+/// Packets through a router with a 33-prefix table.
+fn bench_router(c: &mut Criterion) {
+    let mut group = c.benchmark_group("router");
+    let n: u64 = 10_000;
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("forward_longest_prefix", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(1);
+            let r = sim.add_node("r", Box::new(Router::new()));
+            let sink = sim.add_node("sink", Box::new(SinkDevice::default()));
+            let (riface, _) = sim.connect(r, sink, LinkSpec::lan());
+            {
+                let router = sim.device_mut::<Router>(r);
+                for i in 0..32u8 {
+                    router.add_route(punch_net::Cidr::new([10, i, 0, 0].into(), 16), riface);
+                }
+                router.add_route("155.99.0.0/16".parse().expect("cidr"), riface);
+            }
+            for _ in 0..n {
+                sim.inject(
+                    r,
+                    0,
+                    Packet::udp(ep("1.1.1.1:1"), ep("155.99.25.11:62000"), b"x".as_ref()),
+                );
+            }
+            sim.run_until_idle()
+        })
+    });
+    group.finish();
+}
+
+/// Outbound UDP translation through a NAT device (mapping reuse path).
+fn bench_nat_translation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nat");
+    let n: u64 = 10_000;
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("outbound_translate", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(1);
+            let nat = sim.add_node(
+                "nat",
+                Box::new(NatDevice::new(
+                    NatBehavior::well_behaved(),
+                    vec!["155.99.25.11".parse().expect("ip")],
+                )),
+            );
+            let sink = sim.add_node("sink", Box::new(SinkDevice::default()));
+            let host = sim.add_node("host", Box::new(SinkDevice::default()));
+            sim.connect(nat, sink, LinkSpec::lan()); // public side
+            sim.connect(nat, host, LinkSpec::lan()); // private side
+            for _ in 0..n {
+                sim.inject(
+                    nat,
+                    1,
+                    Packet::udp(ep("10.0.0.1:4321"), ep("18.181.0.31:1234"), b"x".as_ref()),
+                );
+            }
+            sim.run_until_idle()
+        })
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_event_throughput, bench_router, bench_nat_translation
+}
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion benches for full end-to-end procedures: one UDP punch, one
+//! TCP punch, one NAT Check run, one multi-level punch. These measure the
+//! implementation's wall-clock cost of simulating each experiment, which
+//! bounds how large a survey the harness can run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use punch_bench::{tcp_punch_latency, udp_punch, Outcome, Topology};
+use punch_nat::{Hairpin, NatBehavior};
+use punch_net::Duration;
+
+fn bench_udp_punch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("punch");
+    group.bench_function("udp_fig5", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let out = udp_punch(
+                Topology::TwoNats(
+                    Some(NatBehavior::well_behaved()),
+                    Some(NatBehavior::well_behaved()),
+                ),
+                seed,
+                |_| {},
+            );
+            assert!(matches!(out, Outcome::Direct(_)));
+        })
+    });
+    group.bench_function("udp_fig6_multilevel", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let consumer = NatBehavior::well_behaved().with_hairpin(Hairpin::None);
+            let out = udp_punch(
+                Topology::MultiLevel {
+                    isp: NatBehavior::well_behaved(),
+                    consumer,
+                },
+                seed,
+                |_| {},
+            );
+            assert!(matches!(out, Outcome::Direct(_)));
+        })
+    });
+    group.bench_function("tcp_fig5", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let d = tcp_punch_latency(
+                seed,
+                NatBehavior::well_behaved(),
+                NatBehavior::well_behaved(),
+                None,
+                |_| {},
+            );
+            assert!(d.is_some());
+        })
+    });
+    group.bench_function("natcheck_full_run", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let report = punch_natcheck::check_nat(NatBehavior::well_behaved(), seed);
+            assert_eq!(report.udp_hole_punching(), Some(true));
+        })
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .measurement_time(Duration::from_secs(5))
+        .warm_up_time(Duration::from_secs(1))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_udp_punch
+}
+criterion_main!(benches);

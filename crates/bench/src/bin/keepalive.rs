@@ -1,0 +1,45 @@
+//! E5: §3.6 — UDP idle timers, keepalive cadence, and on-demand
+//! re-punching.
+//!
+//! Run: `cargo run --release -p punch-bench --bin keepalive`
+
+use punch_bench::keepalive_trial;
+use punch_net::Duration;
+
+fn main() {
+    println!("== E5: session survival after 120 s of application silence ==");
+    println!("   NAT idle timer 20 s (the paper's worst observed case)\n");
+    println!("   keepalive   survived   re-punches to recover");
+    for ka_secs in [10u64, 15, 19, 25, 40, 600] {
+        let (survived, repunches) = keepalive_trial(
+            1,
+            Duration::from_secs(20),
+            Duration::from_secs(ka_secs),
+            Duration::from_secs(120),
+        );
+        println!(
+            "   {:>6} s    {:<9} {}",
+            ka_secs,
+            if survived { "yes" } else { "no" },
+            repunches
+        );
+    }
+    println!();
+    println!("== NAT timer sweep (keepalive fixed at 15 s) ==");
+    for timer in [10u64, 20, 30, 60, 120] {
+        let (survived, repunches) = keepalive_trial(
+            2,
+            Duration::from_secs(timer),
+            Duration::from_secs(15),
+            Duration::from_secs(120),
+        );
+        println!(
+            "   NAT timer {:>4} s -> survived: {:<5} re-punches: {}",
+            timer, survived, repunches
+        );
+    }
+    println!();
+    println!("(keepalives shorter than the NAT timer keep the hole open; longer");
+    println!(" ones let it close, and the next send re-runs hole punching on");
+    println!(" demand — §3.6's recommended strategy)");
+}

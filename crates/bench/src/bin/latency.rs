@@ -1,0 +1,102 @@
+//! E3 (latency/loss sweeps), E8 (sequential vs parallel), E12 (relay vs
+//! direct).
+//!
+//! Run: `cargo run --release -p punch-bench --bin latency`
+
+use punch_bench::{median, ms, relay_vs_direct, seq_vs_par, udp_punch_on, Outcome, Topology};
+use punch_nat::NatBehavior;
+use punch_net::{Duration, LinkSpec};
+
+fn main() {
+    println!("== E3a: UDP punch latency vs WAN one-way latency ==");
+    for wan_ms in [10u64, 30, 60, 100, 200] {
+        let mut lats = Vec::new();
+        for seed in 0..5u64 {
+            let out = udp_punch_on(
+                Topology::TwoNats(
+                    Some(NatBehavior::well_behaved()),
+                    Some(NatBehavior::well_behaved()),
+                ),
+                seed,
+                |_| {},
+                LinkSpec::new(Duration::from_millis(wan_ms)),
+            );
+            if let Outcome::Direct(d) = out {
+                lats.push(d);
+            }
+        }
+        println!(
+            "  wan {wan_ms:>4} ms  -> {}/5 direct, median punch {}",
+            lats.len(),
+            if lats.is_empty() {
+                "-".into()
+            } else {
+                ms(median(lats))
+            },
+        );
+    }
+
+    println!("\n== E3b: UDP punch success vs loss rate (30 volleys budget) ==");
+    for loss in [0.0f64, 0.05, 0.10, 0.20, 0.30] {
+        let mut direct = 0;
+        let n = 10;
+        for seed in 0..n {
+            let out = udp_punch_on(
+                Topology::TwoNats(
+                    Some(NatBehavior::well_behaved()),
+                    Some(NatBehavior::well_behaved()),
+                ),
+                300 + seed,
+                |c| c.punch.max_attempts = 30,
+                LinkSpec::wan().with_loss(loss),
+            );
+            if matches!(out, Outcome::Direct(_)) {
+                direct += 1;
+            }
+        }
+        println!("  loss {:>3.0}% -> {direct}/{n} direct", loss * 100.0);
+    }
+
+    println!("\n== E8: parallel (§4.2) vs sequential (§4.5) TCP punch ==");
+    for wait_ms in [100u64, 400, 700, 1500] {
+        let mut par = Vec::new();
+        let mut seq = Vec::new();
+        for seed in 0..5u64 {
+            let (p, s) = seq_vs_par(400 + seed, Duration::from_millis(wait_ms));
+            if let Some(d) = p {
+                par.push(d);
+            }
+            if let Some(d) = s {
+                seq.push(d);
+            }
+        }
+        println!(
+            "  doomed_wait {wait_ms:>5} ms -> parallel {} ({}/5), sequential {} ({}/5)",
+            if par.is_empty() {
+                "-".into()
+            } else {
+                ms(median(par.clone()))
+            },
+            par.len(),
+            if seq.is_empty() {
+                "-".into()
+            } else {
+                ms(median(seq.clone()))
+            },
+            seq.len(),
+        );
+    }
+    println!("  (parallel completes ~as soon as both connects launch; sequential adds");
+    println!("   the doomed-connect wait and a server round trip — §4.5's prediction)");
+
+    println!("\n== E12: relay (§2.2) vs punched direct path ==");
+    for payload in [64usize, 1024] {
+        let (direct, relay, relayed_bytes) = relay_vs_direct(7, payload);
+        println!(
+            "  {payload:>5}-byte message: direct RTT {}, relayed RTT {}  (relay {:.1}x slower; server carried {relayed_bytes} B)",
+            ms(direct),
+            ms(relay),
+            relay.as_secs_f64() / direct.as_secs_f64(),
+        );
+    }
+}

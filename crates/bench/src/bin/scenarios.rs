@@ -1,0 +1,204 @@
+//! E2/E3/E4/E6/E10/E16: scenario outcomes.
+//!
+//! Run: `cargo run --release -p punch-bench --bin scenarios`
+
+use punch_bench::{ms, tcp_punch_latency, udp_punch, Outcome, Topology};
+use punch_nat::{Hairpin, NatBehavior, TcpUnsolicited};
+use punch_net::{Duration, LinkSpec};
+use punch_transport::TcpFlavor;
+
+fn main() {
+    println!("== E2: Figure 4 — peers behind a common NAT (§3.3) ==");
+    for (label, nat, private_cands) in [
+        (
+            "hairpin NAT, private candidates",
+            NatBehavior::well_behaved(),
+            true,
+        ),
+        (
+            "hairpin NAT, public only",
+            NatBehavior::well_behaved(),
+            false,
+        ),
+        (
+            "no hairpin, private candidates",
+            NatBehavior::well_behaved().with_hairpin(Hairpin::None),
+            true,
+        ),
+        (
+            "no hairpin, public only",
+            NatBehavior::well_behaved().with_hairpin(Hairpin::None),
+            false,
+        ),
+    ] {
+        let out = udp_punch(Topology::CommonNat(nat), 1, |c| {
+            c.punch.use_private_candidates = private_cands;
+        });
+        println!("  {label:<35} -> {}", describe(out));
+    }
+
+    println!("\n== E3: Figure 5 — peers behind different NATs (§3.4) ==");
+    for (label, na, nb) in [
+        (
+            "well-behaved / well-behaved",
+            NatBehavior::well_behaved(),
+            NatBehavior::well_behaved(),
+        ),
+        (
+            "full cone    / full cone",
+            NatBehavior::full_cone(),
+            NatBehavior::full_cone(),
+        ),
+        (
+            "restricted   / port-restricted",
+            NatBehavior::restricted_cone(),
+            NatBehavior::port_restricted_cone(),
+        ),
+        (
+            "symmetric    / well-behaved",
+            NatBehavior::symmetric(),
+            NatBehavior::well_behaved(),
+        ),
+    ] {
+        let out = udp_punch(Topology::TwoNats(Some(na), Some(nb)), 2, |_| {});
+        println!("  {label:<35} -> {}", describe(out));
+    }
+
+    println!("\n== E4: Figure 6 — multi-level NAT (§3.5) ==");
+    let consumer = NatBehavior::well_behaved().with_hairpin(Hairpin::None);
+    for (label, isp) in [
+        ("ISP NAT hairpins", NatBehavior::well_behaved()),
+        (
+            "ISP NAT: no hairpin",
+            NatBehavior::well_behaved().with_hairpin(Hairpin::None),
+        ),
+        (
+            "ISP NAT: hairpin w/o src rewrite",
+            NatBehavior::well_behaved().with_hairpin(Hairpin::NoSourceRewrite),
+        ),
+    ] {
+        let out = udp_punch(
+            Topology::MultiLevel {
+                isp,
+                consumer: consumer.clone(),
+            },
+            3,
+            |_| {},
+        );
+        println!("  {label:<35} -> {}", describe(out));
+    }
+
+    println!("\n== E6: §4.3 — how the punched stream surfaces per OS flavour ==");
+    println!("   (A's SYN loses the race; cells are A's view / B's view)");
+    for fa in [TcpFlavor::Bsd, TcpFlavor::LinuxWindows] {
+        for fb in [TcpFlavor::Bsd, TcpFlavor::LinuxWindows] {
+            match punch_bench::tcp_flavor_paths(42, fa, fb) {
+                Some((pa, pb)) => {
+                    println!("  A={fa:<13?} B={fb:<13?} -> A sees {pa:?}, B sees {pb:?}")
+                }
+                None => println!("  A={fa:<13?} B={fb:<13?} -> FAILED"),
+            }
+        }
+    }
+
+    println!("\n== E10: §5.2 — unsolicited-SYN policy vs TCP punch latency ==");
+    println!("   (B behind a 120 ms access link so A's first SYN always arrives early)");
+    for (label, policy) in [
+        ("drop (well-behaved)", TcpUnsolicited::Drop),
+        ("RST", TcpUnsolicited::Rst),
+        ("ICMP error", TcpUnsolicited::IcmpError),
+    ] {
+        let mut lat = Vec::new();
+        for seed in 0..7u64 {
+            let nat_b = NatBehavior::well_behaved().with_tcp_unsolicited(policy);
+            if let Some(d) = tcp_punch_latency(
+                100 + seed,
+                NatBehavior::well_behaved(),
+                nat_b,
+                Some(LinkSpec::new(Duration::from_millis(120))),
+                |_| {},
+            ) {
+                lat.push(d);
+            }
+        }
+        let n = lat.len();
+        if n == 0 {
+            println!("  {label:<22} -> all failed");
+        } else {
+            println!(
+                "  {label:<22} -> {}/7 punched, median {}",
+                n,
+                ms(punch_bench::median(lat))
+            );
+        }
+    }
+
+    println!("\n== E10b: same sweep, 25% loss on B's access link ==");
+    println!("   (B's first SYN often dies before opening its hole; the peer's");
+    println!("    recovery is stack retransmission under drop vs the 1 s");
+    println!("    application retry of §4.2 step 4 under RST)");
+    for (label, policy) in [
+        ("drop (well-behaved)", TcpUnsolicited::Drop),
+        ("RST", TcpUnsolicited::Rst),
+        ("ICMP error", TcpUnsolicited::IcmpError),
+    ] {
+        let mut lat = Vec::new();
+        let n = 15u64;
+        for seed in 0..n {
+            let nat_b = NatBehavior::well_behaved().with_tcp_unsolicited(policy);
+            if let Some(d) = tcp_punch_latency(
+                200 + seed,
+                NatBehavior::well_behaved(),
+                nat_b,
+                Some(LinkSpec::new(Duration::from_millis(120)).with_loss(0.25)),
+                |_| {},
+            ) {
+                lat.push(d);
+            }
+        }
+        let k = lat.len();
+        if k == 0 {
+            println!("  {label:<22} -> all failed");
+        } else {
+            println!(
+                "  {label:<22} -> {k}/{n} punched, median {}",
+                ms(punch_bench::median(lat))
+            );
+        }
+    }
+
+    println!("\n== E16: UDP connectivity matrix (direct / relay) ==");
+    let kinds: Vec<(&str, Option<NatBehavior>)> = vec![
+        ("public", None),
+        ("fullcone", Some(NatBehavior::full_cone())),
+        ("restrict", Some(NatBehavior::restricted_cone())),
+        ("portrstr", Some(NatBehavior::port_restricted_cone())),
+        ("symmetric", Some(NatBehavior::symmetric())),
+    ];
+    print!("  {:<10}", "");
+    for (name, _) in &kinds {
+        print!("{name:>10}");
+    }
+    println!();
+    for (ra, na) in &kinds {
+        print!("  {ra:<10}");
+        for (i, (_, nb)) in kinds.iter().enumerate() {
+            let out = udp_punch(
+                Topology::TwoNats(na.clone(), nb.clone()),
+                50 + i as u64,
+                |_| {},
+            );
+            print!("{:>10}", out.label());
+        }
+        println!();
+    }
+    println!("\n  (symmetric×symmetric relays; everything else punches — §5.1)");
+}
+
+fn describe(out: Outcome) -> String {
+    match out {
+        Outcome::Direct(d) => format!("direct in {}", ms(d)),
+        Outcome::Relay => "relay fallback".into(),
+        Outcome::Failed => "FAILED".into(),
+    }
+}

@@ -1,0 +1,516 @@
+//! Reusable experiment harnesses (see DESIGN.md's experiment index).
+
+use bytes::Bytes;
+use holepunch::{
+    PeerId, TcpPeer, TcpPeerConfig, TcpPunchMode, UdpPeer, UdpPeerConfig, UdpPeerEvent, Via,
+};
+use punch_lab::{addrs, fig4, fig5, fig6, PeerSetup, Scenario, WorldBuilder};
+use punch_nat::{NatBehavior, PortAllocation};
+use punch_net::{Duration, Endpoint, LinkSpec, SimTime};
+use punch_rendezvous::{RendezvousServer, ServerConfig};
+use punch_transport::{App, Os, SockEvent, SocketId, StackConfig, TcpFlavor};
+
+/// The two peer identities used throughout.
+pub const A: PeerId = PeerId(1);
+/// Peer B.
+pub const B: PeerId = PeerId(2);
+
+/// How a connection attempt ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Direct (hole-punched) connectivity, with the punch latency.
+    Direct(Duration),
+    /// Fell back to relaying through S.
+    Relay,
+    /// No connectivity at all.
+    Failed,
+}
+
+impl Outcome {
+    /// Short cell label for matrices.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Outcome::Direct(_) => "direct",
+            Outcome::Relay => "relay",
+            Outcome::Failed => "FAILED",
+        }
+    }
+}
+
+/// Which topology an experiment runs on.
+#[derive(Clone, Debug)]
+pub enum Topology {
+    /// Figure 4: both peers behind one common NAT.
+    CommonNat(NatBehavior),
+    /// Figure 5: peers behind different NATs. `None` = publicly attached.
+    TwoNats(Option<NatBehavior>, Option<NatBehavior>),
+    /// Figure 6: consumer NATs behind an ISP NAT.
+    MultiLevel {
+        /// The ISP NAT (hairpin support is what matters).
+        isp: NatBehavior,
+        /// The consumer NATs.
+        consumer: NatBehavior,
+    },
+}
+
+fn build_udp(
+    topo: &Topology,
+    seed: u64,
+    cfg_mod: &dyn Fn(&mut UdpPeerConfig),
+    wan: LinkSpec,
+) -> Scenario {
+    let server = Scenario::server_endpoint();
+    let mk = |id: PeerId| {
+        let mut c = UdpPeerConfig::new(id, server);
+        cfg_mod(&mut c);
+        PeerSetup::new(UdpPeer::new(c))
+    };
+    match topo {
+        Topology::CommonNat(nat) => fig4(seed, nat.clone(), mk(A), mk(B)),
+        Topology::TwoNats(na, nb) => {
+            let mut wb = WorldBuilder::new(seed).wan(wan);
+            wb.server(
+                addrs::SERVER,
+                RendezvousServer::new(ServerConfig::default()),
+            );
+            let a = match na {
+                Some(nat) => {
+                    let n = wb.nat(nat.clone(), addrs::NAT_A);
+                    wb.client(addrs::CLIENT_A, n, mk(A))
+                }
+                None => wb.public_client("99.1.1.1".parse().expect("addr"), mk(A)),
+            };
+            let b = match nb {
+                Some(nat) => {
+                    let n = wb.nat(nat.clone(), addrs::NAT_B);
+                    wb.client(addrs::CLIENT_B, n, mk(B))
+                }
+                None => wb.public_client("99.2.2.2".parse().expect("addr"), mk(B)),
+            };
+            let world = wb.build();
+            Scenario {
+                server: world.servers[0],
+                a: world.clients[a],
+                b: world.clients[b],
+                world,
+            }
+        }
+        Topology::MultiLevel { isp, consumer } => fig6(
+            seed,
+            isp.clone(),
+            consumer.clone(),
+            consumer.clone(),
+            mk(A),
+            mk(B),
+        ),
+    }
+}
+
+/// Runs a UDP punch on `topo` and reports the outcome (E2/E3/E4/E16).
+pub fn udp_punch(topo: Topology, seed: u64, cfg_mod: impl Fn(&mut UdpPeerConfig)) -> Outcome {
+    udp_punch_on(topo, seed, cfg_mod, LinkSpec::wan())
+}
+
+/// [`udp_punch`] with a custom WAN link profile (latency/loss sweeps).
+pub fn udp_punch_on(
+    topo: Topology,
+    seed: u64,
+    cfg_mod: impl Fn(&mut UdpPeerConfig),
+    wan: LinkSpec,
+) -> Outcome {
+    let mut sc = build_udp(&topo, seed, &cfg_mod, wan);
+    sc.world.sim.run_for(Duration::from_secs(2));
+    let started = sc.world.sim.now();
+    sc.world
+        .with_app::<UdpPeer, _>(sc.a, |p, os| p.connect(os, B));
+    let deadline = started + Duration::from_secs(60);
+    let direct = sc
+        .world
+        .run_until_app::<UdpPeer>(sc.a, deadline, |p| p.is_established(B) || p.is_relaying(B));
+    let app = sc.world.app::<UdpPeer>(sc.a);
+    if app.is_established(B) {
+        Outcome::Direct(sc.world.sim.now() - started)
+    } else if app.is_relaying(B) {
+        Outcome::Relay
+    } else {
+        let _ = direct;
+        Outcome::Failed
+    }
+}
+
+/// Runs a TCP punch between two NATs (with an optional slow access link
+/// for B to skew SYN timing) and returns the punch latency (E6/E8/E10).
+pub fn tcp_punch_latency(
+    seed: u64,
+    nat_a: NatBehavior,
+    nat_b: NatBehavior,
+    b_link: Option<LinkSpec>,
+    cfg_mod: impl Fn(&mut TcpPeerConfig),
+) -> Option<Duration> {
+    let server = Scenario::server_endpoint();
+    let mk = |id: PeerId| {
+        let mut c = TcpPeerConfig::new(id, server);
+        cfg_mod(&mut c);
+        PeerSetup::new(TcpPeer::new(c))
+            .with_stack(StackConfig::fast().with_flavor(TcpFlavor::LinuxWindows))
+    };
+    let mut wb = WorldBuilder::new(seed);
+    wb.server(
+        addrs::SERVER,
+        RendezvousServer::new(ServerConfig::default()),
+    );
+    let na = wb.nat(nat_a, addrs::NAT_A);
+    let nb = wb.nat(nat_b, addrs::NAT_B);
+    wb.client(addrs::CLIENT_A, na, mk(A));
+    match b_link {
+        Some(link) => wb.client_linked(addrs::CLIENT_B, nb, mk(B), link),
+        None => wb.client(addrs::CLIENT_B, nb, mk(B)),
+    };
+    let world = wb.build();
+    let mut sc = Scenario {
+        server: world.servers[0],
+        a: world.clients[0],
+        b: world.clients[1],
+        world,
+    };
+    sc.world.sim.run_for(Duration::from_secs(2));
+    let started = sc.world.sim.now();
+    sc.world
+        .with_app::<TcpPeer, _>(sc.a, |p, os| p.connect(os, B));
+    let ok = sc
+        .world
+        .run_until_app::<TcpPeer>(sc.a, started + Duration::from_secs(60), |p| {
+            p.is_established(B)
+        });
+    ok.then(|| sc.world.sim.now() - started)
+}
+
+/// Background traffic behind a NAT: opens a new outbound destination
+/// every `interval`, consuming one symmetric-NAT port allocation each
+/// time — the §5.1 "another client behind the same NAT might initiate an
+/// unrelated session at the wrong time" hazard.
+pub struct Chatterer {
+    /// Interval between new destinations.
+    pub interval: Duration,
+    sock: Option<SocketId>,
+    next_port: u16,
+}
+
+impl Chatterer {
+    /// Creates a chatterer opening a new flow every `interval`.
+    pub fn new(interval: Duration) -> Self {
+        Chatterer {
+            interval,
+            sock: None,
+            next_port: 20000,
+        }
+    }
+}
+
+impl App for Chatterer {
+    fn on_start(&mut self, os: &mut Os<'_, '_>) {
+        self.sock = Some(os.udp_bind(0).expect("port"));
+        os.set_timer(self.interval, 1);
+    }
+
+    fn on_event(&mut self, _os: &mut Os<'_, '_>, _ev: SockEvent) {}
+
+    fn on_timer(&mut self, os: &mut Os<'_, '_>, _token: u64) {
+        if let Some(sock) = self.sock {
+            let dst = Endpoint::new(addrs::SERVER, self.next_port);
+            self.next_port = self.next_port.wrapping_add(1).max(20000);
+            let _ = os.udp_send(sock, dst, b"noise".as_ref());
+        }
+        os.set_timer(self.interval, 1);
+    }
+}
+
+/// One E9 trial: symmetric NAT on A's side with the given allocator;
+/// port-prediction punch with `window`; optional competing traffic
+/// behind A's NAT. Returns whether a direct session formed.
+pub fn prediction_trial(
+    seed: u64,
+    alloc: PortAllocation,
+    window: u16,
+    chatter: Option<Duration>,
+) -> bool {
+    let server = Scenario::server_endpoint();
+    let mk = |id: PeerId| {
+        let mut c = UdpPeerConfig::new(id, server);
+        c.punch.strategy = holepunch::PunchStrategy::Predict { window };
+        c.punch.relay_fallback = false;
+        PeerSetup::new(UdpPeer::new(c))
+    };
+    let symmetric = NatBehavior {
+        mapping: punch_nat::MappingPolicy::AddressAndPortDependent,
+        port_alloc: alloc,
+        ..NatBehavior::well_behaved()
+    };
+    let mut wb = WorldBuilder::new(seed);
+    wb.server(
+        addrs::SERVER,
+        RendezvousServer::new(ServerConfig::default()),
+    );
+    let na = wb.nat(symmetric, addrs::NAT_A);
+    let nb = wb.nat(NatBehavior::well_behaved(), addrs::NAT_B);
+    wb.client(addrs::CLIENT_A, na, mk(A));
+    wb.client(addrs::CLIENT_B, nb, mk(B));
+    if let Some(interval) = chatter {
+        wb.client(
+            "10.0.0.9".parse().expect("addr"),
+            na,
+            PeerSetup::new(Chatterer::new(interval)),
+        );
+    }
+    let world = wb.build();
+    let mut sc = Scenario {
+        server: world.servers[0],
+        a: world.clients[0],
+        b: world.clients[1],
+        world,
+    };
+    sc.world.sim.run_for(Duration::from_secs(2));
+    sc.world
+        .with_app::<UdpPeer, _>(sc.a, |p, os| p.connect(os, B));
+    sc.world
+        .run_until_app::<UdpPeer>(sc.a, SimTime::from_secs(40), |p| p.is_established(B))
+}
+
+/// Success rate of [`prediction_trial`] over `n` seeds.
+pub fn prediction_rate(
+    base_seed: u64,
+    n: u64,
+    alloc: PortAllocation,
+    window: u16,
+    chatter: Option<Duration>,
+) -> f64 {
+    let wins = (0..n)
+        .filter(|i| prediction_trial(base_seed + i * 7919, alloc, window, chatter))
+        .count();
+    wins as f64 / n as f64
+}
+
+/// E12: round-trip time of an application message over the punched direct
+/// path vs. over the relay, plus the server's relayed-byte count.
+pub fn relay_vs_direct(seed: u64, payload: usize) -> (Duration, Duration, u64) {
+    // Direct: normal punch.
+    let direct_rtt = {
+        let mut sc = fig5(
+            seed,
+            NatBehavior::well_behaved(),
+            NatBehavior::well_behaved(),
+            PeerSetup::new(UdpPeer::new(UdpPeerConfig::new(
+                A,
+                Scenario::server_endpoint(),
+            ))),
+            PeerSetup::new(UdpPeer::new(UdpPeerConfig::new(
+                B,
+                Scenario::server_endpoint(),
+            ))),
+        );
+        sc.world.sim.run_for(Duration::from_secs(2));
+        sc.world
+            .with_app::<UdpPeer, _>(sc.a, |p, os| p.connect(os, B));
+        sc.world
+            .run_until_app::<UdpPeer>(sc.a, SimTime::from_secs(30), |p| p.is_established(B));
+        measure_rtt(&mut sc, payload)
+    };
+    // Relay: punching disabled entirely (candidates can't work: private
+    // disabled and both NATs symmetric).
+    let (relay_rtt, relayed_bytes) = {
+        let mk = |id| {
+            let mut c = UdpPeerConfig::new(id, Scenario::server_endpoint());
+            c.punch.max_attempts = 1;
+            c.punch.spray_interval = Duration::from_millis(100);
+            PeerSetup::new(UdpPeer::new(c))
+        };
+        let mut sc = fig5(
+            seed,
+            NatBehavior::symmetric(),
+            NatBehavior::symmetric(),
+            mk(A),
+            mk(B),
+        );
+        sc.world.sim.run_for(Duration::from_secs(2));
+        sc.world
+            .with_app::<UdpPeer, _>(sc.a, |p, os| p.connect(os, B));
+        sc.world
+            .run_until_app::<UdpPeer>(sc.a, SimTime::from_secs(30), |p| p.is_relaying(B));
+        let rtt = measure_rtt(&mut sc, payload);
+        let server = sc.server;
+        let stats = sc
+            .world
+            .sim
+            .device::<punch_transport::HostDevice>(server)
+            .app::<RendezvousServer>()
+            .stats();
+        (rtt, stats.relayed_bytes)
+    };
+    (direct_rtt, relay_rtt, relayed_bytes)
+}
+
+/// Sends one payload A→B, auto-replies from B, and measures the
+/// application-level round trip.
+fn measure_rtt(sc: &mut Scenario, payload: usize) -> Duration {
+    let started = sc.world.sim.now();
+    sc.world
+        .with_app::<UdpPeer, _>(sc.a, |p, os| p.send(os, B, Bytes::from(vec![1u8; payload])));
+    let mut reply_sent = false;
+    let deadline = started + Duration::from_secs(20);
+    loop {
+        sc.world.sim.run_for(Duration::from_millis(1));
+        if !reply_sent {
+            let got: Vec<UdpPeerEvent> = sc
+                .world
+                .with_app::<UdpPeer, _>(sc.b, |p, _| p.take_events());
+            if got.iter().any(|e| matches!(e, UdpPeerEvent::Data { .. })) {
+                sc.world.with_app::<UdpPeer, _>(sc.b, |p, os| {
+                    p.send(os, A, Bytes::from(vec![2u8; payload]))
+                });
+                reply_sent = true;
+            }
+        } else {
+            let got: Vec<UdpPeerEvent> = sc
+                .world
+                .with_app::<UdpPeer, _>(sc.a, |p, _| p.take_events());
+            if got.iter().any(|e| matches!(e, UdpPeerEvent::Data { .. })) {
+                return sc.world.sim.now() - started;
+            }
+        }
+        if sc.world.sim.now() > deadline {
+            return Duration::from_secs(20);
+        }
+    }
+}
+
+/// E5: does a punched session survive `idle` of application silence with
+/// the given keepalive interval and NAT timer? Returns `(survived,
+/// repunches_needed_to_recover)`.
+pub fn keepalive_trial(
+    seed: u64,
+    nat_timeout: Duration,
+    keepalive: Duration,
+    idle: Duration,
+) -> (bool, u64) {
+    let nat = NatBehavior::well_behaved().with_udp_timeout(nat_timeout);
+    let mk = |id| {
+        let mut c = UdpPeerConfig::new(id, Scenario::server_endpoint());
+        c.punch.keepalive_interval = keepalive;
+        c.punch.session_timeout = idle + Duration::from_secs(60);
+        PeerSetup::new(UdpPeer::new(c))
+    };
+    let mut sc = fig5(seed, nat.clone(), nat, mk(A), mk(B));
+    sc.world.sim.run_for(Duration::from_secs(2));
+    sc.world
+        .with_app::<UdpPeer, _>(sc.a, |p, os| p.connect(os, B));
+    sc.world
+        .run_until_app::<UdpPeer>(sc.a, SimTime::from_secs(30), |p| p.is_established(B));
+    sc.world.sim.run_for(idle);
+    // Probe the session.
+    sc.world
+        .with_app::<UdpPeer, _>(sc.a, |p, os| p.send(os, B, Bytes::from_static(b"probe")));
+    sc.world.sim.run_for(Duration::from_secs(2));
+    let got: Vec<UdpPeerEvent> = sc
+        .world
+        .with_app::<UdpPeer, _>(sc.b, |p, _| p.take_events());
+    let survived = got.iter().any(|e| {
+        matches!(
+            e,
+            UdpPeerEvent::Data {
+                via: Via::Direct,
+                ..
+            }
+        )
+    });
+    (survived, sc.world.app::<UdpPeer>(sc.a).stats().repunches)
+}
+
+/// E8: sequential (§4.5) vs parallel (§4.2) TCP punch latency for one
+/// seed, as `(parallel, sequential)`; `None` where the punch failed.
+pub fn seq_vs_par(seed: u64, doomed_wait: Duration) -> (Option<Duration>, Option<Duration>) {
+    let par = tcp_punch_latency(
+        seed,
+        NatBehavior::well_behaved(),
+        NatBehavior::well_behaved(),
+        None,
+        |_| {},
+    );
+    let seq = tcp_punch_latency(
+        seed,
+        NatBehavior::well_behaved(),
+        NatBehavior::well_behaved(),
+        None,
+        |c| c.mode = TcpPunchMode::Sequential { doomed_wait },
+    );
+    (par, seq)
+}
+
+/// E6: runs a TCP punch with the given OS flavours (B behind a slow link
+/// so A's SYN always loses the race) and reports how the stream surfaced
+/// on each side (§4.3's observable matrix).
+pub fn tcp_flavor_paths(
+    seed: u64,
+    flavor_a: TcpFlavor,
+    flavor_b: TcpFlavor,
+) -> Option<(holepunch::TcpPath, holepunch::TcpPath)> {
+    let server = Scenario::server_endpoint();
+    let mk = |id: PeerId, flavor: TcpFlavor| {
+        PeerSetup::new(TcpPeer::new(TcpPeerConfig::new(id, server)))
+            .with_stack(StackConfig::fast().with_flavor(flavor))
+    };
+    let mut wb = WorldBuilder::new(seed);
+    wb.server(
+        addrs::SERVER,
+        RendezvousServer::new(ServerConfig::default()),
+    );
+    let na = wb.nat(NatBehavior::well_behaved(), addrs::NAT_A);
+    let nb = wb.nat(NatBehavior::well_behaved(), addrs::NAT_B);
+    wb.client(addrs::CLIENT_A, na, mk(A, flavor_a));
+    wb.client_linked(
+        addrs::CLIENT_B,
+        nb,
+        mk(B, flavor_b),
+        LinkSpec::new(Duration::from_millis(120)),
+    );
+    let world = wb.build();
+    let mut sc = Scenario {
+        server: world.servers[0],
+        a: world.clients[0],
+        b: world.clients[1],
+        world,
+    };
+    sc.world.sim.run_for(Duration::from_secs(2));
+    sc.world
+        .with_app::<TcpPeer, _>(sc.a, |p, os| p.connect(os, B));
+    let ok = sc
+        .world
+        .run_until_app::<TcpPeer>(sc.a, SimTime::from_secs(60), |p| p.is_established(B));
+    if !ok
+        || !sc
+            .world
+            .run_until_app::<TcpPeer>(sc.b, SimTime::from_secs(60), |p| p.is_established(A))
+    {
+        return None;
+    }
+    Some((
+        sc.world
+            .app::<TcpPeer>(sc.a)
+            .established_path(B)
+            .expect("established"),
+        sc.world
+            .app::<TcpPeer>(sc.b)
+            .established_path(A)
+            .expect("established"),
+    ))
+}
+
+/// Formats a duration in milliseconds for reports.
+pub fn ms(d: Duration) -> String {
+    format!("{:.1} ms", d.as_secs_f64() * 1e3)
+}
+
+/// Median of a duration sample (panics on empty).
+pub fn median(mut xs: Vec<Duration>) -> Duration {
+    xs.sort();
+    xs[xs.len() / 2]
+}

@@ -1,0 +1,12 @@
+//! # punch-bench — experiment harnesses behind the evaluation
+//!
+//! Library functions that run each experiment from DESIGN.md's index and
+//! return structured results; the `src/bin/` targets print them, and
+//! EXPERIMENTS.md records them against the paper. Criterion benches under
+//! `benches/` measure the *implementation's* wall-clock performance
+//! (events/second, punches/second), which is orthogonal to the simulated
+//! results.
+
+pub mod experiments;
+
+pub use experiments::*;

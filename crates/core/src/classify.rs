@@ -1,0 +1,340 @@
+//! STUN-style NAT mapping classification (§5.1's "probing the NAT's
+//! behavior" prerequisite for port prediction).
+//!
+//! The classifier observes its own public endpoint from several distinct
+//! server endpoints (each rendezvous server exposes a main port and a
+//! probe port). Comparing the observations distinguishes:
+//!
+//! - no NAT at all (observed endpoint equals the local one),
+//! - endpoint-independent ("cone") mapping — all observations equal,
+//! - address-dependent mapping — equal per server IP, differing across,
+//! - address-and-port-dependent ("symmetric") mapping — differing across
+//!   ports of the same server, with a measurable allocation delta.
+//!
+//! The paper warns that such probing "may not always be complete or
+//! reliable" (§3.2); accordingly the verdict carries its raw
+//! observations, and an incomplete probe yields [`MappingVerdict::Unknown`].
+
+use punch_net::Endpoint;
+use punch_rendezvous::Message;
+use punch_transport::{App, Os, SockEvent, SocketId};
+use std::time::Duration;
+
+/// The classifier's conclusion about the NAT's mapping behaviour.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MappingVerdict {
+    /// The local endpoint is publicly visible: no NAT on the path.
+    NoNat,
+    /// Endpoint-independent mapping (hole punching will work, §5.1).
+    EndpointIndependent,
+    /// A new mapping per remote IP.
+    AddressDependent,
+    /// A new mapping per remote endpoint (symmetric).
+    AddressAndPortDependent,
+    /// Not enough observations (probes lost or servers down).
+    Unknown,
+}
+
+/// Result of a classification run.
+#[derive(Clone, Debug)]
+pub struct NatReport {
+    /// The local (private) endpoint probed from.
+    pub local: Endpoint,
+    /// `(server endpoint probed, public endpoint observed)` pairs, in
+    /// probe order — which is NAT allocation order.
+    pub observations: Vec<(Endpoint, Endpoint)>,
+    /// The verdict.
+    pub mapping: MappingVerdict,
+    /// Port-allocation delta between consecutive mappings, when the NAT
+    /// is symmetric and the deltas are consistent.
+    pub delta: Option<i32>,
+}
+
+/// A one-shot NAT classifier application.
+///
+/// Give it the rendezvous servers' *main* endpoints; it probes each
+/// server's main port and probe port (`port + 1`), retries lost probes,
+/// and publishes a [`NatReport`] via [`Classifier::report`].
+pub struct Classifier {
+    servers: Vec<Endpoint>,
+    retry: Duration,
+    max_retries: u32,
+    tries: u32,
+    sock: Option<SocketId>,
+    local: Option<Endpoint>,
+    targets: Vec<Endpoint>,
+    observed: Vec<Option<Endpoint>>,
+    report: Option<NatReport>,
+}
+
+impl Classifier {
+    /// Creates a classifier probing `servers` (1 or 2 rendezvous servers;
+    /// two distinct server IPs are needed to distinguish
+    /// address-dependent from address-and-port-dependent mapping).
+    pub fn new(servers: Vec<Endpoint>) -> Self {
+        assert!(!servers.is_empty(), "need at least one server");
+        let targets: Vec<Endpoint> = servers
+            .iter()
+            .flat_map(|s| [*s, s.with_port(s.port + 1)])
+            .collect();
+        let observed = vec![None; targets.len()];
+        Classifier {
+            servers,
+            retry: Duration::from_secs(1),
+            max_retries: 5,
+            tries: 0,
+            sock: None,
+            local: None,
+            targets,
+            observed,
+            report: None,
+        }
+    }
+
+    /// The finished report, once all probes answered or retries ran out.
+    pub fn report(&self) -> Option<&NatReport> {
+        self.report.as_ref()
+    }
+
+    fn probe_missing(&mut self, os: &mut Os<'_, '_>) {
+        let Some(sock) = self.sock else {
+            return;
+        };
+        for (i, target) in self.targets.iter().enumerate() {
+            if self.observed[i].is_none() {
+                // Register against main ports (they answer RegisterAck and
+                // record nothing harmful), Ping against probe ports (they
+                // answer anything).
+                let msg = if self.servers.contains(target) {
+                    Message::Register {
+                        peer_id: punch_rendezvous::PeerId(u64::MAX),
+                        private: self.local.expect("bound"),
+                    }
+                } else {
+                    Message::Ping
+                };
+                let _ = os.udp_send(sock, *target, msg.encode(true));
+            }
+        }
+        os.set_timer(self.retry, 1);
+    }
+
+    fn finish(&mut self) {
+        let local = self.local.expect("bound");
+        let observations: Vec<(Endpoint, Endpoint)> = self
+            .targets
+            .iter()
+            .zip(&self.observed)
+            .filter_map(|(t, o)| o.map(|ob| (*t, ob)))
+            .collect();
+        let mapping = classify(local, &self.targets, &self.observed);
+        let delta = measure_delta(&observations);
+        self.report = Some(NatReport {
+            local,
+            observations,
+            mapping,
+            delta,
+        });
+    }
+
+    fn all_observed(&self) -> bool {
+        self.observed.iter().all(|o| o.is_some())
+    }
+}
+
+/// Pure classification logic over (possibly partial) observations.
+fn classify(
+    local: Endpoint,
+    targets: &[Endpoint],
+    observed: &[Option<Endpoint>],
+) -> MappingVerdict {
+    let got: Vec<(Endpoint, Endpoint)> = targets
+        .iter()
+        .zip(observed)
+        .filter_map(|(t, o)| o.map(|ob| (*t, ob)))
+        .collect();
+    if got.len() < 2 {
+        return MappingVerdict::Unknown;
+    }
+    if got.iter().all(|(_, ob)| *ob == local) {
+        return MappingVerdict::NoNat;
+    }
+    let first = got[0].1;
+    if got.iter().all(|(_, ob)| *ob == first) {
+        return MappingVerdict::EndpointIndependent;
+    }
+    // Differs somewhere. Same-IP targets observed differently → port
+    // dependent; otherwise only the server IP changes the mapping.
+    let mut port_dependent = false;
+    for (ta, oa) in &got {
+        for (tb, ob) in &got {
+            if ta.ip == tb.ip && ta.port != tb.port && oa != ob {
+                port_dependent = true;
+            }
+        }
+    }
+    if port_dependent {
+        MappingVerdict::AddressAndPortDependent
+    } else {
+        MappingVerdict::AddressDependent
+    }
+}
+
+/// Extracts a consistent port-allocation delta from ordered observations.
+fn measure_delta(observations: &[(Endpoint, Endpoint)]) -> Option<i32> {
+    if observations.len() < 2 {
+        return None;
+    }
+    let ports: Vec<i32> = observations.iter().map(|(_, ob)| ob.port as i32).collect();
+    let deltas: Vec<i32> = ports.windows(2).map(|w| w[1] - w[0]).collect();
+    let first = *deltas.first()?;
+    if first != 0 && deltas.iter().all(|&d| d == first) {
+        Some(first)
+    } else if deltas.iter().all(|&d| d == 0) {
+        None
+    } else {
+        // Inconsistent allocation (e.g. competing traffic): report the
+        // most recent delta as the best guess.
+        deltas.last().copied().filter(|&d| d != 0)
+    }
+}
+
+impl App for Classifier {
+    fn on_start(&mut self, os: &mut Os<'_, '_>) {
+        let sock = os.udp_bind(0).expect("ephemeral UDP port");
+        self.sock = Some(sock);
+        self.local = os.local_endpoint(sock).ok();
+        self.probe_missing(os);
+    }
+
+    fn on_event(&mut self, _os: &mut Os<'_, '_>, ev: SockEvent) {
+        let SockEvent::UdpReceived { from, data, .. } = ev else {
+            return;
+        };
+        if let Ok(Message::RegisterAck { public }) = Message::decode(&data) {
+            if let Some(i) = self.targets.iter().position(|t| *t == from) {
+                if self.observed[i].is_none() {
+                    self.observed[i] = Some(public);
+                }
+            }
+            if self.all_observed() && self.report.is_none() {
+                self.finish();
+            }
+        }
+    }
+
+    fn on_timer(&mut self, os: &mut Os<'_, '_>, _token: u64) {
+        if self.report.is_some() {
+            return;
+        }
+        self.tries += 1;
+        if self.all_observed() || self.tries > self.max_retries {
+            self.finish();
+            return;
+        }
+        self.probe_missing(os);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ep(s: &str) -> Endpoint {
+        s.parse().unwrap()
+    }
+
+    fn targets2() -> Vec<Endpoint> {
+        vec![
+            ep("18.181.0.31:1234"),
+            ep("18.181.0.31:1235"),
+            ep("18.181.0.32:1234"),
+            ep("18.181.0.32:1235"),
+        ]
+    }
+
+    #[test]
+    fn classify_no_nat() {
+        let local = ep("155.99.25.11:4321");
+        let obs = vec![Some(local); 4];
+        assert_eq!(classify(local, &targets2(), &obs), MappingVerdict::NoNat);
+    }
+
+    #[test]
+    fn classify_cone() {
+        let local = ep("10.0.0.1:4321");
+        let public = ep("155.99.25.11:62000");
+        let obs = vec![Some(public); 4];
+        assert_eq!(
+            classify(local, &targets2(), &obs),
+            MappingVerdict::EndpointIndependent
+        );
+    }
+
+    #[test]
+    fn classify_symmetric() {
+        let local = ep("10.0.0.1:4321");
+        let obs = vec![
+            Some(ep("155.99.25.11:62000")),
+            Some(ep("155.99.25.11:62001")),
+            Some(ep("155.99.25.11:62002")),
+            Some(ep("155.99.25.11:62003")),
+        ];
+        assert_eq!(
+            classify(local, &targets2(), &obs),
+            MappingVerdict::AddressAndPortDependent
+        );
+    }
+
+    #[test]
+    fn classify_address_dependent() {
+        let local = ep("10.0.0.1:4321");
+        // Same mapping per server IP, different across server IPs.
+        let obs = vec![
+            Some(ep("155.99.25.11:62000")),
+            Some(ep("155.99.25.11:62000")),
+            Some(ep("155.99.25.11:62001")),
+            Some(ep("155.99.25.11:62001")),
+        ];
+        assert_eq!(
+            classify(local, &targets2(), &obs),
+            MappingVerdict::AddressDependent
+        );
+    }
+
+    #[test]
+    fn classify_partial_is_unknown() {
+        let local = ep("10.0.0.1:4321");
+        let obs = vec![Some(ep("155.99.25.11:62000")), None, None, None];
+        assert_eq!(classify(local, &targets2(), &obs), MappingVerdict::Unknown);
+    }
+
+    #[test]
+    fn delta_consistent() {
+        let obs: Vec<(Endpoint, Endpoint)> = vec![
+            (ep("1.1.1.1:1"), ep("155.99.25.11:62000")),
+            (ep("1.1.1.1:2"), ep("155.99.25.11:62002")),
+            (ep("2.2.2.2:1"), ep("155.99.25.11:62004")),
+        ];
+        assert_eq!(measure_delta(&obs), Some(2));
+    }
+
+    #[test]
+    fn delta_zero_for_cone() {
+        let obs: Vec<(Endpoint, Endpoint)> = vec![
+            (ep("1.1.1.1:1"), ep("155.99.25.11:62000")),
+            (ep("1.1.1.1:2"), ep("155.99.25.11:62000")),
+        ];
+        assert_eq!(measure_delta(&obs), None);
+    }
+
+    #[test]
+    fn delta_inconsistent_uses_latest() {
+        let obs: Vec<(Endpoint, Endpoint)> = vec![
+            (ep("1.1.1.1:1"), ep("155.99.25.11:62000")),
+            (ep("1.1.1.1:2"), ep("155.99.25.11:62005")),
+            (ep("2.2.2.2:1"), ep("155.99.25.11:62006")),
+        ];
+        assert_eq!(measure_delta(&obs), Some(1));
+    }
+}

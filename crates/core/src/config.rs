@@ -1,0 +1,182 @@
+//! Configuration for the hole-punching endpoints.
+
+use punch_net::Endpoint;
+use punch_rendezvous::PeerId;
+use std::time::Duration;
+
+/// Candidate-selection and retry strategy for a punch attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum PunchStrategy {
+    /// The paper's §3.2 procedure: spray the peer's public and private
+    /// endpoints, lock in whichever answers first.
+    #[default]
+    Basic,
+    /// §5.1 extension for symmetric NATs: exchange port-allocation deltas
+    /// measured by the classifier and additionally spray a window of
+    /// predicted ports around the peer's next expected mapping.
+    Predict {
+        /// How many consecutive predicted ports to try.
+        window: u16,
+    },
+}
+
+/// Tunables for UDP hole punching (§3).
+#[derive(Clone, Debug)]
+pub struct PunchConfig {
+    /// Interval between probe volleys while punching.
+    pub spray_interval: Duration,
+    /// Probe volleys before the punch is declared failed.
+    pub max_attempts: u32,
+    /// Keepalive interval for established sessions (§3.6).
+    pub keepalive_interval: Duration,
+    /// A session with no inbound traffic for this long is considered
+    /// dead; the next send triggers an on-demand re-punch (§3.6).
+    pub session_timeout: Duration,
+    /// Fall back to relaying through S when punching fails (§2.2).
+    pub relay_fallback: bool,
+    /// Try the peer's private endpoint as well as its public one (§3.3).
+    pub use_private_candidates: bool,
+    /// Candidate strategy.
+    pub strategy: PunchStrategy,
+}
+
+impl Default for PunchConfig {
+    fn default() -> Self {
+        PunchConfig {
+            spray_interval: Duration::from_millis(500),
+            max_attempts: 10,
+            keepalive_interval: Duration::from_secs(15),
+            session_timeout: Duration::from_secs(60),
+            relay_fallback: true,
+            use_private_candidates: true,
+            strategy: PunchStrategy::Basic,
+        }
+    }
+}
+
+/// Configuration for a UDP hole-punching client.
+#[derive(Clone, Debug)]
+pub struct UdpPeerConfig {
+    /// This client's identity.
+    pub id: PeerId,
+    /// The well-known rendezvous server.
+    pub server: Endpoint,
+    /// Local UDP port (0 = ephemeral). The same socket talks to S and to
+    /// every peer.
+    pub local_port: u16,
+    /// Obfuscate endpoint addresses in message bodies (§3.1).
+    pub obfuscate: bool,
+    /// Registration retry interval until S acknowledges.
+    pub register_retry: Duration,
+    /// How often to re-register with S once registered. This keeps both
+    /// S's record and the NAT mapping toward S alive (the §3.6 keepalive
+    /// requirement applies to the rendezvous session too).
+    pub server_keepalive: Duration,
+    /// Punching behaviour.
+    pub punch: PunchConfig,
+}
+
+impl UdpPeerConfig {
+    /// A sensible default configuration for `id` against `server`.
+    pub fn new(id: PeerId, server: Endpoint) -> Self {
+        UdpPeerConfig {
+            id,
+            server,
+            local_port: 0,
+            obfuscate: true,
+            register_retry: Duration::from_secs(2),
+            server_keepalive: Duration::from_secs(15),
+            punch: PunchConfig::default(),
+        }
+    }
+}
+
+/// Which TCP punching procedure to run (§4.2 vs §4.5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum TcpPunchMode {
+    /// §4.2: both sides connect and listen simultaneously.
+    #[default]
+    Parallel,
+    /// §4.5 (NatTrav-style) sequential variant: the responder first makes
+    /// a doomed `connect()` to open its NAT hole, waits `doomed_wait`,
+    /// then signals the initiator (via S) to connect. More
+    /// timing-dependent and slower in the common case, as the paper
+    /// observes — experiment E8 quantifies it.
+    Sequential {
+        /// How long the responder waits for its doomed SYN to traverse
+        /// its NATs before signalling the initiator. Too little risks a
+        /// lost SYN derailing the punch; too much inflates latency.
+        doomed_wait: Duration,
+    },
+}
+
+/// Configuration for a TCP hole-punching client.
+#[derive(Clone, Debug)]
+pub struct TcpPeerConfig {
+    /// This client's identity.
+    pub id: PeerId,
+    /// The well-known rendezvous server.
+    pub server: Endpoint,
+    /// Local TCP port (0 = ephemeral). Per §4.2, the *same* local port is
+    /// used for the connection to S, the listen socket, and all outgoing
+    /// punch attempts (requires `SO_REUSEADDR`/`SO_REUSEPORT`).
+    pub local_port: u16,
+    /// Obfuscate endpoint addresses in message bodies.
+    pub obfuscate: bool,
+    /// §4.2 step 4: delay before re-trying a connection attempt that
+    /// failed with a network error ("e.g., one second").
+    pub retry_delay: Duration,
+    /// Maximum re-tries per candidate endpoint.
+    pub max_retries: u32,
+    /// Overall deadline for one punch attempt.
+    pub punch_deadline: Duration,
+    /// Try the peer's private endpoint as well as its public one.
+    pub use_private_candidates: bool,
+    /// Parallel (§4.2) or sequential (§4.5) procedure. Both sides of a
+    /// punch must agree on the mode.
+    pub mode: TcpPunchMode,
+    /// Fall back to relaying data frames through S when the punch fails
+    /// (§2.2: "a useful fall-back strategy if maximum robustness is
+    /// desired").
+    pub relay_fallback: bool,
+}
+
+impl TcpPeerConfig {
+    /// A sensible default configuration for `id` against `server`.
+    pub fn new(id: PeerId, server: Endpoint) -> Self {
+        TcpPeerConfig {
+            id,
+            server,
+            local_port: 0,
+            obfuscate: true,
+            retry_delay: Duration::from_secs(1),
+            max_retries: 8,
+            punch_deadline: Duration::from_secs(30),
+            use_private_candidates: true,
+            mode: TcpPunchMode::Parallel,
+            relay_fallback: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_papers_recommendations() {
+        let c = TcpPeerConfig::new(PeerId(1), "18.181.0.31:1234".parse().unwrap());
+        assert_eq!(
+            c.retry_delay,
+            Duration::from_secs(1),
+            "§4.2 step 4 short delay"
+        );
+        let u = UdpPeerConfig::new(PeerId(1), "18.181.0.31:1234".parse().unwrap());
+        assert!(
+            u.punch.use_private_candidates,
+            "§3.3: try private endpoints too"
+        );
+        assert!(u.obfuscate, "§3.1: obfuscate addresses in bodies");
+        assert_eq!(u.punch.strategy, PunchStrategy::Basic);
+    }
+}

@@ -1,0 +1,10 @@
+//! Relay payload framing shared by the UDP and TCP endpoints.
+//!
+//! Payloads relayed through S (§2.2) carry a one-byte kind prefix so the
+//! receiving endpoint can separate application data from internal control
+//! messages (currently: §5.1 predicted-candidate announcements).
+
+/// Control payload (internal to the punching endpoints).
+pub(crate) const RELAY_KIND_CONTROL: u8 = 0;
+/// Application payload.
+pub(crate) const RELAY_KIND_APP: u8 = 1;

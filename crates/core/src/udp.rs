@@ -1,0 +1,878 @@
+//! UDP hole punching (paper §3).
+//!
+//! [`UdpPeer`] is a complete client endpoint: it registers with the
+//! rendezvous server *S*, answers introductions, sprays authentication
+//! probes at the peer's public and private endpoints (§3.2), locks in the
+//! first endpoint that authenticates, maintains keepalives and re-punches
+//! dead sessions on demand (§3.6), optionally falls back to relaying
+//! (§2.2), and implements the §5.1 port-prediction variant for symmetric
+//! NATs.
+//!
+//! One UDP socket carries everything — the session with S and every peer
+//! session — exactly as the paper notes ("each client only needs one
+//! socket").
+
+use crate::config::{PunchStrategy, UdpPeerConfig};
+use crate::events::{UdpPeerEvent, Via};
+use bytes::{BufMut, Bytes, BytesMut};
+use punch_net::{Endpoint, SimTime};
+use punch_rendezvous::{Message, PeerId};
+use punch_transport::{App, Os, SockEvent, SocketId};
+use rand::Rng;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::relay::{RELAY_KIND_APP, RELAY_KIND_CONTROL};
+
+/// Session state machine.
+#[derive(Debug)]
+enum SessionState {
+    /// Waiting for S's introduction (and/or spraying candidates).
+    Punching,
+    /// Locked in on `remote` (§3.2 step 3).
+    Established {
+        remote: Endpoint,
+        last_recv: SimTime,
+    },
+    /// Punch failed; traffic flows through S.
+    Relaying,
+    /// Punch failed and relaying is disabled.
+    Failed,
+}
+
+#[derive(Debug)]
+struct Session {
+    nonce: u64,
+    state: SessionState,
+    candidates: Vec<Endpoint>,
+    attempts: u32,
+    pending: VecDeque<Bytes>,
+    keepalive_armed: bool,
+    tick_armed: bool,
+}
+
+/// What a timer token means.
+enum TimerPurpose {
+    RegisterRetry,
+    ServerKeepalive,
+    PunchTick(PeerId),
+    Keepalive(PeerId),
+}
+
+/// Counters exposed for experiments.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct UdpPeerStats {
+    /// Hole-punch probe datagrams sent.
+    pub probes_sent: u64,
+    /// Messages sent directly to peers.
+    pub direct_msgs: u64,
+    /// Messages sent through the relay.
+    pub relay_msgs: u64,
+    /// Sessions that re-punched on demand after dying (§3.6).
+    pub repunches: u64,
+}
+
+/// A UDP hole-punching client endpoint (an [`App`]).
+///
+/// Drive it with [`punch_net::Sim::with_node`] +
+/// [`punch_transport::HostDevice::with_app`]; consume results via
+/// [`UdpPeer::take_events`] and the state accessors.
+pub struct UdpPeer {
+    cfg: UdpPeerConfig,
+    sock: Option<SocketId>,
+    local: Option<Endpoint>,
+    public: Option<Endpoint>,
+    registered: bool,
+    /// Port-prediction state: public endpoint observed by the probe port,
+    /// and the measured allocation delta.
+    probe_public: Option<Endpoint>,
+    delta: Option<i32>,
+    /// Distinct destinations contacted since the delta measurement (each
+    /// consumes one allocation on a symmetric NAT).
+    dests_seen: HashSet<Endpoint>,
+    sessions: HashMap<PeerId, Session>,
+    pending_connects: Vec<PeerId>,
+    events: VecDeque<UdpPeerEvent>,
+    next_token: u64,
+    timers: HashMap<u64, TimerPurpose>,
+    stats: UdpPeerStats,
+}
+
+impl UdpPeer {
+    /// Creates the endpoint; it registers with S when the host starts.
+    pub fn new(cfg: UdpPeerConfig) -> Self {
+        UdpPeer {
+            cfg,
+            sock: None,
+            local: None,
+            public: None,
+            registered: false,
+            probe_public: None,
+            delta: None,
+            dests_seen: HashSet::new(),
+            sessions: HashMap::new(),
+            pending_connects: Vec::new(),
+            events: VecDeque::new(),
+            next_token: 1,
+            timers: HashMap::new(),
+            stats: UdpPeerStats::default(),
+        }
+    }
+
+    /// Drains accumulated events.
+    pub fn take_events(&mut self) -> Vec<UdpPeerEvent> {
+        self.events.drain(..).collect()
+    }
+
+    /// Our public endpoint as observed by S, once registered.
+    pub fn public_endpoint(&self) -> Option<Endpoint> {
+        self.public
+    }
+
+    /// The measured port-allocation delta (predict strategy only).
+    pub fn measured_delta(&self) -> Option<i32> {
+        self.delta
+    }
+
+    /// True once a direct session with `peer` is established.
+    pub fn is_established(&self, peer: PeerId) -> bool {
+        matches!(
+            self.sessions.get(&peer).map(|s| &s.state),
+            Some(SessionState::Established { .. })
+        )
+    }
+
+    /// True if traffic to `peer` flows through the relay.
+    pub fn is_relaying(&self, peer: PeerId) -> bool {
+        matches!(
+            self.sessions.get(&peer).map(|s| &s.state),
+            Some(SessionState::Relaying)
+        )
+    }
+
+    /// The locked-in remote endpoint for `peer`, if established.
+    pub fn session_remote(&self, peer: PeerId) -> Option<Endpoint> {
+        match self.sessions.get(&peer).map(|s| &s.state) {
+            Some(SessionState::Established { remote, .. }) => Some(*remote),
+            _ => None,
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> UdpPeerStats {
+        self.stats
+    }
+
+    // ------------------------------------------------------------------
+    // Public operations (call through `HostDevice::with_app`)
+    // ------------------------------------------------------------------
+
+    /// Requests a hole-punched session with `peer` (§3.2 step 1).
+    pub fn connect(&mut self, os: &mut Os<'_, '_>, peer: PeerId) {
+        if !self.registered {
+            self.pending_connects.push(peer);
+            return;
+        }
+        let nonce: u64 = os.rng().gen();
+        self.sessions.entry(peer).or_insert_with(|| Session {
+            nonce,
+            state: SessionState::Punching,
+            candidates: Vec::new(),
+            attempts: 0,
+            pending: VecDeque::new(),
+            keepalive_armed: false,
+            tick_armed: false,
+        });
+        self.send_server(
+            os,
+            &Message::ConnectRequest {
+                peer_id: self.cfg.id,
+                target: peer,
+                nonce,
+            },
+        );
+        self.arm_punch_tick(os, peer);
+    }
+
+    /// Sends application data to `peer`: directly when punched, via the
+    /// relay otherwise; queued while punching. A send on a session whose
+    /// inbound traffic went stale triggers an on-demand re-punch (§3.6).
+    pub fn send(&mut self, os: &mut Os<'_, '_>, peer: PeerId, data: Bytes) {
+        let now = os.now();
+        let timeout = self.cfg.punch.session_timeout;
+        let Some(session) = self.sessions.get_mut(&peer) else {
+            // No session yet: start one and queue.
+            self.connect(os, peer);
+            if let Some(s) = self.sessions.get_mut(&peer) {
+                s.pending.push_back(data);
+            } else {
+                // Not yet registered; remember the payload for later.
+                self.pending_connects.push(peer);
+            }
+            return;
+        };
+        match &session.state {
+            SessionState::Established { remote, last_recv } => {
+                if now.saturating_since(*last_recv) > timeout {
+                    // The hole evidently closed; re-run the procedure.
+                    session.pending.push_back(data);
+                    session.state = SessionState::Punching;
+                    session.attempts = 0;
+                    self.stats.repunches += 1;
+                    self.events.push_back(UdpPeerEvent::SessionDied { peer });
+                    let nonce = session.nonce;
+                    self.send_server(
+                        os,
+                        &Message::ConnectRequest {
+                            peer_id: self.cfg.id,
+                            target: peer,
+                            nonce,
+                        },
+                    );
+                    self.arm_punch_tick(os, peer);
+                    return;
+                }
+                let remote = *remote;
+                self.stats.direct_msgs += 1;
+                self.send_to(os, remote, &Message::PeerData { data });
+            }
+            SessionState::Relaying => {
+                self.stats.relay_msgs += 1;
+                let mut buf = BytesMut::with_capacity(data.len() + 1);
+                buf.put_u8(RELAY_KIND_APP);
+                buf.put_slice(&data);
+                let msg = Message::RelayData {
+                    from: self.cfg.id,
+                    target: peer,
+                    data: buf.freeze(),
+                };
+                self.send_server(os, &msg);
+            }
+            SessionState::Punching => session.pending.push_back(data),
+            SessionState::Failed => {
+                session.pending.push_back(data);
+                session.state = SessionState::Punching;
+                session.attempts = 0;
+                let nonce = session.nonce;
+                self.stats.repunches += 1;
+                self.send_server(
+                    os,
+                    &Message::ConnectRequest {
+                        peer_id: self.cfg.id,
+                        target: peer,
+                        nonce,
+                    },
+                );
+                self.arm_punch_tick(os, peer);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    /// Arms the per-session punch tick unless one is already pending.
+    fn arm_punch_tick(&mut self, os: &mut Os<'_, '_>, peer: PeerId) {
+        let interval = self.cfg.punch.spray_interval;
+        if let Some(s) = self.sessions.get_mut(&peer) {
+            if s.tick_armed {
+                return;
+            }
+            s.tick_armed = true;
+        } else {
+            return;
+        }
+        self.arm(os, interval, TimerPurpose::PunchTick(peer));
+    }
+
+    fn arm(&mut self, os: &mut Os<'_, '_>, after: std::time::Duration, purpose: TimerPurpose) {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.timers.insert(token, purpose);
+        os.set_timer(after, token);
+    }
+
+    fn send_to(&mut self, os: &mut Os<'_, '_>, to: Endpoint, msg: &Message) {
+        if let Some(sock) = self.sock {
+            if self.dests_seen.insert(to) {
+                // A new destination consumes one allocation on a
+                // symmetric NAT; prediction accounts for these.
+            }
+            let _ = os.udp_send(sock, to, msg.encode(self.cfg.obfuscate));
+        }
+    }
+
+    fn send_server(&mut self, os: &mut Os<'_, '_>, msg: &Message) {
+        let server = self.cfg.server;
+        self.send_to(os, server, msg);
+    }
+
+    fn probe_endpoint(&self) -> Endpoint {
+        self.cfg.server.with_port(self.cfg.server.port + 1)
+    }
+
+    /// Allocations consumed since the delta measurement.
+    fn allocs_since_measure(&self) -> u32 {
+        // The server and probe-port mappings existed at measurement time;
+        // everything else seen since is a fresh allocation.
+        let baseline = usize::from(self.dests_seen.contains(&self.cfg.server))
+            + usize::from(self.dests_seen.contains(&self.probe_endpoint()));
+        (self.dests_seen.len() - baseline) as u32
+    }
+
+    /// Ports this NAT is predicted to allocate next (§5.1).
+    fn predicted_own_ports(&self, window: u16) -> Vec<u16> {
+        let (Some(probe), Some(delta)) = (self.probe_public, self.delta) else {
+            return Vec::new();
+        };
+        if delta == 0 {
+            return Vec::new(); // Consistent mapping: prediction unneeded.
+        }
+        let base = probe.port as i32;
+        let consumed = self.allocs_since_measure() as i32;
+        (1..=window as i32)
+            .map(|k| {
+                let p = base + delta * (consumed + k);
+                p.rem_euclid(65536) as u16
+            })
+            .filter(|&p| p >= 1024)
+            .collect()
+    }
+
+    fn start_punch(
+        &mut self,
+        os: &mut Os<'_, '_>,
+        peer: PeerId,
+        public: Endpoint,
+        private: Endpoint,
+        nonce: u64,
+    ) {
+        // Private (host) candidates first: the direct route inside a
+        // shared private network is preferred when it answers (§3.3), as
+        // in ICE's candidate prioritization.
+        let mut candidates = Vec::new();
+        if self.cfg.punch.use_private_candidates && private != public {
+            candidates.push(private);
+        }
+        candidates.push(public);
+        let session = self.sessions.entry(peer).or_insert_with(|| Session {
+            nonce,
+            state: SessionState::Punching,
+            candidates: Vec::new(),
+            attempts: 0,
+            pending: VecDeque::new(),
+            keepalive_armed: false,
+            tick_armed: false,
+        });
+        session.nonce = nonce;
+        session.candidates = candidates;
+        // A re-introduction (our periodic re-request under loss) must not
+        // reset the volley budget, or a failing punch would retry forever.
+        if !matches!(
+            session.state,
+            SessionState::Punching | SessionState::Established { .. }
+        ) {
+            session.attempts = 0;
+        }
+        if !matches!(session.state, SessionState::Established { .. }) {
+            session.state = SessionState::Punching;
+        }
+        // §5.1 prediction: tell the peer which ports our symmetric NAT
+        // will allocate next, via the relay (it cannot reach us directly
+        // yet, by definition).
+        if let PunchStrategy::Predict { window } = self.cfg.punch.strategy {
+            let ports = self.predicted_own_ports(window);
+            if !ports.is_empty() {
+                let public_ip = self.public.map(|p| p.ip).unwrap_or(public.ip);
+                let mut buf = BytesMut::with_capacity(2 + ports.len() * 2);
+                buf.put_u8(RELAY_KIND_CONTROL);
+                buf.put_slice(&public_ip.octets());
+                buf.put_u8(ports.len() as u8);
+                for p in &ports {
+                    buf.put_u16(*p);
+                }
+                let msg = Message::RelayData {
+                    from: self.cfg.id,
+                    target: peer,
+                    data: buf.freeze(),
+                };
+                self.send_server(os, &msg);
+            }
+        }
+        self.spray(os, peer);
+        self.arm_punch_tick(os, peer);
+    }
+
+    fn spray(&mut self, os: &mut Os<'_, '_>, peer: PeerId) {
+        let Some(session) = self.sessions.get(&peer) else {
+            return;
+        };
+        let nonce = session.nonce;
+        let candidates = session.candidates.clone();
+        for cand in candidates {
+            self.stats.probes_sent += 1;
+            self.send_to(
+                os,
+                cand,
+                &Message::PeerHello {
+                    from: self.cfg.id,
+                    nonce,
+                },
+            );
+        }
+    }
+
+    /// Handles control payloads received over the relay (predicted
+    /// candidate announcements).
+    fn handle_control(&mut self, peer: PeerId, payload: &[u8]) {
+        if payload.len() < 5 {
+            return;
+        }
+        let ip = std::net::Ipv4Addr::new(payload[0], payload[1], payload[2], payload[3]);
+        let n = payload[4] as usize;
+        if payload.len() < 5 + 2 * n {
+            return;
+        }
+        let Some(session) = self.sessions.get_mut(&peer) else {
+            return;
+        };
+        for i in 0..n {
+            let port = u16::from_be_bytes([payload[5 + 2 * i], payload[6 + 2 * i]]);
+            let ep = Endpoint::new(ip, port);
+            if !session.candidates.contains(&ep) {
+                session.candidates.push(ep);
+            }
+        }
+    }
+
+    fn establish(&mut self, os: &mut Os<'_, '_>, peer: PeerId, remote: Endpoint) {
+        let now = os.now();
+        let keepalive = self.cfg.punch.keepalive_interval;
+        let Some(session) = self.sessions.get_mut(&peer) else {
+            return;
+        };
+        match &mut session.state {
+            SessionState::Established { last_recv, .. } => {
+                *last_recv = now;
+                return;
+            }
+            _ => {
+                session.state = SessionState::Established {
+                    remote,
+                    last_recv: now,
+                };
+            }
+        }
+        self.events
+            .push_back(UdpPeerEvent::Established { peer, remote });
+        // Flush anything queued while punching.
+        let pending: Vec<Bytes> = self
+            .sessions
+            .get_mut(&peer)
+            .map(|s| s.pending.drain(..).collect())
+            .unwrap_or_default();
+        for data in pending {
+            self.stats.direct_msgs += 1;
+            self.send_to(os, remote, &Message::PeerData { data });
+        }
+        let arm_keepalive = {
+            let s = self.sessions.get_mut(&peer).expect("session exists");
+            if s.keepalive_armed {
+                false
+            } else {
+                s.keepalive_armed = true;
+                true
+            }
+        };
+        if arm_keepalive {
+            self.arm(os, keepalive, TimerPurpose::Keepalive(peer));
+        }
+    }
+
+    /// Finds the established session owning remote endpoint `from`.
+    fn session_by_remote(&self, from: Endpoint) -> Option<PeerId> {
+        self.sessions.iter().find_map(|(id, s)| match &s.state {
+            SessionState::Established { remote, .. } if *remote == from => Some(*id),
+            _ => None,
+        })
+    }
+
+    fn touch(&mut self, peer: PeerId, now: SimTime) {
+        if let Some(Session {
+            state: SessionState::Established { last_recv, .. },
+            ..
+        }) = self.sessions.get_mut(&peer)
+        {
+            *last_recv = now;
+        }
+    }
+
+    fn handle_message(&mut self, os: &mut Os<'_, '_>, from: Endpoint, msg: Message) {
+        let now = os.now();
+        match msg {
+            Message::RegisterAck { public } if from == self.cfg.server => {
+                let first = !self.registered;
+                self.registered = true;
+                self.public = Some(public);
+                if first {
+                    self.events.push_back(UdpPeerEvent::Registered { public });
+                    let ka = self.cfg.server_keepalive;
+                    self.arm(os, ka, TimerPurpose::ServerKeepalive);
+                    if matches!(self.cfg.punch.strategy, PunchStrategy::Predict { .. }) {
+                        // Measure the allocation delta via the probe port.
+                        let probe = self.probe_endpoint();
+                        self.send_to(os, probe, &Message::Ping);
+                    }
+                    let pending: Vec<PeerId> = self.pending_connects.drain(..).collect();
+                    for peer in pending {
+                        self.connect(os, peer);
+                    }
+                }
+            }
+            Message::RegisterAck { public } if from == self.probe_endpoint() => {
+                self.probe_public = Some(public);
+                self.delta = self
+                    .public
+                    .map(|main| public.port as i32 - main.port as i32);
+            }
+            Message::Introduce {
+                peer,
+                public,
+                private,
+                nonce,
+                initiator: _,
+            } if from == self.cfg.server => {
+                self.start_punch(os, peer, public, private, nonce);
+            }
+            Message::RelayedData { from: peer, data } => {
+                if data.is_empty() {
+                    return;
+                }
+                match data[0] {
+                    RELAY_KIND_CONTROL => self.handle_control(peer, &data[1..]),
+                    RELAY_KIND_APP => self.events.push_back(UdpPeerEvent::Data {
+                        peer,
+                        data: data.slice(1..),
+                        via: Via::Relay,
+                    }),
+                    _ => {}
+                }
+            }
+            Message::ErrorReply { .. } => {
+                // S rejected a request (unknown peer): fail any sessions
+                // still waiting for an introduction.
+                let waiting: Vec<PeerId> = self
+                    .sessions
+                    .iter()
+                    .filter(|(_, s)| {
+                        matches!(s.state, SessionState::Punching) && s.candidates.is_empty()
+                    })
+                    .map(|(id, _)| *id)
+                    .collect();
+                for peer in waiting {
+                    self.fail_punch(os, peer);
+                }
+            }
+            Message::PeerHello { from: peer, nonce } => {
+                let Some(session) = self.sessions.get(&peer) else {
+                    return; // Stray traffic (§3.4): not authenticated.
+                };
+                if session.nonce != nonce {
+                    return; // Wrong nonce: possibly a same-address stranger.
+                }
+                // Answer to the *observed* source, and lock in: an
+                // authenticated hello proves this path works inbound, and
+                // our ack will traverse the hole our own sprays opened.
+                self.send_to(
+                    os,
+                    from,
+                    &Message::PeerHelloAck {
+                        from: self.cfg.id,
+                        nonce,
+                    },
+                );
+                self.establish(os, peer, from);
+            }
+            Message::PeerHelloAck { from: peer, nonce } => {
+                let Some(session) = self.sessions.get(&peer) else {
+                    return;
+                };
+                if session.nonce != nonce {
+                    return;
+                }
+                self.establish(os, peer, from);
+            }
+            Message::PeerData { data } => {
+                if let Some(peer) = self.session_by_remote(from) {
+                    self.touch(peer, now);
+                    self.events.push_back(UdpPeerEvent::Data {
+                        peer,
+                        data,
+                        via: Via::Direct,
+                    });
+                }
+                // Unknown source: stray traffic, dropped (§3.4).
+            }
+            Message::KeepAlive => {
+                if let Some(peer) = self.session_by_remote(from) {
+                    self.touch(peer, now);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn fail_punch(&mut self, os: &mut Os<'_, '_>, peer: PeerId) {
+        let relay = self.cfg.punch.relay_fallback;
+        let Some(session) = self.sessions.get_mut(&peer) else {
+            return;
+        };
+        if relay {
+            session.state = SessionState::Relaying;
+            self.events.push_back(UdpPeerEvent::RelayActive { peer });
+            let pending: Vec<Bytes> = self
+                .sessions
+                .get_mut(&peer)
+                .map(|s| s.pending.drain(..).collect())
+                .unwrap_or_default();
+            for data in pending {
+                self.stats.relay_msgs += 1;
+                let mut buf = BytesMut::with_capacity(data.len() + 1);
+                buf.put_u8(RELAY_KIND_APP);
+                buf.put_slice(&data);
+                let msg = Message::RelayData {
+                    from: self.cfg.id,
+                    target: peer,
+                    data: buf.freeze(),
+                };
+                self.send_server(os, &msg);
+            }
+        } else {
+            session.state = SessionState::Failed;
+            self.events.push_back(UdpPeerEvent::PunchFailed { peer });
+        }
+    }
+}
+
+impl App for UdpPeer {
+    fn on_start(&mut self, os: &mut Os<'_, '_>) {
+        let sock = os
+            .udp_bind(self.cfg.local_port)
+            .expect("local UDP port free");
+        self.sock = Some(sock);
+        self.local = os.local_endpoint(sock).ok();
+        let private = self.local.expect("socket bound");
+        self.send_server(
+            os,
+            &Message::Register {
+                peer_id: self.cfg.id,
+                private,
+            },
+        );
+        self.arm(os, self.cfg.register_retry, TimerPurpose::RegisterRetry);
+    }
+
+    fn on_event(&mut self, os: &mut Os<'_, '_>, ev: SockEvent) {
+        if let SockEvent::UdpReceived { sock, from, data } = ev {
+            if Some(sock) != self.sock {
+                return;
+            }
+            match Message::decode(&data) {
+                Ok(msg) => self.handle_message(os, from, msg),
+                Err(_) => { /* Stray or corrupted datagram: drop (§3.4). */ }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, os: &mut Os<'_, '_>, token: u64) {
+        let Some(purpose) = self.timers.remove(&token) else {
+            return;
+        };
+        match purpose {
+            TimerPurpose::RegisterRetry => {
+                if !self.registered {
+                    let private = self.local.expect("socket bound");
+                    self.send_server(
+                        os,
+                        &Message::Register {
+                            peer_id: self.cfg.id,
+                            private,
+                        },
+                    );
+                    self.arm(os, self.cfg.register_retry, TimerPurpose::RegisterRetry);
+                }
+            }
+            TimerPurpose::ServerKeepalive => {
+                // Refresh both S's registration record and the NAT
+                // mapping toward S (§3.6 applies to the rendezvous
+                // session as much as to peer sessions).
+                let private = self.local.expect("socket bound");
+                self.send_server(
+                    os,
+                    &Message::Register {
+                        peer_id: self.cfg.id,
+                        private,
+                    },
+                );
+                let ka = self.cfg.server_keepalive;
+                self.arm(os, ka, TimerPurpose::ServerKeepalive);
+            }
+            TimerPurpose::PunchTick(peer) => {
+                let max = self.cfg.punch.max_attempts;
+                let Some(session) = self.sessions.get_mut(&peer) else {
+                    return;
+                };
+                session.tick_armed = false;
+                if !matches!(session.state, SessionState::Punching) {
+                    return; // Established or relaying; volley no longer needed.
+                }
+                session.attempts += 1;
+                if session.attempts > max {
+                    self.fail_punch(os, peer);
+                    return;
+                }
+                let nonce = session.nonce;
+                let need_intro = session.candidates.is_empty() || session.attempts % 4 == 0;
+                if need_intro {
+                    // The request or the introduction may have been lost
+                    // (UDP): ask S again.
+                    self.send_server(
+                        os,
+                        &Message::ConnectRequest {
+                            peer_id: self.cfg.id,
+                            target: peer,
+                            nonce,
+                        },
+                    );
+                }
+                self.spray(os, peer);
+                self.arm_punch_tick(os, peer);
+            }
+            TimerPurpose::Keepalive(peer) => {
+                let interval = self.cfg.punch.keepalive_interval;
+                let timeout = self.cfg.punch.session_timeout;
+                let now = os.now();
+                let Some(session) = self.sessions.get_mut(&peer) else {
+                    return;
+                };
+                if let SessionState::Established { remote, last_recv } = session.state {
+                    if now.saturating_since(last_recv) > timeout {
+                        session.state = SessionState::Failed;
+                        session.keepalive_armed = false;
+                        self.events.push_back(UdpPeerEvent::SessionDied { peer });
+                        return;
+                    }
+                    self.send_to(os, remote, &Message::KeepAlive);
+                    self.arm(os, interval, TimerPurpose::Keepalive(peer));
+                } else {
+                    if let Some(s) = self.sessions.get_mut(&peer) {
+                        s.keepalive_armed = false;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicted_ports_respect_delta_and_consumed_allocs() {
+        let mut peer = UdpPeer::new(UdpPeerConfig::new(
+            PeerId(1),
+            "18.181.0.31:1234".parse().unwrap(),
+        ));
+        peer.public = Some("155.99.25.11:62000".parse().unwrap());
+        peer.probe_public = Some("155.99.25.11:62001".parse().unwrap());
+        peer.delta = Some(1);
+        assert_eq!(peer.predicted_own_ports(3), vec![62002, 62003, 62004]);
+        // One extra destination consumed one allocation.
+        peer.dests_seen.insert("9.9.9.9:9".parse().unwrap());
+        assert_eq!(peer.predicted_own_ports(3), vec![62003, 62004, 62005]);
+    }
+
+    #[test]
+    fn predicted_ports_empty_without_measurement_or_with_zero_delta() {
+        let mut peer = UdpPeer::new(UdpPeerConfig::new(
+            PeerId(1),
+            "18.181.0.31:1234".parse().unwrap(),
+        ));
+        assert!(peer.predicted_own_ports(4).is_empty());
+        peer.public = Some("155.99.25.11:62000".parse().unwrap());
+        peer.probe_public = Some("155.99.25.11:62000".parse().unwrap());
+        peer.delta = Some(0);
+        assert!(
+            peer.predicted_own_ports(4).is_empty(),
+            "cone NAT needs no prediction"
+        );
+    }
+
+    #[test]
+    fn predicted_ports_skip_privileged_range() {
+        let mut peer = UdpPeer::new(UdpPeerConfig::new(
+            PeerId(1),
+            "18.181.0.31:1234".parse().unwrap(),
+        ));
+        peer.public = Some("155.99.25.11:65534".parse().unwrap());
+        peer.probe_public = Some("155.99.25.11:65535".parse().unwrap());
+        peer.delta = Some(1);
+        // Wrapping past 65535 lands in low ports, which are filtered out.
+        let ports = peer.predicted_own_ports(3);
+        assert!(ports.iter().all(|&p| p >= 1024), "{ports:?}");
+    }
+
+    #[test]
+    fn control_payload_extends_candidates() {
+        let mut peer = UdpPeer::new(UdpPeerConfig::new(
+            PeerId(1),
+            "18.181.0.31:1234".parse().unwrap(),
+        ));
+        peer.sessions.insert(
+            PeerId(2),
+            Session {
+                nonce: 1,
+                state: SessionState::Punching,
+                candidates: vec!["138.76.29.7:31000".parse().unwrap()],
+                attempts: 0,
+                pending: VecDeque::new(),
+                keepalive_armed: false,
+                tick_armed: false,
+            },
+        );
+        let mut payload = vec![138, 76, 29, 7, 2];
+        payload.extend_from_slice(&31001u16.to_be_bytes());
+        payload.extend_from_slice(&31002u16.to_be_bytes());
+        peer.handle_control(PeerId(2), &payload);
+        let cands = &peer.sessions[&PeerId(2)].candidates;
+        assert_eq!(cands.len(), 3);
+        assert!(cands.contains(&"138.76.29.7:31002".parse().unwrap()));
+        // Duplicate announcements do not duplicate candidates.
+        peer.handle_control(PeerId(2), &payload);
+        assert_eq!(peer.sessions[&PeerId(2)].candidates.len(), 3);
+    }
+
+    #[test]
+    fn malformed_control_payload_ignored() {
+        let mut peer = UdpPeer::new(UdpPeerConfig::new(
+            PeerId(1),
+            "18.181.0.31:1234".parse().unwrap(),
+        ));
+        peer.sessions.insert(
+            PeerId(2),
+            Session {
+                nonce: 1,
+                state: SessionState::Punching,
+                candidates: vec![],
+                attempts: 0,
+                pending: VecDeque::new(),
+                keepalive_armed: false,
+                tick_armed: false,
+            },
+        );
+        peer.handle_control(PeerId(2), &[1, 2, 3]); // too short
+        peer.handle_control(PeerId(2), &[1, 2, 3, 4, 9, 0, 1]); // count says 9, data for 1
+        assert!(peer.sessions[&PeerId(2)].candidates.is_empty());
+    }
+}

@@ -1,0 +1,153 @@
+//! End-to-end NAT classification (the §5.1 STUN-style probe substrate).
+
+use holepunch::{Classifier, MappingVerdict};
+use punch_lab::{PeerSetup, WorldBuilder};
+use punch_nat::{MappingPolicy, NatBehavior, PortAllocation};
+use punch_net::{Endpoint, SimTime};
+use punch_rendezvous::{RendezvousServer, ServerConfig};
+use std::net::Ipv4Addr;
+
+const S1: Ipv4Addr = Ipv4Addr::new(18, 181, 0, 31);
+const S2: Ipv4Addr = Ipv4Addr::new(64, 15, 12, 2);
+
+fn classify(nat: Option<NatBehavior>, seed: u64) -> holepunch::NatReport {
+    let servers: Vec<Endpoint> = vec![Endpoint::new(S1, 1234), Endpoint::new(S2, 1234)];
+    let mut wb = WorldBuilder::new(seed);
+    wb.server(S1, RendezvousServer::new(ServerConfig::default()));
+    wb.server(S2, RendezvousServer::new(ServerConfig::default()));
+    let client = match nat {
+        Some(behavior) => {
+            let n = wb.nat(behavior, "155.99.25.11".parse().unwrap());
+            wb.client(
+                "10.0.0.1".parse().unwrap(),
+                n,
+                PeerSetup::new(Classifier::new(servers)),
+            )
+        }
+        None => wb.public_client(
+            "99.1.1.1".parse().unwrap(),
+            PeerSetup::new(Classifier::new(servers)),
+        ),
+    };
+    let mut world = wb.build();
+    let node = world.clients[client];
+    world.run_until_app::<Classifier>(node, SimTime::from_secs(30), |c| c.report().is_some());
+    world
+        .app::<Classifier>(node)
+        .report()
+        .expect("classifier finished")
+        .clone()
+}
+
+#[test]
+fn no_nat_is_detected() {
+    let report = classify(None, 1);
+    assert_eq!(report.mapping, MappingVerdict::NoNat);
+    assert_eq!(report.delta, None);
+}
+
+#[test]
+fn cone_nat_is_endpoint_independent() {
+    for nat in [
+        NatBehavior::well_behaved(),
+        NatBehavior::full_cone(),
+        NatBehavior::restricted_cone(),
+    ] {
+        let report = classify(Some(nat), 2);
+        assert_eq!(report.mapping, MappingVerdict::EndpointIndependent);
+        assert_eq!(report.delta, None, "no port delta on a cone NAT");
+        assert_eq!(report.observations.len(), 4);
+    }
+}
+
+#[test]
+fn symmetric_sequential_nat_reports_delta_one() {
+    let nat = NatBehavior::symmetric().with_port_alloc(PortAllocation::Sequential);
+    let report = classify(Some(nat), 3);
+    assert_eq!(report.mapping, MappingVerdict::AddressAndPortDependent);
+    assert_eq!(
+        report.delta,
+        Some(1),
+        "sequential allocation: +1 per new session"
+    );
+}
+
+#[test]
+fn symmetric_random_nat_has_no_stable_delta() {
+    let nat = NatBehavior::symmetric().with_port_alloc(PortAllocation::Random);
+    let report = classify(Some(nat), 4);
+    assert_eq!(report.mapping, MappingVerdict::AddressAndPortDependent);
+    // Random allocation: either no consistent delta or a junk last-diff
+    // guess; what matters is the verdict above. Document the behaviour:
+    if let Some(d) = report.delta {
+        assert_ne!(d, 0);
+    }
+}
+
+#[test]
+fn address_dependent_mapping_detected_with_two_servers() {
+    let nat = NatBehavior {
+        mapping: MappingPolicy::AddressDependent,
+        ..NatBehavior::well_behaved()
+    };
+    let report = classify(Some(nat), 5);
+    assert_eq!(report.mapping, MappingVerdict::AddressDependent);
+}
+
+#[test]
+fn classification_survives_loss() {
+    let servers: Vec<Endpoint> = vec![Endpoint::new(S1, 1234), Endpoint::new(S2, 1234)];
+    let mut wb = WorldBuilder::new(6).wan(punch_net::LinkSpec::wan().with_loss(0.2));
+    wb.server(S1, RendezvousServer::new(ServerConfig::default()));
+    wb.server(S2, RendezvousServer::new(ServerConfig::default()));
+    let n = wb.nat(NatBehavior::well_behaved(), "155.99.25.11".parse().unwrap());
+    wb.client(
+        "10.0.0.1".parse().unwrap(),
+        n,
+        PeerSetup::new(Classifier::new(servers)),
+    );
+    let mut world = wb.build();
+    let node = world.clients[0];
+    assert!(
+        world.run_until_app::<Classifier>(node, SimTime::from_secs(30), |c| c.report().is_some())
+    );
+    let report = world.app::<Classifier>(node).report().unwrap().clone();
+    assert_eq!(
+        report.mapping,
+        MappingVerdict::EndpointIndependent,
+        "retries fill in lost probes"
+    );
+}
+
+#[test]
+fn unreachable_servers_yield_unknown() {
+    // Servers exist but there is no route to the second one's address:
+    // the classifier must converge on a partial verdict, not hang.
+    let servers: Vec<Endpoint> = vec![
+        Endpoint::new(S1, 1234),
+        Endpoint::new("203.0.113.99".parse().unwrap(), 1234),
+    ];
+    let mut wb = WorldBuilder::new(7);
+    wb.server(S1, RendezvousServer::new(ServerConfig::default()));
+    let n = wb.nat(NatBehavior::well_behaved(), "155.99.25.11".parse().unwrap());
+    wb.client(
+        "10.0.0.1".parse().unwrap(),
+        n,
+        PeerSetup::new(Classifier::new(servers)),
+    );
+    let mut world = wb.build();
+    let node = world.clients[0];
+    assert!(
+        world.run_until_app::<Classifier>(node, SimTime::from_secs(30), |c| c.report().is_some())
+    );
+    let report = world.app::<Classifier>(node).report().unwrap().clone();
+    // Only one server's two ports answered: same-IP observations can
+    // still prove EI vs port-dependent, so the verdict may be EI; with
+    // truly nothing it would be Unknown. Accept either but require the
+    // observations actually collected.
+    assert!(report.observations.len() >= 2);
+    assert!(matches!(
+        report.mapping,
+        MappingVerdict::EndpointIndependent | MappingVerdict::Unknown
+    ));
+}

@@ -1,0 +1,22 @@
+//! # punch-lab — experiment topologies and harness helpers
+//!
+//! Reusable builders for the network scenarios the paper analyzes:
+//!
+//! - [`WorldBuilder`] — arbitrary topologies: one backbone router, public
+//!   servers, (optionally nested) NATs, and clients.
+//! - [`fig4`] — two clients behind a **common NAT** (§3.3, Figure 4).
+//! - [`fig5`] — two clients behind **different NATs** (§3.4, Figure 5),
+//!   using the paper's exact example addresses.
+//! - [`fig6`] — **multi-level NAT**: consumer NATs behind an ISP NAT
+//!   (§3.5, Figure 6), where hairpin support on the top NAT decides the
+//!   outcome.
+//!
+//! All builders return a [`World`] wrapping the [`punch_net::Sim`], with helpers to
+//! reach into host applications.
+
+pub mod world;
+
+#[cfg(test)]
+mod tests;
+
+pub use world::{addrs, fig4, fig5, fig6, PeerSetup, Scenario, World, WorldBuilder};

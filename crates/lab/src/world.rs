@@ -1,0 +1,430 @@
+//! Topology construction.
+
+use punch_nat::{NatBehavior, NatDevice};
+use punch_net::{Cidr, Endpoint, LinkSpec, NodeId, Router, Sim, SimTime};
+use punch_rendezvous::{RendezvousServer, ServerConfig};
+use punch_transport::{App, HostDevice, Os, StackConfig};
+use std::net::Ipv4Addr;
+
+/// The paper's example addresses (Figure 5 / Figure 6).
+pub mod addrs {
+    use std::net::Ipv4Addr;
+
+    /// Rendezvous server S.
+    pub const SERVER: Ipv4Addr = Ipv4Addr::new(18, 181, 0, 31);
+    /// NAT A's public address.
+    pub const NAT_A: Ipv4Addr = Ipv4Addr::new(155, 99, 25, 11);
+    /// NAT B's public address.
+    pub const NAT_B: Ipv4Addr = Ipv4Addr::new(138, 76, 29, 7);
+    /// Client A's private address.
+    pub const CLIENT_A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    /// Client B's private address (a different private realm in Fig. 5,
+    /// the same realm in Fig. 4 — contexts differ, the octets match the
+    /// paper).
+    pub const CLIENT_B: Ipv4Addr = Ipv4Addr::new(10, 1, 1, 3);
+    /// NAT A's "semi-public" address inside the ISP realm (Fig. 6).
+    pub const ISP_NAT_A: Ipv4Addr = Ipv4Addr::new(10, 0, 1, 1);
+    /// NAT B's "semi-public" address inside the ISP realm (Fig. 6).
+    pub const ISP_NAT_B: Ipv4Addr = Ipv4Addr::new(10, 0, 1, 2);
+}
+
+/// Where a client attaches.
+enum Attach {
+    Nat(usize),
+    Public,
+}
+
+struct ClientSpec {
+    ip: Ipv4Addr,
+    attach: Attach,
+    app: Box<dyn App>,
+    stack: StackConfig,
+    link: Option<LinkSpec>,
+}
+
+struct NatSpec {
+    behavior: NatBehavior,
+    public_ips: Vec<Ipv4Addr>,
+    parent: Option<usize>,
+}
+
+struct ServerSpec {
+    ip: Ipv4Addr,
+    app: Box<dyn App>,
+    stack: StackConfig,
+}
+
+/// An application plus the stack configuration of its host.
+pub struct PeerSetup {
+    /// The application to run.
+    pub app: Box<dyn App>,
+    /// Host stack configuration (defaults to [`StackConfig::fast`]).
+    pub stack: StackConfig,
+}
+
+impl PeerSetup {
+    /// Wraps an app with the fast stack configuration.
+    pub fn new(app: impl App + 'static) -> Self {
+        PeerSetup {
+            app: Box::new(app),
+            stack: StackConfig::fast(),
+        }
+    }
+
+    /// Overrides the host stack configuration.
+    pub fn with_stack(mut self, stack: StackConfig) -> Self {
+        self.stack = stack;
+        self
+    }
+}
+
+/// A built topology.
+pub struct World {
+    /// The simulation.
+    pub sim: Sim,
+    /// The backbone router.
+    pub internet: NodeId,
+    /// Server nodes, in declaration order.
+    pub servers: Vec<NodeId>,
+    /// NAT nodes, in declaration order.
+    pub nats: Vec<NodeId>,
+    /// Client nodes, in declaration order.
+    pub clients: Vec<NodeId>,
+}
+
+impl World {
+    /// Immutable access to a host's application, downcast to `T`.
+    pub fn app<T: App>(&self, node: NodeId) -> &T {
+        self.sim.device::<HostDevice>(node).app::<T>()
+    }
+
+    /// Runs `f` against a host's application with a live [`Os`].
+    pub fn with_app<T: App, R>(
+        &mut self,
+        node: NodeId,
+        f: impl FnOnce(&mut T, &mut Os<'_, '_>) -> R,
+    ) -> R {
+        self.sim.with_node(node, |dev, ctx| {
+            let host = dev.downcast_mut::<HostDevice>().expect("node is a host");
+            host.with_app::<T, R>(ctx, f)
+        })
+    }
+
+    /// Runs until `pred` over the app on `node` holds, or `deadline`
+    /// passes; returns whether the predicate was met.
+    pub fn run_until_app<T: App>(
+        &mut self,
+        node: NodeId,
+        deadline: SimTime,
+        mut pred: impl FnMut(&T) -> bool,
+    ) -> bool {
+        self.sim.run_while(deadline, |sim| {
+            pred(sim.device::<HostDevice>(node).app::<T>())
+        })
+    }
+
+    /// The NAT device on `node` (must be one of `self.nats`).
+    pub fn nat(&self, node: NodeId) -> &NatDevice {
+        self.sim.device::<NatDevice>(node)
+    }
+}
+
+/// Builds arbitrary experiment topologies.
+///
+/// Declaration order matters only for nesting: a NAT's parent must be
+/// declared before it.
+pub struct WorldBuilder {
+    seed: u64,
+    wan: LinkSpec,
+    lan: LinkSpec,
+    servers: Vec<ServerSpec>,
+    nats: Vec<NatSpec>,
+    clients: Vec<ClientSpec>,
+}
+
+impl WorldBuilder {
+    /// Starts a topology with the given determinism seed.
+    pub fn new(seed: u64) -> Self {
+        WorldBuilder {
+            seed,
+            wan: LinkSpec::wan(),
+            lan: LinkSpec::lan(),
+            servers: Vec::new(),
+            nats: Vec::new(),
+            clients: Vec::new(),
+        }
+    }
+
+    /// Sets the backbone link profile (server/NAT to router).
+    pub fn wan(mut self, spec: LinkSpec) -> Self {
+        self.wan = spec;
+        self
+    }
+
+    /// Sets the private-side link profile (client to NAT).
+    pub fn lan(mut self, spec: LinkSpec) -> Self {
+        self.lan = spec;
+        self
+    }
+
+    /// Adds a public server host; returns its index.
+    pub fn server(&mut self, ip: Ipv4Addr, app: impl App + 'static) -> usize {
+        self.servers.push(ServerSpec {
+            ip,
+            app: Box::new(app),
+            stack: StackConfig::default(),
+        });
+        self.servers.len() - 1
+    }
+
+    /// Adds a top-level NAT; returns its index.
+    pub fn nat(&mut self, behavior: NatBehavior, public_ip: Ipv4Addr) -> usize {
+        self.nats.push(NatSpec {
+            behavior,
+            public_ips: vec![public_ip],
+            parent: None,
+        });
+        self.nats.len() - 1
+    }
+
+    /// Adds a NAT whose public side lives inside `parent`'s private realm
+    /// (multi-level NAT, Figure 6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` is not an earlier NAT index.
+    pub fn nat_behind(
+        &mut self,
+        behavior: NatBehavior,
+        realm_ip: Ipv4Addr,
+        parent: usize,
+    ) -> usize {
+        assert!(
+            parent < self.nats.len(),
+            "parent NAT must be declared first"
+        );
+        self.nats.push(NatSpec {
+            behavior,
+            public_ips: vec![realm_ip],
+            parent: Some(parent),
+        });
+        self.nats.len() - 1
+    }
+
+    /// Adds a client behind NAT `nat`; returns its index.
+    pub fn client(&mut self, ip: Ipv4Addr, nat: usize, setup: PeerSetup) -> usize {
+        assert!(nat < self.nats.len(), "client's NAT must be declared first");
+        self.clients.push(ClientSpec {
+            ip,
+            attach: Attach::Nat(nat),
+            app: setup.app,
+            stack: setup.stack,
+            link: None,
+        });
+        self.clients.len() - 1
+    }
+
+    /// Adds a client behind NAT `nat` with a specific access link
+    /// (e.g. to skew punch timing for §4.3/§5.2 experiments).
+    pub fn client_linked(
+        &mut self,
+        ip: Ipv4Addr,
+        nat: usize,
+        setup: PeerSetup,
+        link: LinkSpec,
+    ) -> usize {
+        assert!(nat < self.nats.len(), "client's NAT must be declared first");
+        self.clients.push(ClientSpec {
+            ip,
+            attach: Attach::Nat(nat),
+            app: setup.app,
+            stack: setup.stack,
+            link: Some(link),
+        });
+        self.clients.len() - 1
+    }
+
+    /// Adds a client attached directly to the public Internet.
+    pub fn public_client(&mut self, ip: Ipv4Addr, setup: PeerSetup) -> usize {
+        self.clients.push(ClientSpec {
+            ip,
+            attach: Attach::Public,
+            app: setup.app,
+            stack: setup.stack,
+            link: None,
+        });
+        self.clients.len() - 1
+    }
+
+    /// Materializes the topology.
+    pub fn build(self) -> World {
+        let mut sim = Sim::new(self.seed);
+        let internet = sim.add_node("internet", Box::new(Router::new()));
+        let mut routes: Vec<(Cidr, usize)> = Vec::new();
+
+        let mut servers = Vec::new();
+        for (i, s) in self.servers.into_iter().enumerate() {
+            let node = sim.add_node(
+                format!("s{i}"),
+                Box::new(HostDevice::new(s.ip, s.stack, s.app)),
+            );
+            let (riface, _) = sim.connect(internet, node, self.wan);
+            routes.push((Cidr::host(s.ip), riface));
+            servers.push(node);
+        }
+
+        let mut nats = Vec::new();
+        for (i, n) in self.nats.into_iter().enumerate() {
+            let node = sim.add_node(
+                format!("nat{i}"),
+                Box::new(NatDevice::new(n.behavior, n.public_ips.clone())),
+            );
+            match n.parent {
+                None => {
+                    // NAT's first link is its public side (iface 0).
+                    let (nat_iface, riface) = sim.connect(node, internet, self.wan);
+                    debug_assert_eq!(nat_iface, 0, "NAT public side must be iface 0");
+                    for ip in &n.public_ips {
+                        routes.push((Cidr::host(*ip), riface));
+                    }
+                }
+                Some(p) => {
+                    // A nested NAT's public side hangs off its parent's
+                    // private realm; the parent learns the child's realm
+                    // address from the child's outbound traffic.
+                    let parent_node = nats[p];
+                    let (nat_iface, _) = sim.connect(node, parent_node, self.lan);
+                    debug_assert_eq!(nat_iface, 0, "child NAT public side must be iface 0");
+                }
+            }
+            nats.push(node);
+        }
+
+        let mut clients = Vec::new();
+        for (i, c) in self.clients.into_iter().enumerate() {
+            let node = sim.add_node(
+                format!("c{i}"),
+                Box::new(HostDevice::new(c.ip, c.stack, c.app)),
+            );
+            match c.attach {
+                Attach::Nat(n) => {
+                    sim.connect(nats[n], node, c.link.unwrap_or(self.lan));
+                }
+                Attach::Public => {
+                    let (riface, _) = sim.connect(internet, node, c.link.unwrap_or(self.wan));
+                    routes.push((Cidr::host(c.ip), riface));
+                }
+            }
+            clients.push(node);
+        }
+
+        {
+            let router = sim.device_mut::<Router>(internet);
+            for (cidr, iface) in routes {
+                router.add_route(cidr, iface);
+            }
+        }
+        World {
+            sim,
+            internet,
+            servers,
+            nats,
+            clients,
+        }
+    }
+}
+
+/// A canonical two-client scenario with one rendezvous server.
+pub struct Scenario {
+    /// The topology.
+    pub world: World,
+    /// The rendezvous server node.
+    pub server: NodeId,
+    /// Client A's node.
+    pub a: NodeId,
+    /// Client B's node.
+    pub b: NodeId,
+}
+
+impl Scenario {
+    /// The rendezvous server's well-known endpoint.
+    pub fn server_endpoint() -> Endpoint {
+        Endpoint::new(addrs::SERVER, 1234)
+    }
+}
+
+/// Builds Figure 4 (§3.3): clients A and B behind one **common NAT**.
+pub fn fig4(seed: u64, nat: NatBehavior, a: PeerSetup, b: PeerSetup) -> Scenario {
+    let mut wb = WorldBuilder::new(seed);
+    wb.server(
+        addrs::SERVER,
+        RendezvousServer::new(ServerConfig::default()),
+    );
+    let n = wb.nat(nat, addrs::NAT_A);
+    wb.client(addrs::CLIENT_A, n, a);
+    wb.client(Ipv4Addr::new(10, 0, 0, 2), n, b);
+    let world = wb.build();
+    Scenario {
+        server: world.servers[0],
+        a: world.clients[0],
+        b: world.clients[1],
+        world,
+    }
+}
+
+/// Builds Figure 5 (§3.4): clients A and B behind **different NATs**,
+/// using the paper's example addresses (155.99.25.11 / 138.76.29.7).
+pub fn fig5(
+    seed: u64,
+    nat_a: NatBehavior,
+    nat_b: NatBehavior,
+    a: PeerSetup,
+    b: PeerSetup,
+) -> Scenario {
+    let mut wb = WorldBuilder::new(seed);
+    wb.server(
+        addrs::SERVER,
+        RendezvousServer::new(ServerConfig::default()),
+    );
+    let na = wb.nat(nat_a, addrs::NAT_A);
+    let nb = wb.nat(nat_b, addrs::NAT_B);
+    wb.client(addrs::CLIENT_A, na, a);
+    wb.client(addrs::CLIENT_B, nb, b);
+    let world = wb.build();
+    Scenario {
+        server: world.servers[0],
+        a: world.clients[0],
+        b: world.clients[1],
+        world,
+    }
+}
+
+/// Builds Figure 6 (§3.5): consumer NATs A and B behind a common **ISP
+/// NAT C**; only C has a globally routable address, so punching requires
+/// C's hairpin support.
+pub fn fig6(
+    seed: u64,
+    nat_c: NatBehavior,
+    nat_a: NatBehavior,
+    nat_b: NatBehavior,
+    a: PeerSetup,
+    b: PeerSetup,
+) -> Scenario {
+    let mut wb = WorldBuilder::new(seed);
+    wb.server(
+        addrs::SERVER,
+        RendezvousServer::new(ServerConfig::default()),
+    );
+    let nc = wb.nat(nat_c, addrs::NAT_A);
+    let na = wb.nat_behind(nat_a, addrs::ISP_NAT_A, nc);
+    let nb = wb.nat_behind(nat_b, addrs::ISP_NAT_B, nc);
+    wb.client(addrs::CLIENT_A, na, a);
+    wb.client(addrs::CLIENT_B, nb, b);
+    let world = wb.build();
+    Scenario {
+        server: world.servers[0],
+        a: world.clients[0],
+        b: world.clients[1],
+        world,
+    }
+}

@@ -1,0 +1,144 @@
+//! Property tests on the NAT translation tables: index consistency under
+//! arbitrary operation sequences, and policy-derived mapping identities.
+
+use proptest::prelude::*;
+use punch_nat::{MappingPolicy, NatTables};
+use punch_net::{Duration, Endpoint, Proto, SimTime};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Outbound {
+        host: u8,
+        port: u16,
+        remote_ip: u8,
+        remote_port: u16,
+        at_secs: u32,
+    },
+    Sweep {
+        at_secs: u32,
+    },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..4, 1024u16..1030, 0u8..3, 80u16..83, 0u32..300).prop_map(
+            |(host, port, remote_ip, remote_port, at_secs)| Op::Outbound {
+                host,
+                port,
+                remote_ip,
+                remote_port,
+                at_secs,
+            }
+        ),
+        (0u32..300).prop_map(|at_secs| Op::Sweep { at_secs }),
+    ]
+}
+
+fn check_invariants(t: &NatTables, now: SimTime) {
+    let mut publics = std::collections::HashSet::new();
+    for e in t.iter() {
+        // Public endpoints are unique per proto.
+        assert!(
+            publics.insert((e.proto, e.public)),
+            "duplicate public {}",
+            e.public
+        );
+        // Public index agrees with the entry (when live).
+        if e.expires_at > now {
+            assert_eq!(t.lookup_public(e.proto, e.public, now), Some(e.id));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn table_invariants_hold_under_arbitrary_ops(
+        ops in proptest::collection::vec(arb_op(), 0..80),
+        policy_idx in 0u8..3,
+    ) {
+        let policy = match policy_idx {
+            0 => MappingPolicy::EndpointIndependent,
+            1 => MappingPolicy::AddressDependent,
+            _ => MappingPolicy::AddressAndPortDependent,
+        };
+        let mut t = NatTables::new();
+        let mut next_port = 62000u16;
+        let mut now = SimTime::ZERO;
+        for op in ops {
+            match op {
+                Op::Outbound { host, port, remote_ip, remote_port, at_secs } => {
+                    now = now.max(SimTime::from_secs(at_secs as u64));
+                    let private = Endpoint::new([10, 0, 0, host].into(), port);
+                    let remote = Endpoint::new([99, 0, 0, remote_ip].into(), remote_port);
+                    let public_ip: std::net::Ipv4Addr = [155, 99, 25, 11].into();
+                    let got = t.outbound(policy, Proto::Udp, private, remote, now, |tabs| {
+                        let mut p = next_port;
+                        for _ in 0..1000 {
+                            if !tabs.public_in_use(Proto::Udp, Endpoint::new(public_ip, p)) {
+                                return Some(Endpoint::new(public_ip, p));
+                            }
+                            p = p.wrapping_add(1).max(1024);
+                        }
+                        None
+                    });
+                    if let Some((id, created)) = got {
+                        if created {
+                            next_port = next_port.wrapping_add(1).max(1024);
+                        }
+                        t.refresh(id, now, Duration::from_secs(30));
+                        let e = t.get(id).expect("entry exists");
+                        prop_assert_eq!(e.private, private);
+                        prop_assert!(e.expires_at > now);
+                    }
+                }
+                Op::Sweep { at_secs } => {
+                    now = now.max(SimTime::from_secs(at_secs as u64));
+                    t.sweep(now);
+                }
+            }
+            check_invariants(&t, now);
+        }
+    }
+
+    /// Endpoint-independent mapping gives the same mapping id for any two
+    /// destinations; address-and-port-dependent gives distinct ids for
+    /// distinct destinations.
+    #[test]
+    fn mapping_identity_matches_policy(
+        port in 1024u16..60000,
+        r1 in (0u8..8, 1u16..1000),
+        r2 in (0u8..8, 1u16..1000),
+    ) {
+        let private = Endpoint::new([10, 0, 0, 1].into(), port);
+        let rem1 = Endpoint::new([99, 0, 0, r1.0].into(), r1.1);
+        let rem2 = Endpoint::new([99, 0, 0, r2.0].into(), r2.1);
+        let now = SimTime::ZERO;
+        let alloc_seq = |base: &mut u16| {
+            let p = *base;
+            *base += 1;
+            move |_: &NatTables| Some(Endpoint::new([155, 99, 25, 11].into(), p))
+        };
+
+        for policy in [
+            MappingPolicy::EndpointIndependent,
+            MappingPolicy::AddressDependent,
+            MappingPolicy::AddressAndPortDependent,
+        ] {
+            let mut t = NatTables::new();
+            let mut base = 62000u16;
+            let (a, _) = t.outbound(policy, Proto::Udp, private, rem1, now, alloc_seq(&mut base)).expect("alloc");
+            t.refresh(a, now, Duration::from_secs(60));
+            let (b, _) = t.outbound(policy, Proto::Udp, private, rem2, now, alloc_seq(&mut base)).expect("alloc");
+            t.refresh(b, now, Duration::from_secs(60));
+            let same = a == b;
+            let expected_same = match policy {
+                MappingPolicy::EndpointIndependent => true,
+                MappingPolicy::AddressDependent => rem1.ip == rem2.ip,
+                MappingPolicy::AddressAndPortDependent => rem1 == rem2,
+            };
+            prop_assert_eq!(same, expected_same, "policy {:?} rem1={} rem2={}", policy, rem1, rem2);
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! The §6.2 survey: NAT Check over sampled vendor populations,
+//! regenerating Table 1.
+
+use crate::client::{NatCheckClient, NatCheckReport};
+use crate::servers::{CheckServer, ServerRole};
+use punch_lab::WorldBuilder;
+use punch_nat::{NatBehavior, VendorProfile, VENDORS};
+use punch_net::SimTime;
+use punch_transport::HostDevice;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::net::Ipv4Addr;
+
+/// NAT Check server addresses used by the harness.
+pub const S1: Ipv4Addr = Ipv4Addr::new(18, 181, 0, 31);
+/// Second server.
+pub const S2: Ipv4Addr = Ipv4Addr::new(64, 15, 12, 2);
+/// Third server.
+pub const S3: Ipv4Addr = Ipv4Addr::new(128, 8, 126, 9);
+
+/// Runs the full NAT Check procedure against one NAT configuration and
+/// returns the measured report.
+pub fn check_nat(behavior: NatBehavior, seed: u64) -> NatCheckReport {
+    let mut wb = WorldBuilder::new(seed);
+    wb.server(S1, CheckServer::new(ServerRole::One));
+    wb.server(S2, CheckServer::new(ServerRole::Two { s3: S3 }));
+    wb.server(S3, CheckServer::new(ServerRole::Three));
+    let nat = wb.nat(behavior, "155.99.25.11".parse().expect("addr"));
+    wb.client(
+        "10.0.0.1".parse().expect("addr"),
+        nat,
+        punch_lab::PeerSetup::new(NatCheckClient::new(S1, S2, S3)),
+    );
+    let mut world = wb.build();
+    let client = world.clients[0];
+    world.run_until_app::<NatCheckClient>(client, SimTime::from_secs(120), |c| c.done());
+    world
+        .sim
+        .device::<HostDevice>(client)
+        .app::<NatCheckClient>()
+        .report()
+}
+
+/// One reproduced Table 1 row: `(compatible, tested)` per column.
+#[derive(Clone, Debug, Default)]
+pub struct SurveyRow {
+    /// Vendor name.
+    pub vendor: String,
+    /// UDP hole punching.
+    pub udp: (u32, u32),
+    /// UDP hairpin.
+    pub udp_hairpin: (u32, u32),
+    /// TCP hole punching.
+    pub tcp: (u32, u32),
+    /// TCP hairpin.
+    pub tcp_hairpin: (u32, u32),
+}
+
+impl SurveyRow {
+    fn pct(k: u32, n: u32) -> f64 {
+        if n == 0 {
+            0.0
+        } else {
+            100.0 * k as f64 / n as f64
+        }
+    }
+
+    /// Formats the row like the paper's table.
+    pub fn format(&self) -> String {
+        format!(
+            "{:<10} {:>3}/{:<3} ({:>3.0}%)  {:>3}/{:<3} ({:>3.0}%)  {:>3}/{:<3} ({:>3.0}%)  {:>3}/{:<3} ({:>3.0}%)",
+            self.vendor,
+            self.udp.0,
+            self.udp.1,
+            Self::pct(self.udp.0, self.udp.1),
+            self.udp_hairpin.0,
+            self.udp_hairpin.1,
+            Self::pct(self.udp_hairpin.0, self.udp_hairpin.1),
+            self.tcp.0,
+            self.tcp.1,
+            Self::pct(self.tcp.0, self.tcp.1),
+            self.tcp_hairpin.0,
+            self.tcp_hairpin.1,
+            Self::pct(self.tcp_hairpin.0, self.tcp_hairpin.1),
+        )
+    }
+}
+
+/// The reproduced Table 1.
+#[derive(Clone, Debug, Default)]
+pub struct SurveyResult {
+    /// Per-vendor rows (in the paper's order), then `(other)`.
+    pub rows: Vec<SurveyRow>,
+    /// The "All Vendors" totals row.
+    pub total: SurveyRow,
+}
+
+impl SurveyResult {
+    /// Renders the whole table.
+    pub fn format(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "                 UDP punch      UDP hairpin     TCP punch       TCP hairpin\n",
+        );
+        for row in &self.rows {
+            out.push_str(&row.format());
+            out.push('\n');
+        }
+        out.push_str(&self.total.format());
+        out.push('\n');
+        out
+    }
+}
+
+/// Runs NAT Check across every vendor population from Table 1's quotas
+/// and measures each sampled device end-to-end.
+///
+/// `per_device_budget` bounds devices per vendor (use `None` for the
+/// paper's full sample sizes; smaller values give a fast smoke survey).
+pub fn run_survey(seed: u64, per_vendor_cap: Option<u32>) -> SurveyResult {
+    run_survey_mutated(seed, per_vendor_cap, |_, _| {})
+}
+
+/// [`run_survey`] with a hook that may mutate each sampled device's
+/// behaviour before measurement — the substrate for ablation studies
+/// (force payload mangling, hairpin filtering, contention breakage, ...).
+pub fn run_survey_mutated(
+    seed: u64,
+    per_vendor_cap: Option<u32>,
+    mutate: impl Fn(&mut NatBehavior, &mut StdRng),
+) -> SurveyResult {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut result = SurveyResult::default();
+    result.total.vendor = "All".into();
+    for spec in VENDORS {
+        let mut row = SurveyRow {
+            vendor: spec.name.to_string(),
+            ..SurveyRow::default()
+        };
+        let population = VendorProfile::new(*spec).sample_population(&mut rng);
+        for (i, device) in population.iter().enumerate() {
+            if let Some(cap) = per_vendor_cap {
+                if i as u32 >= cap {
+                    break;
+                }
+            }
+            let device_seed = seed ^ ((i as u64) << 20) ^ fxhash(spec.name);
+            let mut behavior = device.behavior.clone();
+            mutate(&mut behavior, &mut rng);
+            let report = check_nat(behavior, device_seed);
+            tally(
+                &mut row,
+                device.in_hairpin_sample,
+                device.in_tcp_sample,
+                &report,
+            );
+            tally(
+                &mut result.total,
+                device.in_hairpin_sample,
+                device.in_tcp_sample,
+                &report,
+            );
+        }
+        result.rows.push(row);
+    }
+    result
+}
+
+/// Adds one device's measurements to a row, honouring the reporting
+/// subsets (hairpin and TCP columns were only collected by later NAT
+/// Check versions).
+fn tally(row: &mut SurveyRow, in_hairpin: bool, in_tcp: bool, report: &NatCheckReport) {
+    if let Some(ok) = report.udp_hole_punching() {
+        row.udp.1 += 1;
+        row.udp.0 += u32::from(ok);
+    }
+    if in_hairpin {
+        if let Some(hp) = report.udp_hairpin {
+            row.udp_hairpin.1 += 1;
+            row.udp_hairpin.0 += u32::from(hp);
+        }
+    }
+    if in_tcp {
+        if let Some(ok) = report.tcp_hole_punching() {
+            row.tcp.1 += 1;
+            row.tcp.0 += u32::from(ok);
+        }
+        if let Some(hp) = report.tcp_hairpin {
+            row.tcp_hairpin.1 += 1;
+            row.tcp_hairpin.0 += u32::from(hp);
+        }
+    }
+}
+
+fn fxhash(s: &str) -> u64 {
+    s.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+    })
+}

@@ -1,0 +1,346 @@
+//! NAT Check's own little protocol (§6.1).
+//!
+//! Faithful to the original in one important way: endpoints in payloads
+//! are transmitted **in the clear** — the paper's §6.3 admits NAT Check
+//! "currently does not protect itself" against payload-mangling NATs, and
+//! reproducing that limitation lets E11/E15 demonstrate its effect.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use punch_net::Endpoint;
+use std::net::Ipv4Addr;
+
+/// Which server an echo came from.
+pub type ServerNo = u8;
+
+/// Result status of server 3's inbound connection attempt.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InboundStatus {
+    /// Still in SYN-SENT after the 5-second grace (NAT silently drops).
+    InProgress,
+    /// The attempt completed (NAT let it through).
+    Connected,
+    /// The attempt was refused (NAT sent RST or ICMP).
+    Refused,
+}
+
+/// NAT Check protocol messages (UDP datagrams, or 16-bit-length-prefixed
+/// frames over TCP).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckMsg {
+    /// Client → server 1/2: observe me.
+    UdpProbe {
+        /// Correlation token.
+        token: u64,
+    },
+    /// Server → client: your observed endpoint.
+    UdpEcho {
+        /// Correlation token.
+        token: u64,
+        /// Source endpoint observed by the server.
+        observed: Endpoint,
+        /// Which server answered (1, 2, or 3).
+        server: ServerNo,
+    },
+    /// Server 2 → server 3 (UDP control): reply to this client from your
+    /// own address (the unsolicited-traffic test).
+    ForwardUdp {
+        /// The client's public UDP endpoint.
+        client: Endpoint,
+        /// Correlation token.
+        token: u64,
+    },
+    /// Client → server 1/2 over TCP: observe me.
+    TcpProbe {
+        /// Correlation token.
+        token: u64,
+    },
+    /// Server → client over TCP: your observed endpoint.
+    TcpEcho {
+        /// Correlation token.
+        token: u64,
+        /// Source endpoint observed by the server.
+        observed: Endpoint,
+        /// Which server answered.
+        server: ServerNo,
+    },
+    /// Server 2 → server 3 (UDP control): attempt an inbound TCP
+    /// connection to this client, answer with a go-ahead.
+    TcpInboundReq {
+        /// The client's public TCP endpoint.
+        client: Endpoint,
+        /// Correlation token.
+        token: u64,
+    },
+    /// Server 3 → server 2 (UDP control): go-ahead, with the attempt's
+    /// status so far.
+    TcpGoAhead {
+        /// Correlation token.
+        token: u64,
+        /// Status of the inbound attempt.
+        status: InboundStatus,
+    },
+    /// Client (second socket) → its own public endpoint: hairpin probe.
+    HairpinProbe {
+        /// Correlation token.
+        token: u64,
+    },
+}
+
+const T_UDP_PROBE: u8 = 1;
+const T_UDP_ECHO: u8 = 2;
+const T_FORWARD_UDP: u8 = 3;
+const T_TCP_PROBE: u8 = 4;
+const T_TCP_ECHO: u8 = 5;
+const T_TCP_INBOUND_REQ: u8 = 6;
+const T_TCP_GO_AHEAD: u8 = 7;
+const T_HAIRPIN_PROBE: u8 = 8;
+
+fn put_ep(buf: &mut BytesMut, ep: Endpoint) {
+    buf.put_slice(&ep.ip.octets());
+    buf.put_u16(ep.port);
+}
+
+fn get_ep(buf: &mut &[u8]) -> Option<Endpoint> {
+    if buf.len() < 6 {
+        return None;
+    }
+    let mut o = [0u8; 4];
+    buf.copy_to_slice(&mut o);
+    let port = buf.get_u16();
+    Some(Endpoint::new(Ipv4Addr::from(o), port))
+}
+
+fn get_u64(buf: &mut &[u8]) -> Option<u64> {
+    (buf.len() >= 8).then(|| buf.get_u64())
+}
+
+fn get_u8(buf: &mut &[u8]) -> Option<u8> {
+    (!buf.is_empty()).then(|| buf.get_u8())
+}
+
+impl CheckMsg {
+    /// Encodes the message.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(24);
+        match self {
+            CheckMsg::UdpProbe { token } => {
+                buf.put_u8(T_UDP_PROBE);
+                buf.put_u64(*token);
+            }
+            CheckMsg::UdpEcho {
+                token,
+                observed,
+                server,
+            } => {
+                buf.put_u8(T_UDP_ECHO);
+                buf.put_u64(*token);
+                put_ep(&mut buf, *observed);
+                buf.put_u8(*server);
+            }
+            CheckMsg::ForwardUdp { client, token } => {
+                buf.put_u8(T_FORWARD_UDP);
+                put_ep(&mut buf, *client);
+                buf.put_u64(*token);
+            }
+            CheckMsg::TcpProbe { token } => {
+                buf.put_u8(T_TCP_PROBE);
+                buf.put_u64(*token);
+            }
+            CheckMsg::TcpEcho {
+                token,
+                observed,
+                server,
+            } => {
+                buf.put_u8(T_TCP_ECHO);
+                buf.put_u64(*token);
+                put_ep(&mut buf, *observed);
+                buf.put_u8(*server);
+            }
+            CheckMsg::TcpInboundReq { client, token } => {
+                buf.put_u8(T_TCP_INBOUND_REQ);
+                put_ep(&mut buf, *client);
+                buf.put_u64(*token);
+            }
+            CheckMsg::TcpGoAhead { token, status } => {
+                buf.put_u8(T_TCP_GO_AHEAD);
+                buf.put_u64(*token);
+                buf.put_u8(match status {
+                    InboundStatus::InProgress => 0,
+                    InboundStatus::Connected => 1,
+                    InboundStatus::Refused => 2,
+                });
+            }
+            CheckMsg::HairpinProbe { token } => {
+                buf.put_u8(T_HAIRPIN_PROBE);
+                buf.put_u64(*token);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes one message; `None` for anything malformed.
+    pub fn decode(data: &[u8]) -> Option<CheckMsg> {
+        let mut buf = data;
+        let tag = get_u8(&mut buf)?;
+        Some(match tag {
+            T_UDP_PROBE => CheckMsg::UdpProbe {
+                token: get_u64(&mut buf)?,
+            },
+            T_UDP_ECHO => CheckMsg::UdpEcho {
+                token: get_u64(&mut buf)?,
+                observed: get_ep(&mut buf)?,
+                server: get_u8(&mut buf)?,
+            },
+            T_FORWARD_UDP => CheckMsg::ForwardUdp {
+                client: get_ep(&mut buf)?,
+                token: get_u64(&mut buf)?,
+            },
+            T_TCP_PROBE => CheckMsg::TcpProbe {
+                token: get_u64(&mut buf)?,
+            },
+            T_TCP_ECHO => CheckMsg::TcpEcho {
+                token: get_u64(&mut buf)?,
+                observed: get_ep(&mut buf)?,
+                server: get_u8(&mut buf)?,
+            },
+            T_TCP_INBOUND_REQ => CheckMsg::TcpInboundReq {
+                client: get_ep(&mut buf)?,
+                token: get_u64(&mut buf)?,
+            },
+            T_TCP_GO_AHEAD => CheckMsg::TcpGoAhead {
+                token: get_u64(&mut buf)?,
+                status: match get_u8(&mut buf)? {
+                    0 => InboundStatus::InProgress,
+                    1 => InboundStatus::Connected,
+                    2 => InboundStatus::Refused,
+                    _ => return None,
+                },
+            },
+            T_HAIRPIN_PROBE => CheckMsg::HairpinProbe {
+                token: get_u64(&mut buf)?,
+            },
+            _ => return None,
+        })
+    }
+
+    /// Encodes as a 16-bit-length-prefixed TCP frame.
+    pub fn encode_frame(&self) -> Bytes {
+        let body = self.encode();
+        let mut buf = BytesMut::with_capacity(body.len() + 2);
+        buf.put_u16(body.len() as u16);
+        buf.put_slice(&body);
+        buf.freeze()
+    }
+}
+
+/// Incremental reassembler for framed [`CheckMsg`]s on a TCP stream.
+#[derive(Debug, Default)]
+pub struct CheckFrames {
+    buf: BytesMut,
+}
+
+impl CheckFrames {
+    /// Appends stream bytes.
+    pub fn push(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Pops the next complete message (malformed frames decode to `None`
+    /// and are skipped).
+    pub fn next_message(&mut self) -> Option<CheckMsg> {
+        loop {
+            if self.buf.len() < 2 {
+                return None;
+            }
+            let len = u16::from_be_bytes([self.buf[0], self.buf[1]]) as usize;
+            if self.buf.len() < 2 + len {
+                return None;
+            }
+            self.buf.advance(2);
+            let body = self.buf.split_to(len);
+            if let Some(msg) = CheckMsg::decode(&body) {
+                return Some(msg);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all() -> Vec<CheckMsg> {
+        let ep: Endpoint = "155.99.25.11:62000".parse().unwrap();
+        vec![
+            CheckMsg::UdpProbe { token: 7 },
+            CheckMsg::UdpEcho {
+                token: 7,
+                observed: ep,
+                server: 2,
+            },
+            CheckMsg::ForwardUdp {
+                client: ep,
+                token: 7,
+            },
+            CheckMsg::TcpProbe { token: 8 },
+            CheckMsg::TcpEcho {
+                token: 8,
+                observed: ep,
+                server: 1,
+            },
+            CheckMsg::TcpInboundReq {
+                client: ep,
+                token: 8,
+            },
+            CheckMsg::TcpGoAhead {
+                token: 8,
+                status: InboundStatus::InProgress,
+            },
+            CheckMsg::TcpGoAhead {
+                token: 8,
+                status: InboundStatus::Refused,
+            },
+            CheckMsg::HairpinProbe { token: 9 },
+        ]
+    }
+
+    #[test]
+    fn roundtrip() {
+        for m in all() {
+            assert_eq!(CheckMsg::decode(&m.encode()), Some(m));
+        }
+    }
+
+    #[test]
+    fn truncation_is_none() {
+        for m in all() {
+            let enc = m.encode();
+            for cut in 0..enc.len() {
+                // Shorter prefixes either fail or (never) succeed.
+                if let Some(d) = CheckMsg::decode(&enc[..cut]) {
+                    panic!("prefix decoded to {d:?}");
+                }
+            }
+        }
+        assert_eq!(CheckMsg::decode(&[]), None);
+        assert_eq!(CheckMsg::decode(&[99]), None);
+    }
+
+    #[test]
+    fn frames_reassemble() {
+        let msgs = all();
+        let mut stream = BytesMut::new();
+        for m in &msgs {
+            stream.extend_from_slice(&m.encode_frame());
+        }
+        let mut fr = CheckFrames::default();
+        let mut out = Vec::new();
+        for chunk in stream.chunks(5) {
+            fr.push(chunk);
+            while let Some(m) = fr.next_message() {
+                out.push(m);
+            }
+        }
+        assert_eq!(out, msgs);
+    }
+}

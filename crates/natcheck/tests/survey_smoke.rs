@@ -1,0 +1,23 @@
+//! Smoke test for the Table 1 survey machinery (capped population); the
+//! full 380-device run lives in the bench harness (`table1` binary).
+
+use punch_natcheck::run_survey;
+
+#[test]
+fn capped_survey_produces_sane_rows() {
+    let result = run_survey(1, Some(3));
+    assert_eq!(result.rows.len(), 13, "12 named vendors + (other)");
+    for row in &result.rows {
+        assert!(row.udp.1 <= 3);
+        assert!(row.udp.0 <= row.udp.1);
+        assert!(row.udp_hairpin.0 <= row.udp_hairpin.1);
+        assert!(row.tcp.0 <= row.tcp.1);
+        assert!(row.tcp_hairpin.0 <= row.tcp_hairpin.1);
+    }
+    let total_udp: u32 = result.rows.iter().map(|r| r.udp.1).sum();
+    assert_eq!(result.total.udp.1, total_udp);
+    // The formatted table renders without panicking and contains headers.
+    let text = result.format();
+    assert!(text.contains("Linksys"));
+    assert!(text.contains("UDP punch"));
+}

@@ -1,0 +1,164 @@
+//! Point-to-point link properties.
+
+use std::time::Duration;
+
+/// Transmission properties of a point-to-point link.
+///
+/// A link connects exactly two node interfaces, in both directions with
+/// the same parameters. Delivery time for a packet sent at time `t` is
+///
+/// ```text
+/// depart = max(t, link_busy_until)            (if bandwidth is finite)
+/// arrive = depart + serialization + latency + jitter
+/// ```
+///
+/// where `jitter` is drawn uniformly from `[0, jitter]` using the
+/// simulation's seeded RNG, and the packet is dropped with probability
+/// `loss` instead of being delivered.
+///
+/// # Examples
+///
+/// ```
+/// use punch_net::LinkSpec;
+/// use std::time::Duration;
+///
+/// let dsl = LinkSpec::new(Duration::from_millis(15))
+///     .with_loss(0.01)
+///     .with_jitter(Duration::from_millis(2))
+///     .with_bandwidth(1_000_000); // 1 MB/s
+/// assert_eq!(dsl.latency, Duration::from_millis(15));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkSpec {
+    /// One-way propagation delay.
+    pub latency: Duration,
+    /// Maximum additional random delay, uniform in `[0, jitter]`.
+    pub jitter: Duration,
+    /// Independent per-packet drop probability in `[0, 1]`.
+    pub loss: f64,
+    /// Bytes per second, or `None` for infinite bandwidth (no
+    /// serialization delay or queueing).
+    pub bandwidth: Option<u64>,
+}
+
+impl LinkSpec {
+    /// Creates a lossless, jitter-free, infinite-bandwidth link with the
+    /// given one-way latency.
+    pub fn new(latency: Duration) -> Self {
+        LinkSpec {
+            latency,
+            jitter: Duration::ZERO,
+            loss: 0.0,
+            bandwidth: None,
+        }
+    }
+
+    /// A local-area link: 0.2 ms latency, no loss.
+    pub fn lan() -> Self {
+        LinkSpec::new(Duration::from_micros(200))
+    }
+
+    /// A typical residential access link: 10 ms, 2 ms jitter.
+    pub fn access() -> Self {
+        LinkSpec::new(Duration::from_millis(10)).with_jitter(Duration::from_millis(2))
+    }
+
+    /// A wide-area backbone path: 30 ms, 3 ms jitter.
+    pub fn wan() -> Self {
+        LinkSpec::new(Duration::from_millis(30)).with_jitter(Duration::from_millis(3))
+    }
+
+    /// Sets the random jitter bound.
+    pub fn with_jitter(mut self, jitter: Duration) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Sets the per-packet loss probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not within `[0, 1]`.
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&loss),
+            "loss probability {loss} outside [0,1]"
+        );
+        self.loss = loss;
+        self
+    }
+
+    /// Sets a finite bandwidth in bytes per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_sec` is zero.
+    pub fn with_bandwidth(mut self, bytes_per_sec: u64) -> Self {
+        assert!(bytes_per_sec > 0, "bandwidth must be positive");
+        self.bandwidth = Some(bytes_per_sec);
+        self
+    }
+
+    /// Serialization delay for a packet of `bytes` bytes, zero when the
+    /// link has infinite bandwidth.
+    pub fn serialization_delay(&self, bytes: usize) -> Duration {
+        match self.bandwidth {
+            None => Duration::ZERO,
+            Some(bw) => {
+                let nanos = (bytes as u128).saturating_mul(1_000_000_000) / bw as u128;
+                Duration::from_nanos(u64::try_from(nanos).unwrap_or(u64::MAX))
+            }
+        }
+    }
+}
+
+impl Default for LinkSpec {
+    /// The default link is [`LinkSpec::lan`].
+    fn default() -> Self {
+        LinkSpec::lan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let l = LinkSpec::new(Duration::from_millis(5))
+            .with_jitter(Duration::from_millis(1))
+            .with_loss(0.5)
+            .with_bandwidth(100);
+        assert_eq!(l.latency, Duration::from_millis(5));
+        assert_eq!(l.jitter, Duration::from_millis(1));
+        assert_eq!(l.loss, 0.5);
+        assert_eq!(l.bandwidth, Some(100));
+    }
+
+    #[test]
+    fn serialization_delay_infinite_bw() {
+        assert_eq!(
+            LinkSpec::lan().serialization_delay(1_000_000),
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn serialization_delay_finite_bw() {
+        let l = LinkSpec::lan().with_bandwidth(1000); // 1000 B/s
+        assert_eq!(l.serialization_delay(500), Duration::from_millis(500));
+        assert_eq!(l.serialization_delay(0), Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn loss_out_of_range_panics() {
+        let _ = LinkSpec::lan().with_loss(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bandwidth_panics() {
+        let _ = LinkSpec::lan().with_bandwidth(0);
+    }
+}

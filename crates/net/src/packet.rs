@@ -1,0 +1,409 @@
+//! Packets: the unit of exchange between simulated devices.
+//!
+//! A [`Packet`] carries the fields NAT devices and host stacks actually
+//! inspect: source and destination [`Endpoint`]s, a TTL, and a transport
+//! body — a UDP datagram payload, a [`TcpSegment`], or an ICMP error.
+//!
+//! Payloads are raw [`Bytes`], which matters for fidelity: the §5.3
+//! "payload mangling" NAT misbehaviour scans the byte stream for values
+//! that look like IP addresses, so payloads must be opaque bytes rather
+//! than structured Rust values.
+
+use crate::addr::Endpoint;
+use bytes::Bytes;
+use std::fmt;
+
+/// Transport protocol selector.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Proto {
+    /// User Datagram Protocol.
+    Udp,
+    /// Transmission Control Protocol.
+    Tcp,
+    /// Internet Control Message Protocol (errors only).
+    Icmp,
+}
+
+impl fmt::Display for Proto {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Proto::Udp => write!(f, "udp"),
+            Proto::Tcp => write!(f, "tcp"),
+            Proto::Icmp => write!(f, "icmp"),
+        }
+    }
+}
+
+/// TCP header flags, stored as a compact bit set.
+///
+/// Only the flags the RFC 793 connection machinery uses are modelled.
+///
+/// # Examples
+///
+/// ```
+/// use punch_net::TcpFlags;
+///
+/// let synack = TcpFlags::SYN | TcpFlags::ACK;
+/// assert!(synack.contains(TcpFlags::SYN));
+/// assert_eq!(format!("{synack}"), "SYN|ACK");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TcpFlags(u8);
+
+impl TcpFlags {
+    /// No flags set.
+    pub const NONE: TcpFlags = TcpFlags(0);
+    /// Synchronize sequence numbers (connection setup).
+    pub const SYN: TcpFlags = TcpFlags(1 << 0);
+    /// Acknowledgment field significant.
+    pub const ACK: TcpFlags = TcpFlags(1 << 1);
+    /// No more data from sender (connection teardown).
+    pub const FIN: TcpFlags = TcpFlags(1 << 2);
+    /// Reset the connection.
+    pub const RST: TcpFlags = TcpFlags(1 << 3);
+
+    /// Returns true if every flag in `other` is set in `self`.
+    pub const fn contains(self, other: TcpFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Returns true if any flag in `other` is set in `self`.
+    pub const fn intersects(self, other: TcpFlags) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Returns true if no flags are set.
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl std::ops::BitOr for TcpFlags {
+    type Output = TcpFlags;
+
+    fn bitor(self, rhs: TcpFlags) -> TcpFlags {
+        TcpFlags(self.0 | rhs.0)
+    }
+}
+
+impl fmt::Display for TcpFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (bit, name) in [
+            (TcpFlags::SYN, "SYN"),
+            (TcpFlags::ACK, "ACK"),
+            (TcpFlags::FIN, "FIN"),
+            (TcpFlags::RST, "RST"),
+        ] {
+            if self.contains(bit) {
+                if !first {
+                    write!(f, "|")?;
+                }
+                write!(f, "{name}")?;
+                first = false;
+            }
+        }
+        if first {
+            write!(f, "-")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for TcpFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// A TCP segment: flags, sequence/acknowledgment numbers, window, payload.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TcpSegment {
+    /// Header flags.
+    pub flags: TcpFlags,
+    /// Sequence number of the first payload byte (or of the SYN/FIN).
+    pub seq: u32,
+    /// Acknowledgment number (valid when `flags` contains [`TcpFlags::ACK`]).
+    pub ack: u32,
+    /// Receive window advertisement.
+    pub window: u16,
+    /// Segment payload.
+    pub payload: Bytes,
+}
+
+impl TcpSegment {
+    /// Creates a payload-less control segment.
+    pub fn control(flags: TcpFlags, seq: u32, ack: u32) -> Self {
+        TcpSegment {
+            flags,
+            seq,
+            ack,
+            window: u16::MAX,
+            payload: Bytes::new(),
+        }
+    }
+
+    /// Returns the sequence-number space this segment occupies: payload
+    /// length plus one for SYN and one for FIN.
+    pub fn seq_len(&self) -> u32 {
+        let mut len = self.payload.len() as u32;
+        if self.flags.contains(TcpFlags::SYN) {
+            len += 1;
+        }
+        if self.flags.contains(TcpFlags::FIN) {
+            len += 1;
+        }
+        len
+    }
+}
+
+/// The kind of ICMP error carried by an [`IcmpMessage`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IcmpKind {
+    /// Destination unreachable (host, port, or administratively filtered).
+    ///
+    /// Some NATs respond to unsolicited inbound TCP SYNs with an ICMP
+    /// error instead of silently dropping them (§5.2); hosts translate
+    /// this to a "host unreachable" socket error.
+    DestinationUnreachable,
+    /// TTL exceeded in transit (routing loops).
+    TtlExceeded,
+}
+
+/// An ICMP error message referring to a triggering packet.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct IcmpMessage {
+    /// Error kind.
+    pub kind: IcmpKind,
+    /// Protocol of the packet that triggered the error.
+    pub original_proto: Proto,
+    /// Source endpoint of the packet that triggered the error.
+    pub original_src: Endpoint,
+    /// Destination endpoint of the packet that triggered the error.
+    pub original_dst: Endpoint,
+}
+
+/// Transport body of a [`Packet`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Body {
+    /// A UDP datagram payload.
+    Udp(Bytes),
+    /// A TCP segment.
+    Tcp(TcpSegment),
+    /// An ICMP error.
+    Icmp(IcmpMessage),
+}
+
+/// A simulated IPv4 packet.
+///
+/// # Examples
+///
+/// ```
+/// use punch_net::{Endpoint, Packet, Proto};
+///
+/// let pkt = Packet::udp(
+///     "10.0.0.1:4321".parse().unwrap(),
+///     "18.181.0.31:1234".parse().unwrap(),
+///     b"register".as_ref(),
+/// );
+/// assert_eq!(pkt.proto(), Proto::Udp);
+/// assert_eq!(pkt.wire_size(), 28 + 8);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Packet {
+    /// Source endpoint (IP header source address + transport source port).
+    pub src: Endpoint,
+    /// Destination endpoint.
+    pub dst: Endpoint,
+    /// Remaining hop count; routers decrement and drop at zero.
+    pub ttl: u8,
+    /// Transport body.
+    pub body: Body,
+}
+
+/// Default initial TTL for packets originated by hosts.
+pub const DEFAULT_TTL: u8 = 64;
+
+/// Size in bytes of the modelled IPv4 header.
+const IPV4_HEADER: usize = 20;
+/// Size in bytes of the modelled UDP header.
+const UDP_HEADER: usize = 8;
+/// Size in bytes of the modelled TCP header (no options).
+const TCP_HEADER: usize = 20;
+/// Modelled size of an ICMP error (header + embedded original header).
+const ICMP_SIZE: usize = 36;
+
+impl Packet {
+    /// Creates a UDP packet with the default TTL.
+    pub fn udp(src: Endpoint, dst: Endpoint, payload: impl Into<Bytes>) -> Self {
+        Packet {
+            src,
+            dst,
+            ttl: DEFAULT_TTL,
+            body: Body::Udp(payload.into()),
+        }
+    }
+
+    /// Creates a TCP packet with the default TTL.
+    pub fn tcp(src: Endpoint, dst: Endpoint, segment: TcpSegment) -> Self {
+        Packet {
+            src,
+            dst,
+            ttl: DEFAULT_TTL,
+            body: Body::Tcp(segment),
+        }
+    }
+
+    /// Creates an ICMP error packet with the default TTL.
+    pub fn icmp(src: Endpoint, dst: Endpoint, msg: IcmpMessage) -> Self {
+        Packet {
+            src,
+            dst,
+            ttl: DEFAULT_TTL,
+            body: Body::Icmp(msg),
+        }
+    }
+
+    /// Returns the transport protocol of this packet.
+    pub fn proto(&self) -> Proto {
+        match &self.body {
+            Body::Udp(_) => Proto::Udp,
+            Body::Tcp(_) => Proto::Tcp,
+            Body::Icmp(_) => Proto::Icmp,
+        }
+    }
+
+    /// Returns the TCP segment, if this is a TCP packet.
+    pub fn tcp_segment(&self) -> Option<&TcpSegment> {
+        match &self.body {
+            Body::Tcp(seg) => Some(seg),
+            _ => None,
+        }
+    }
+
+    /// Returns the UDP payload, if this is a UDP packet.
+    pub fn udp_payload(&self) -> Option<&Bytes> {
+        match &self.body {
+            Body::Udp(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Returns the modelled on-the-wire size in bytes, used by links with
+    /// finite bandwidth to compute serialization delay.
+    pub fn wire_size(&self) -> usize {
+        IPV4_HEADER
+            + match &self.body {
+                Body::Udp(p) => UDP_HEADER + p.len(),
+                Body::Tcp(seg) => TCP_HEADER + seg.payload.len(),
+                Body::Icmp(_) => ICMP_SIZE,
+            }
+    }
+
+    /// Returns a one-line human-readable summary for traces.
+    pub fn summary(&self) -> String {
+        match &self.body {
+            Body::Udp(p) => format!("{} > {} udp len={}", self.src, self.dst, p.len()),
+            Body::Tcp(seg) => format!(
+                "{} > {} tcp {} seq={} ack={} len={}",
+                self.src,
+                self.dst,
+                seg.flags,
+                seg.seq,
+                seg.ack,
+                seg.payload.len()
+            ),
+            Body::Icmp(msg) => {
+                format!(
+                    "{} > {} icmp {:?} (for {} > {})",
+                    self.src, self.dst, msg.kind, msg.original_src, msg.original_dst
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ep(s: &str) -> Endpoint {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn flags_ops() {
+        let f = TcpFlags::SYN | TcpFlags::ACK;
+        assert!(f.contains(TcpFlags::SYN));
+        assert!(f.contains(TcpFlags::ACK));
+        assert!(!f.contains(TcpFlags::SYN | TcpFlags::FIN));
+        assert!(f.intersects(TcpFlags::SYN | TcpFlags::FIN));
+        assert!(!f.intersects(TcpFlags::RST));
+        assert!(TcpFlags::NONE.is_empty());
+        assert_eq!(format!("{}", TcpFlags::NONE), "-");
+        assert_eq!(format!("{}", TcpFlags::RST | TcpFlags::ACK), "ACK|RST");
+    }
+
+    #[test]
+    fn seq_len_counts_syn_fin_and_payload() {
+        let mut seg = TcpSegment::control(TcpFlags::SYN, 100, 0);
+        assert_eq!(seg.seq_len(), 1);
+        seg.flags = TcpFlags::SYN | TcpFlags::FIN;
+        assert_eq!(seg.seq_len(), 2);
+        seg.flags = TcpFlags::ACK;
+        seg.payload = Bytes::from_static(b"abc");
+        assert_eq!(seg.seq_len(), 3);
+    }
+
+    #[test]
+    fn wire_sizes() {
+        let u = Packet::udp(ep("1.1.1.1:1"), ep("2.2.2.2:2"), vec![0u8; 100]);
+        assert_eq!(u.wire_size(), 20 + 8 + 100);
+        let t = Packet::tcp(
+            ep("1.1.1.1:1"),
+            ep("2.2.2.2:2"),
+            TcpSegment::control(TcpFlags::SYN, 0, 0),
+        );
+        assert_eq!(t.wire_size(), 20 + 20);
+        let i = Packet::icmp(
+            ep("1.1.1.1:1"),
+            ep("2.2.2.2:2"),
+            IcmpMessage {
+                kind: IcmpKind::DestinationUnreachable,
+                original_proto: Proto::Tcp,
+                original_src: ep("2.2.2.2:2"),
+                original_dst: ep("1.1.1.1:1"),
+            },
+        );
+        assert_eq!(i.wire_size(), 20 + 36);
+    }
+
+    #[test]
+    fn accessors() {
+        let u = Packet::udp(ep("1.1.1.1:1"), ep("2.2.2.2:2"), b"xyz".as_ref());
+        assert_eq!(u.proto(), Proto::Udp);
+        assert_eq!(u.udp_payload().unwrap().as_ref(), b"xyz");
+        assert!(u.tcp_segment().is_none());
+
+        let t = Packet::tcp(
+            ep("1.1.1.1:1"),
+            ep("2.2.2.2:2"),
+            TcpSegment::control(TcpFlags::SYN, 7, 0),
+        );
+        assert_eq!(t.proto(), Proto::Tcp);
+        assert_eq!(t.tcp_segment().unwrap().seq, 7);
+        assert!(t.udp_payload().is_none());
+    }
+
+    #[test]
+    fn summary_is_one_line() {
+        let t = Packet::tcp(
+            ep("1.1.1.1:1"),
+            ep("2.2.2.2:2"),
+            TcpSegment::control(TcpFlags::SYN, 7, 0),
+        );
+        let s = t.summary();
+        assert!(s.contains("SYN"), "{s}");
+        assert!(!s.contains('\n'));
+    }
+}

@@ -1,0 +1,721 @@
+//! The discrete-event engine.
+//!
+//! [`Sim`] owns every node, link, and pending event. Execution is
+//! single-threaded: events are processed in `(time, insertion sequence)`
+//! order, so any two runs with the same seed and same setup calls are
+//! identical — the property the whole test and survey methodology rests on.
+
+use crate::link::LinkSpec;
+use crate::node::{Ctx, Device, IfaceId, NodeId};
+use crate::packet::Packet;
+use crate::time::SimTime;
+use crate::trace::{TraceDir, TraceEvent, Tracer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::Duration;
+
+/// Counters maintained by the engine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Events dispatched.
+    pub events: u64,
+    /// Packets transmitted by devices.
+    pub packets_sent: u64,
+    /// Packets delivered to devices.
+    pub packets_delivered: u64,
+    /// Packets dropped by link loss.
+    pub packets_lost: u64,
+    /// Packets dropped by devices (NAT filtering, no route, ...).
+    pub device_drops: u64,
+}
+
+enum EventKind {
+    Start(NodeId),
+    Deliver {
+        node: NodeId,
+        iface: IfaceId,
+        pkt: Packet,
+    },
+    Timer {
+        node: NodeId,
+        token: u64,
+    },
+}
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    /// Reversed so the `BinaryHeap` (a max-heap) pops the earliest event;
+    /// ties break by insertion order for determinism.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+struct LinkRef {
+    link: usize,
+    side: usize,
+}
+
+struct NodeMeta {
+    name: String,
+    ifaces: Vec<LinkRef>,
+    rng: StdRng,
+}
+
+struct LinkState {
+    spec: LinkSpec,
+    ends: [(NodeId, IfaceId); 2],
+    busy_until: [SimTime; 2],
+    /// Links are FIFO per direction: jitter may not reorder packets.
+    last_arrival: [SimTime; 2],
+}
+
+/// Engine internals shared with device callbacks through [`Ctx`].
+pub(crate) struct SimCore {
+    pub(crate) time: SimTime,
+    heap: BinaryHeap<Scheduled>,
+    seq: u64,
+    links: Vec<LinkState>,
+    nodes: Vec<NodeMeta>,
+    tracer: Option<Tracer>,
+    stats: SimStats,
+}
+
+/// SplitMix64 finalizer, used to derive independent per-node RNG seeds
+/// from the simulation seed.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl SimCore {
+    fn push(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled { at, seq, kind });
+    }
+
+    pub(crate) fn schedule_timer(&mut self, node: NodeId, after: Duration, token: u64) {
+        let at = self.time + after;
+        self.push(at, EventKind::Timer { node, token });
+    }
+
+    pub(crate) fn iface_count(&self, node: NodeId) -> usize {
+        self.nodes[node.index()].ifaces.len()
+    }
+
+    pub(crate) fn node_rng(&mut self, node: NodeId) -> &mut StdRng {
+        &mut self.nodes[node.index()].rng
+    }
+
+    fn trace(&mut self, node: NodeId, iface: IfaceId, dir: TraceDir, pkt: &Packet) {
+        if let Some(tr) = &mut self.tracer {
+            tr.record(TraceEvent {
+                time: self.time,
+                node,
+                node_name: self.nodes[node.index()].name.clone(),
+                iface,
+                dir,
+                packet: pkt.summary(),
+            });
+        }
+    }
+
+    pub(crate) fn note_device_drop(&mut self, node: NodeId, reason: &'static str, pkt: &Packet) {
+        self.stats.device_drops += 1;
+        self.trace(node, 0, TraceDir::DeviceDrop(reason), pkt);
+    }
+
+    pub(crate) fn transmit(&mut self, node: NodeId, iface: IfaceId, pkt: Packet) {
+        let meta = &self.nodes[node.index()];
+        let lref = meta.ifaces.get(iface).unwrap_or_else(|| {
+            panic!(
+                "node {} ({}) sent on unconnected iface {iface}",
+                node, meta.name
+            )
+        });
+        let (link_idx, side) = (lref.link, lref.side);
+        self.stats.packets_sent += 1;
+        self.trace(node, iface, TraceDir::Tx, &pkt);
+
+        let spec = self.links[link_idx].spec;
+        // Loss is drawn from the sender's RNG stream so each node's draws
+        // are independent of unrelated traffic elsewhere.
+        if spec.loss > 0.0 {
+            let roll: f64 = self.nodes[node.index()].rng.gen();
+            if roll < spec.loss {
+                self.stats.packets_lost += 1;
+                self.trace(node, iface, TraceDir::LossDrop, &pkt);
+                return;
+            }
+        }
+        let jitter = if spec.jitter.is_zero() {
+            Duration::ZERO
+        } else {
+            let bound = spec.jitter.as_nanos() as u64;
+            Duration::from_nanos(self.nodes[node.index()].rng.gen_range(0..=bound))
+        };
+
+        let link = &mut self.links[link_idx];
+        let mut arrive = if spec.bandwidth.is_some() {
+            let depart = link.busy_until[side].max(self.time);
+            let tx = spec.serialization_delay(pkt.wire_size());
+            link.busy_until[side] = depart + tx;
+            depart + tx + spec.latency + jitter
+        } else {
+            self.time + spec.latency + jitter
+        };
+        // Physical links deliver in order; jitter shifts delay but must
+        // not reorder (TCP over a reordering path degrades unrealistically).
+        arrive = arrive.max(link.last_arrival[side]);
+        link.last_arrival[side] = arrive;
+        let (peer, peer_iface) = link.ends[1 - side];
+        self.push(
+            arrive,
+            EventKind::Deliver {
+                node: peer,
+                iface: peer_iface,
+                pkt,
+            },
+        );
+    }
+}
+
+/// The simulation: nodes, links, clock, and event queue.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+pub struct Sim {
+    core: SimCore,
+    devices: Vec<Option<Box<dyn Device>>>,
+    seed: u64,
+}
+
+/// Safety valve for [`Sim::run_until_idle`]: panic after this many events,
+/// which in practice means a device is re-arming timers forever.
+const IDLE_EVENT_CAP: u64 = 50_000_000;
+
+impl Sim {
+    /// Creates an empty simulation. All randomness derives from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Sim {
+            core: SimCore {
+                time: SimTime::ZERO,
+                heap: BinaryHeap::new(),
+                seq: 0,
+                links: Vec::new(),
+                nodes: Vec::new(),
+                tracer: None,
+                stats: SimStats::default(),
+            },
+            devices: Vec::new(),
+            seed,
+        }
+    }
+
+    /// Returns the seed this simulation was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Returns the current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.core.time
+    }
+
+    /// Returns engine counters.
+    pub fn stats(&self) -> SimStats {
+        self.core.stats
+    }
+
+    /// Adds a node running `device`; its `on_start` runs when the
+    /// simulation next executes.
+    pub fn add_node(&mut self, name: impl Into<String>, device: Box<dyn Device>) -> NodeId {
+        let id = NodeId(u32::try_from(self.devices.len()).expect("too many nodes"));
+        let rng = StdRng::seed_from_u64(mix(self.seed ^ mix(id.0 as u64 + 1)));
+        self.core.nodes.push(NodeMeta {
+            name: name.into(),
+            ifaces: Vec::new(),
+            rng,
+        });
+        self.devices.push(Some(device));
+        self.core.push(self.core.time, EventKind::Start(id));
+        id
+    }
+
+    /// Returns a node's name.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.core.nodes[id.index()].name
+    }
+
+    /// Returns the number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Connects two nodes with a bidirectional link, allocating the next
+    /// interface number on each; returns `(iface_on_a, iface_on_b)`.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) -> (IfaceId, IfaceId) {
+        let link = self.core.links.len();
+        let ia = self.core.nodes[a.index()].ifaces.len();
+        let ib = if a == b {
+            ia + 1
+        } else {
+            self.core.nodes[b.index()].ifaces.len()
+        };
+        self.core.nodes[a.index()]
+            .ifaces
+            .push(LinkRef { link, side: 0 });
+        self.core.nodes[b.index()]
+            .ifaces
+            .push(LinkRef { link, side: 1 });
+        self.core.links.push(LinkState {
+            spec,
+            ends: [(a, ia), (b, ib)],
+            busy_until: [SimTime::ZERO; 2],
+            last_arrival: [SimTime::ZERO; 2],
+        });
+        (ia, ib)
+    }
+
+    /// Delivers `pkt` to `node` on `iface` at the current time, as if it
+    /// had arrived from the wire. Intended for harness code and tests.
+    pub fn inject(&mut self, node: NodeId, iface: IfaceId, pkt: Packet) {
+        let at = self.core.time;
+        self.core.push(at, EventKind::Deliver { node, iface, pkt });
+    }
+
+    /// Arms a timer on `node` from outside the simulation.
+    pub fn wake(&mut self, node: NodeId, after: Duration, token: u64) {
+        self.core.schedule_timer(node, after, token);
+    }
+
+    /// Enables packet tracing, retaining at most `cap` events.
+    pub fn enable_trace(&mut self, cap: usize) {
+        self.core.tracer = Some(Tracer::new(cap));
+    }
+
+    /// Returns the trace, if tracing is enabled.
+    pub fn trace(&self) -> Option<&Tracer> {
+        self.core.tracer.as_ref()
+    }
+
+    /// Clears the recorded trace (tracing stays enabled).
+    pub fn clear_trace(&mut self) {
+        if let Some(tr) = &mut self.core.tracer {
+            tr.clear();
+        }
+    }
+
+    /// Returns a shared reference to the device on `node`, downcast to `T`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device is not a `T`.
+    pub fn device<T: Device>(&self, node: NodeId) -> &T {
+        self.devices[node.index()]
+            .as_deref()
+            .expect("device re-entered")
+            .downcast_ref::<T>()
+            .unwrap_or_else(|| panic!("node {node} is not a {}", std::any::type_name::<T>()))
+    }
+
+    /// Returns a mutable reference to the device on `node`, downcast to `T`.
+    ///
+    /// Use [`Sim::with_node`] instead when the device needs to send
+    /// packets or arm timers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device is not a `T`.
+    pub fn device_mut<T: Device>(&mut self, node: NodeId) -> &mut T {
+        self.devices[node.index()]
+            .as_deref_mut()
+            .expect("device re-entered")
+            .downcast_mut::<T>()
+            .unwrap_or_else(|| panic!("node {node} is not a {}", std::any::type_name::<T>()))
+    }
+
+    /// Runs `f` with the device on `node` and a live [`Ctx`], so harness
+    /// code can invoke device operations that send packets or arm timers
+    /// between engine steps.
+    pub fn with_node<R>(
+        &mut self,
+        node: NodeId,
+        f: impl FnOnce(&mut dyn Device, &mut Ctx<'_>) -> R,
+    ) -> R {
+        let mut dev = self.devices[node.index()]
+            .take()
+            .expect("device re-entered");
+        let mut ctx = Ctx {
+            core: &mut self.core,
+            node,
+        };
+        let r = f(dev.as_mut(), &mut ctx);
+        self.devices[node.index()] = Some(dev);
+        r
+    }
+
+    /// Processes the next event, if any. Returns `false` when the queue is
+    /// empty.
+    pub fn step(&mut self) -> bool {
+        let Some(sch) = self.core.heap.pop() else {
+            return false;
+        };
+        debug_assert!(sch.at >= self.core.time, "event in the past");
+        self.core.time = sch.at;
+        self.core.stats.events += 1;
+        match sch.kind {
+            EventKind::Start(node) => {
+                self.dispatch(node, |dev, ctx| dev.on_start(ctx));
+            }
+            EventKind::Deliver { node, iface, pkt } => {
+                self.core.stats.packets_delivered += 1;
+                self.core.trace(node, iface, TraceDir::Rx, &pkt);
+                self.dispatch(node, |dev, ctx| dev.on_packet(ctx, iface, pkt));
+            }
+            EventKind::Timer { node, token } => {
+                self.dispatch(node, |dev, ctx| dev.on_timer(ctx, token));
+            }
+        }
+        true
+    }
+
+    fn dispatch(&mut self, node: NodeId, f: impl FnOnce(&mut Box<dyn Device>, &mut Ctx<'_>)) {
+        let mut dev = self.devices[node.index()]
+            .take()
+            .expect("device re-entered");
+        let mut ctx = Ctx {
+            core: &mut self.core,
+            node,
+        };
+        f(&mut dev, &mut ctx);
+        self.devices[node.index()] = Some(dev);
+    }
+
+    /// Runs until the clock reaches `deadline`; events at exactly
+    /// `deadline` are processed. The clock ends at `deadline` even if the
+    /// queue drains early.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(next) = self.core.heap.peek() {
+            if next.at > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.core.time < deadline {
+            self.core.time = deadline;
+        }
+    }
+
+    /// Runs for `d` of simulated time from now.
+    pub fn run_for(&mut self, d: Duration) {
+        let deadline = self.core.time + d;
+        self.run_until(deadline);
+    }
+
+    /// Runs until no events remain. Returns the number of events
+    /// processed.
+    ///
+    /// # Panics
+    ///
+    /// Panics after 50 million events, which indicates a device re-arming
+    /// timers unboundedly; use [`Sim::run_until`] for such workloads.
+    pub fn run_until_idle(&mut self) -> u64 {
+        let mut n = 0u64;
+        while self.step() {
+            n += 1;
+            assert!(
+                n < IDLE_EVENT_CAP,
+                "run_until_idle exceeded {IDLE_EVENT_CAP} events"
+            );
+        }
+        n
+    }
+
+    /// Runs until `pred` returns true (checked after every event) or the
+    /// clock passes `deadline`. Returns whether `pred` was satisfied.
+    pub fn run_while(&mut self, deadline: SimTime, mut pred: impl FnMut(&Sim) -> bool) -> bool {
+        if pred(self) {
+            return true;
+        }
+        while let Some(next) = self.core.heap.peek() {
+            if next.at > deadline {
+                break;
+            }
+            self.step();
+            if pred(self) {
+                return true;
+            }
+        }
+        if self.core.time < deadline {
+            self.core.time = deadline;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Endpoint;
+    use crate::testutil::{CounterDevice, EchoDevice, SinkDevice};
+
+    fn ep(s: &str) -> Endpoint {
+        s.parse().unwrap()
+    }
+
+    fn udp() -> Packet {
+        Packet::udp(ep("10.0.0.1:1"), ep("10.0.0.2:2"), b"x".as_ref())
+    }
+
+    #[test]
+    fn delivery_respects_latency() {
+        let mut sim = Sim::new(1);
+        let a = sim.add_node("a", Box::new(SinkDevice::default()));
+        let b = sim.add_node("b", Box::new(SinkDevice::default()));
+        sim.connect(a, b, LinkSpec::new(Duration::from_millis(25)));
+        sim.with_node(a, |_, ctx| ctx.send(0, udp()));
+        sim.run_until_idle();
+        let sink: &SinkDevice = sim.device(b);
+        assert_eq!(sink.packets.len(), 1);
+        assert_eq!(sim.now(), SimTime::from_millis(25));
+    }
+
+    #[test]
+    fn echo_round_trip() {
+        let mut sim = Sim::new(1);
+        let a = sim.add_node("a", Box::new(SinkDevice::default()));
+        let b = sim.add_node("b", Box::new(EchoDevice::default()));
+        sim.connect(a, b, LinkSpec::new(Duration::from_millis(10)));
+        sim.with_node(a, |_, ctx| ctx.send(0, udp()));
+        sim.run_until_idle();
+        assert_eq!(sim.device::<EchoDevice>(b).received, 1);
+        assert_eq!(sim.device::<SinkDevice>(a).packets.len(), 1);
+        assert_eq!(sim.now(), SimTime::from_millis(20));
+    }
+
+    #[test]
+    fn loss_one_drops_everything() {
+        let mut sim = Sim::new(7);
+        let a = sim.add_node("a", Box::new(SinkDevice::default()));
+        let b = sim.add_node("b", Box::new(SinkDevice::default()));
+        sim.connect(a, b, LinkSpec::lan().with_loss(1.0));
+        for _ in 0..10 {
+            sim.with_node(a, |_, ctx| ctx.send(0, udp()));
+        }
+        sim.run_until_idle();
+        assert_eq!(sim.device::<SinkDevice>(b).packets.len(), 0);
+        assert_eq!(sim.stats().packets_lost, 10);
+    }
+
+    #[test]
+    fn partial_loss_is_deterministic_per_seed() {
+        let count = |seed| {
+            let mut sim = Sim::new(seed);
+            let a = sim.add_node("a", Box::new(SinkDevice::default()));
+            let b = sim.add_node("b", Box::new(SinkDevice::default()));
+            sim.connect(a, b, LinkSpec::lan().with_loss(0.5));
+            for _ in 0..100 {
+                sim.with_node(a, |_, ctx| ctx.send(0, udp()));
+            }
+            sim.run_until_idle();
+            sim.device::<SinkDevice>(b).packets.len()
+        };
+        let c1 = count(42);
+        assert_eq!(c1, count(42), "same seed, same outcome");
+        assert!(c1 > 20 && c1 < 80, "loss=0.5 delivered {c1}/100");
+    }
+
+    #[test]
+    fn bandwidth_serializes_back_to_back_packets() {
+        let mut sim = Sim::new(1);
+        let a = sim.add_node("a", Box::new(SinkDevice::default()));
+        let b = sim.add_node("b", Box::new(SinkDevice::default()));
+        // A 29-byte UDP packet (20 IP + 8 UDP + 1 payload) at 29 KB/s
+        // takes 1 ms to serialize.
+        sim.connect(a, b, LinkSpec::new(Duration::ZERO).with_bandwidth(29_000));
+        for _ in 0..3 {
+            sim.with_node(a, |_, ctx| ctx.send(0, udp()));
+        }
+        sim.run_until_idle();
+        // Third packet departs after 3 serialization delays.
+        assert_eq!(sim.now(), SimTime::from_millis(3));
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let mut sim = Sim::new(1);
+        let a = sim.add_node("a", Box::new(CounterDevice::default()));
+        sim.wake(a, Duration::from_millis(5), 2);
+        sim.wake(a, Duration::from_millis(1), 1);
+        sim.wake(a, Duration::from_millis(9), 3);
+        sim.run_until_idle();
+        assert_eq!(sim.device::<CounterDevice>(a).tokens, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_keep_insertion_order() {
+        let mut sim = Sim::new(1);
+        let a = sim.add_node("a", Box::new(CounterDevice::default()));
+        for t in 0..20 {
+            sim.wake(a, Duration::from_millis(5), t);
+        }
+        sim.run_until_idle();
+        assert_eq!(
+            sim.device::<CounterDevice>(a).tokens,
+            (0..20).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn run_until_advances_clock_without_events() {
+        let mut sim = Sim::new(1);
+        sim.run_until(SimTime::from_secs(3));
+        assert_eq!(sim.now(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn run_until_does_not_process_later_events() {
+        let mut sim = Sim::new(1);
+        let a = sim.add_node("a", Box::new(CounterDevice::default()));
+        sim.wake(a, Duration::from_millis(10), 1);
+        sim.wake(a, Duration::from_millis(20), 2);
+        sim.run_until(SimTime::from_millis(15));
+        assert_eq!(sim.device::<CounterDevice>(a).tokens, vec![1]);
+        assert_eq!(sim.now(), SimTime::from_millis(15));
+    }
+
+    #[test]
+    fn run_while_stops_at_predicate() {
+        let mut sim = Sim::new(1);
+        let a = sim.add_node("a", Box::new(CounterDevice::default()));
+        for i in 0..10 {
+            sim.wake(a, Duration::from_millis(i), i);
+        }
+        let hit = sim.run_while(SimTime::from_secs(1), |s| {
+            s.device::<CounterDevice>(a).tokens.len() >= 3
+        });
+        assert!(hit);
+        assert_eq!(sim.device::<CounterDevice>(a).tokens.len(), 3);
+    }
+
+    #[test]
+    fn run_while_times_out() {
+        let mut sim = Sim::new(1);
+        let _a = sim.add_node("a", Box::new(CounterDevice::default()));
+        let hit = sim.run_while(SimTime::from_millis(50), |_| false);
+        assert!(!hit);
+        assert_eq!(sim.now(), SimTime::from_millis(50));
+    }
+
+    #[test]
+    fn trace_records_tx_and_rx() {
+        let mut sim = Sim::new(1);
+        sim.enable_trace(100);
+        let a = sim.add_node("alice", Box::new(SinkDevice::default()));
+        let b = sim.add_node("bob", Box::new(SinkDevice::default()));
+        sim.connect(a, b, LinkSpec::lan());
+        sim.with_node(a, |_, ctx| ctx.send(0, udp()));
+        sim.run_until_idle();
+        let tr = sim.trace().unwrap();
+        assert_eq!(tr.events().len(), 2);
+        assert_eq!(tr.events()[0].dir, TraceDir::Tx);
+        assert_eq!(tr.events()[1].dir, TraceDir::Rx);
+        assert!(tr.dump().contains("alice"));
+        sim.clear_trace();
+        assert!(sim.trace().unwrap().events().is_empty());
+    }
+
+    #[test]
+    fn stats_count_flows() {
+        let mut sim = Sim::new(1);
+        let a = sim.add_node("a", Box::new(SinkDevice::default()));
+        let b = sim.add_node("b", Box::new(SinkDevice::default()));
+        sim.connect(a, b, LinkSpec::lan());
+        sim.with_node(a, |_, ctx| ctx.send(0, udp()));
+        sim.run_until_idle();
+        let st = sim.stats();
+        assert_eq!(st.packets_sent, 1);
+        assert_eq!(st.packets_delivered, 1);
+        assert_eq!(st.packets_lost, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unconnected iface")]
+    fn send_on_unconnected_iface_panics() {
+        let mut sim = Sim::new(1);
+        let a = sim.add_node("a", Box::new(SinkDevice::default()));
+        sim.with_node(a, |_, ctx| ctx.send(0, udp()));
+    }
+
+    #[test]
+    fn multiple_links_get_distinct_ifaces() {
+        let mut sim = Sim::new(1);
+        let hub = sim.add_node("hub", Box::new(SinkDevice::default()));
+        let a = sim.add_node("a", Box::new(SinkDevice::default()));
+        let b = sim.add_node("b", Box::new(SinkDevice::default()));
+        let (h0, a0) = sim.connect(hub, a, LinkSpec::lan());
+        let (h1, b0) = sim.connect(hub, b, LinkSpec::lan());
+        assert_eq!((h0, a0), (0, 0));
+        assert_eq!((h1, b0), (1, 0));
+        // Send out each hub iface; each peer gets exactly one.
+        sim.with_node(hub, |_, ctx| {
+            ctx.send(0, udp());
+            ctx.send(1, udp());
+        });
+        sim.run_until_idle();
+        assert_eq!(sim.device::<SinkDevice>(a).packets.len(), 1);
+        assert_eq!(sim.device::<SinkDevice>(b).packets.len(), 1);
+    }
+
+    #[test]
+    fn node_rngs_are_independent_of_each_other() {
+        // Draw from node 0's RNG in one sim but not the other; node 1's
+        // stream must be unaffected.
+        let draw = |touch_a: bool| {
+            let mut sim = Sim::new(9);
+            let a = sim.add_node("a", Box::new(SinkDevice::default()));
+            let b = sim.add_node("b", Box::new(SinkDevice::default()));
+            if touch_a {
+                sim.with_node(a, |_, ctx| {
+                    let _: u64 = ctx.rng().gen();
+                });
+            }
+            sim.with_node(b, |_, ctx| ctx.rng().gen::<u64>())
+        };
+        assert_eq!(draw(false), draw(true));
+    }
+
+    #[test]
+    fn seeds_change_node_rng_streams() {
+        let draw = |seed| {
+            let mut sim = Sim::new(seed);
+            let a = sim.add_node("a", Box::new(SinkDevice::default()));
+            sim.with_node(a, |_, ctx| ctx.rng().gen::<u64>())
+        };
+        assert_ne!(draw(1), draw(2));
+    }
+}

@@ -1,0 +1,94 @@
+//! Minimal devices for tests, examples, and doc tests.
+
+use crate::node::{Ctx, Device, IfaceId};
+use crate::packet::Packet;
+
+/// Collects every packet it receives.
+#[derive(Default)]
+pub struct SinkDevice {
+    /// `(iface, packet)` pairs in arrival order.
+    pub packets: Vec<(IfaceId, Packet)>,
+    /// Timer tokens in firing order.
+    pub tokens: Vec<u64>,
+}
+
+impl Device for SinkDevice {
+    fn on_packet(&mut self, _ctx: &mut Ctx<'_>, iface: IfaceId, pkt: Packet) {
+        self.packets.push((iface, pkt));
+    }
+
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_>, token: u64) {
+        self.tokens.push(token);
+    }
+}
+
+/// Echoes every packet back out the interface it arrived on, with source
+/// and destination endpoints swapped.
+#[derive(Default)]
+pub struct EchoDevice {
+    /// Number of packets echoed.
+    pub received: usize,
+}
+
+impl Device for EchoDevice {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, mut pkt: Packet) {
+        self.received += 1;
+        std::mem::swap(&mut pkt.src, &mut pkt.dst);
+        pkt.ttl = crate::packet::DEFAULT_TTL;
+        ctx.send(iface, pkt);
+    }
+}
+
+/// Records timer tokens and start-up; drops packets.
+#[derive(Default)]
+pub struct CounterDevice {
+    /// Timer tokens in firing order.
+    pub tokens: Vec<u64>,
+    /// Whether `on_start` ran.
+    pub started: bool,
+}
+
+impl Device for CounterDevice {
+    fn on_start(&mut self, _ctx: &mut Ctx<'_>) {
+        self.started = true;
+    }
+
+    fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _iface: IfaceId, _pkt: Packet) {}
+
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_>, token: u64) {
+        self.tokens.push(token);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkSpec;
+    use crate::sim::Sim;
+
+    #[test]
+    fn on_start_runs() {
+        let mut sim = Sim::new(0);
+        let a = sim.add_node("a", Box::new(CounterDevice::default()));
+        assert!(!sim.device::<CounterDevice>(a).started);
+        sim.run_until_idle();
+        assert!(sim.device::<CounterDevice>(a).started);
+    }
+
+    #[test]
+    fn echo_swaps_endpoints() {
+        let mut sim = Sim::new(0);
+        let a = sim.add_node("a", Box::new(SinkDevice::default()));
+        let b = sim.add_node("b", Box::new(EchoDevice::default()));
+        sim.connect(a, b, LinkSpec::lan());
+        let src = "1.1.1.1:10".parse().unwrap();
+        let dst = "2.2.2.2:20".parse().unwrap();
+        sim.with_node(a, |_, ctx| {
+            ctx.send(0, Packet::udp(src, dst, b"hi".as_ref()))
+        });
+        sim.run_until_idle();
+        let got = &sim.device::<SinkDevice>(a).packets[0].1;
+        assert_eq!(got.src, dst);
+        assert_eq!(got.dst, src);
+    }
+}

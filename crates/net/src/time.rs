@@ -1,0 +1,197 @@
+//! Simulated time.
+//!
+//! [`SimTime`] is a monotonically increasing instant measured in
+//! nanoseconds since the start of the simulation. Intervals are ordinary
+//! [`std::time::Duration`]s, so device code reads like wall-clock code.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+/// An instant in simulated time, in nanoseconds since simulation start.
+///
+/// `SimTime` is `Copy`, totally ordered, and starts at [`SimTime::ZERO`].
+/// Arithmetic with [`Duration`] saturates rather than panicking, because a
+/// simulated clock running past `u64::MAX` nanoseconds (~584 years) is a
+/// configuration bug, not a reason to abort a survey run.
+///
+/// # Examples
+///
+/// ```
+/// use punch_net::SimTime;
+/// use std::time::Duration;
+///
+/// let t = SimTime::ZERO + Duration::from_millis(30);
+/// assert_eq!(t.as_nanos(), 30_000_000);
+/// assert_eq!(format!("{t}"), "0.030000s");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The largest representable instant; used as an "infinite" deadline.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant from nanoseconds since simulation start.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimTime(nanos)
+    }
+
+    /// Creates an instant from whole seconds since simulation start.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1_000_000_000)
+    }
+
+    /// Creates an instant from whole milliseconds since simulation start.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Returns nanoseconds since simulation start.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the time as fractional seconds (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Returns the elapsed duration since `earlier`, or zero if `earlier`
+    /// is in the future.
+    pub fn saturating_since(self, earlier: SimTime) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Returns the later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Saturating addition of a duration.
+    pub fn saturating_add(self, d: Duration) -> SimTime {
+        let nanos = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        SimTime(self.0.saturating_add(nanos))
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: Duration) -> SimTime {
+        self.saturating_add(rhs)
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+
+    /// Elapsed time between two instants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is later than `self`; subtracting a future instant
+    /// indicates a logic error in the caller.
+    fn sub(self, rhs: SimTime) -> Duration {
+        assert!(
+            self.0 >= rhs.0,
+            "SimTime subtraction would underflow: {self} - {rhs}"
+        );
+        Duration::from_nanos(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}.{:06}s",
+            self.0 / 1_000_000_000,
+            (self.0 % 1_000_000_000) / 1_000
+        )
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_default() {
+        assert_eq!(SimTime::default(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn add_duration() {
+        let t = SimTime::ZERO + Duration::from_micros(1500);
+        assert_eq!(t.as_nanos(), 1_500_000);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut t = SimTime::ZERO;
+        t += Duration::from_secs(1);
+        t += Duration::from_millis(5);
+        assert_eq!(t.as_nanos(), 1_005_000_000);
+    }
+
+    #[test]
+    fn subtraction_gives_elapsed() {
+        let a = SimTime::from_millis(250);
+        let b = SimTime::from_millis(100);
+        assert_eq!(a - b, Duration::from_millis(150));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn subtraction_underflow_panics() {
+        let _ = SimTime::from_millis(1) - SimTime::from_millis(2);
+    }
+
+    #[test]
+    fn saturating_add_at_max() {
+        assert_eq!(SimTime::MAX + Duration::from_secs(1), SimTime::MAX);
+    }
+
+    #[test]
+    fn saturating_since_future_is_zero() {
+        let a = SimTime::from_millis(1);
+        let b = SimTime::from_millis(2);
+        assert_eq!(a.saturating_since(b), Duration::ZERO);
+        assert_eq!(b.saturating_since(a), Duration::from_millis(1));
+    }
+
+    #[test]
+    fn display_formats_fractional_seconds() {
+        assert_eq!(format!("{}", SimTime::from_millis(1234)), "1.234000s");
+        assert_eq!(format!("{}", SimTime::ZERO), "0.000000s");
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(SimTime::from_secs(1) < SimTime::from_secs(2));
+        assert_eq!(
+            SimTime::from_secs(3).max(SimTime::from_secs(2)),
+            SimTime::from_secs(3)
+        );
+    }
+}

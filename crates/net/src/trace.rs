@@ -1,0 +1,159 @@
+//! Packet tracing for debugging and assertions.
+//!
+//! Tracing is off by default (it allocates a `String` per packet event).
+//! Tests enable it with [`crate::Sim::enable_trace`] and assert on the
+//! recorded [`TraceEvent`]s, which is how the integration suite verifies
+//! wire-level claims from the paper (e.g. "B's NAT drops A's first SYN").
+
+use crate::node::{IfaceId, NodeId};
+use crate::time::SimTime;
+use std::fmt;
+
+/// Direction or disposition of a traced packet event.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraceDir {
+    /// Packet transmitted by a device.
+    Tx,
+    /// Packet delivered to a device.
+    Rx,
+    /// Packet dropped by the link's loss process.
+    LossDrop,
+    /// Packet dropped by a device, with a device-supplied reason.
+    DeviceDrop(&'static str),
+}
+
+/// One recorded packet event.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// When the event happened.
+    pub time: SimTime,
+    /// The node transmitting, receiving, or dropping.
+    pub node: NodeId,
+    /// Node name at recording time.
+    pub node_name: String,
+    /// The interface involved (0 for device drops that predate routing).
+    pub iface: IfaceId,
+    /// Direction or disposition.
+    pub dir: TraceDir,
+    /// One-line packet summary from [`crate::Packet::summary`].
+    pub packet: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let dir = match self.dir {
+            TraceDir::Tx => "tx".to_string(),
+            TraceDir::Rx => "rx".to_string(),
+            TraceDir::LossDrop => "LOST".to_string(),
+            TraceDir::DeviceDrop(r) => format!("DROP({r})"),
+        };
+        write!(
+            f,
+            "{} {}[{}].{} {} {}",
+            self.time, self.node_name, self.node, self.iface, dir, self.packet
+        )
+    }
+}
+
+/// A bounded in-memory packet trace.
+#[derive(Debug, Default)]
+pub struct Tracer {
+    events: Vec<TraceEvent>,
+    cap: usize,
+    truncated: bool,
+}
+
+impl Tracer {
+    /// Creates a tracer that retains at most `cap` events.
+    pub fn new(cap: usize) -> Self {
+        Tracer {
+            events: Vec::new(),
+            cap,
+            truncated: false,
+        }
+    }
+
+    /// Records an event, dropping it if the trace is full.
+    pub fn record(&mut self, ev: TraceEvent) {
+        if self.events.len() < self.cap {
+            self.events.push(ev);
+        } else {
+            self.truncated = true;
+        }
+    }
+
+    /// Returns the recorded events in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Returns true if events were discarded because the cap was reached.
+    pub fn is_truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// Discards all recorded events and clears the truncation flag.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.truncated = false;
+    }
+
+    /// Renders the whole trace, one event per line.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            out.push_str(&ev.to_string());
+            out.push('\n');
+        }
+        if self.truncated {
+            out.push_str("... (trace truncated)\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64) -> TraceEvent {
+        TraceEvent {
+            time: SimTime::from_millis(t),
+            node: NodeId(0),
+            node_name: "a".into(),
+            iface: 0,
+            dir: TraceDir::Tx,
+            packet: "p".into(),
+        }
+    }
+
+    #[test]
+    fn respects_cap() {
+        let mut tr = Tracer::new(2);
+        tr.record(ev(1));
+        tr.record(ev(2));
+        tr.record(ev(3));
+        assert_eq!(tr.events().len(), 2);
+        assert!(tr.is_truncated());
+        assert!(tr.dump().contains("truncated"));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut tr = Tracer::new(1);
+        tr.record(ev(1));
+        tr.record(ev(2));
+        tr.clear();
+        assert!(tr.events().is_empty());
+        assert!(!tr.is_truncated());
+    }
+
+    #[test]
+    fn display_includes_drop_reason() {
+        let mut e = ev(5);
+        e.dir = TraceDir::DeviceDrop("unsolicited");
+        let s = e.to_string();
+        assert!(s.contains("DROP(unsolicited)"), "{s}");
+        assert!(s.contains("0.005000s"), "{s}");
+    }
+}

@@ -1,0 +1,20 @@
+//! # punch-rendezvous — the well-known server *S* and its protocol
+//!
+//! The rendezvous infrastructure every technique in the paper leans on:
+//!
+//! - [`wire`]: a compact binary protocol for registration, introduction
+//!   (§3.2 steps 1–2), relaying (§2.2), connection reversal (§2.3) and
+//!   peer-to-peer authentication, with optional one's-complement
+//!   obfuscation of endpoint addresses (§3.1) to survive payload-mangling
+//!   NATs (§5.3).
+//! - [`RendezvousServer`]: the server application, speaking the protocol
+//!   over UDP and TCP on the same well-known port, with per-transport
+//!   registration tables and TURN-style relay accounting.
+
+pub mod peer;
+pub mod server;
+pub mod wire;
+
+pub use peer::PeerId;
+pub use server::{RendezvousServer, ServerConfig, ServerStats};
+pub use wire::{encode_frame, FrameBuf, Message, WireError, ERR_UNKNOWN_PEER, MAX_FRAME, VERSION};

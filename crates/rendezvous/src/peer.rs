@@ -1,0 +1,35 @@
+//! Peer identities and authentication nonces.
+
+use std::fmt;
+
+/// Application-level identity of a client, registered with the rendezvous
+/// server.
+///
+/// The paper leaves "host identity" to applications (§7); a 64-bit opaque
+/// id is enough for the reproduction. Authentication of punched sessions
+/// uses per-introduction nonces carried next to the id.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PeerId(pub u64);
+
+impl fmt::Debug for PeerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "peer{}", self.0)
+    }
+}
+
+impl fmt::Display for PeerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "peer{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_ordering() {
+        assert_eq!(PeerId(3).to_string(), "peer3");
+        assert!(PeerId(1) < PeerId(2));
+    }
+}

@@ -1,0 +1,473 @@
+//! The rendezvous server *S* (§3.1), with TURN-style relaying (§2.2) and
+//! connection-reversal signalling (§2.3).
+//!
+//! One server app speaks the protocol over both transports at the same
+//! well-known port: a UDP socket for UDP hole punching, and a TCP listener
+//! for TCP hole punching. Registrations are kept per transport, because a
+//! client's UDP and TCP public endpoints are distinct NAT mappings.
+
+use crate::peer::PeerId;
+use crate::wire::{encode_frame, FrameBuf, Message, ERR_UNKNOWN_PEER};
+use punch_net::Endpoint;
+use punch_transport::{App, Os, SockEvent, SocketId};
+use std::collections::HashMap;
+
+/// Rendezvous server configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Well-known port for both UDP and TCP service.
+    pub port: u16,
+    /// Whether endpoints in message bodies are obfuscated (§3.1). On by
+    /// default; turning it off exposes the protocol to payload-mangling
+    /// NATs (§5.3) — which is exactly experiment E11.
+    pub obfuscate: bool,
+    /// Also serve a mapping-probe port at `port + 1`, which answers any
+    /// datagram with a [`Message::RegisterAck`] echoing the observed
+    /// source. Clients use it to measure symmetric NATs' port-allocation
+    /// delta for §5.1 port prediction.
+    pub probe_port: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            port: 1234,
+            obfuscate: true,
+            probe_port: true,
+        }
+    }
+}
+
+/// Server-side counters (used by the relay-load experiment E12).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerStats {
+    /// Registrations accepted (UDP + TCP).
+    pub registrations: u64,
+    /// Introduction pairs performed.
+    pub introductions: u64,
+    /// Relayed messages.
+    pub relayed_msgs: u64,
+    /// Relayed payload bytes.
+    pub relayed_bytes: u64,
+    /// Reversal requests forwarded.
+    pub reversals: u64,
+    /// Requests that failed (unknown peer, unparsable).
+    pub errors: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct UdpReg {
+    public: Endpoint,
+    private: Endpoint,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct TcpReg {
+    sock: SocketId,
+    public: Endpoint,
+    private: Endpoint,
+}
+
+#[derive(Default)]
+struct ConnState {
+    frames: FrameBuf,
+    peer: Option<PeerId>,
+}
+
+/// The rendezvous server application. Run it on a public host:
+///
+/// ```
+/// use punch_net::{LinkSpec, Sim};
+/// use punch_rendezvous::{RendezvousServer, ServerConfig};
+/// use punch_transport::{HostDevice, StackConfig};
+///
+/// let mut sim = Sim::new(0);
+/// let s = sim.add_node(
+///     "S",
+///     Box::new(HostDevice::new(
+///         [18, 181, 0, 31].into(),
+///         StackConfig::default(),
+///         Box::new(RendezvousServer::new(ServerConfig::default())),
+///     )),
+/// );
+/// ```
+pub struct RendezvousServer {
+    cfg: ServerConfig,
+    udp_sock: Option<SocketId>,
+    probe_sock: Option<SocketId>,
+    listener: Option<SocketId>,
+    udp_clients: HashMap<PeerId, UdpReg>,
+    tcp_clients: HashMap<PeerId, TcpReg>,
+    conns: HashMap<SocketId, ConnState>,
+    stats: ServerStats,
+}
+
+impl RendezvousServer {
+    /// Creates the server app.
+    pub fn new(cfg: ServerConfig) -> Self {
+        RendezvousServer {
+            cfg,
+            udp_sock: None,
+            probe_sock: None,
+            listener: None,
+            udp_clients: HashMap::new(),
+            tcp_clients: HashMap::new(),
+            conns: HashMap::new(),
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// Returns server counters.
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    /// Returns a UDP-registered client's endpoints (tests).
+    pub fn udp_registration(&self, peer: PeerId) -> Option<(Endpoint, Endpoint)> {
+        self.udp_clients.get(&peer).map(|r| (r.public, r.private))
+    }
+
+    /// Returns a TCP-registered client's endpoints (tests).
+    pub fn tcp_registration(&self, peer: PeerId) -> Option<(Endpoint, Endpoint)> {
+        self.tcp_clients.get(&peer).map(|r| (r.public, r.private))
+    }
+
+    fn send_udp(&self, os: &mut Os<'_, '_>, to: Endpoint, msg: &Message) {
+        if let Some(sock) = self.udp_sock {
+            let _ = os.udp_send(sock, to, msg.encode(self.cfg.obfuscate));
+        }
+    }
+
+    fn send_tcp(&self, os: &mut Os<'_, '_>, sock: SocketId, msg: &Message) {
+        let _ = os.tcp_send(sock, &encode_frame(msg, self.cfg.obfuscate));
+    }
+
+    fn handle_udp(&mut self, os: &mut Os<'_, '_>, from: Endpoint, msg: Message) {
+        match msg {
+            Message::Register { peer_id, private } => {
+                self.udp_clients.insert(
+                    peer_id,
+                    UdpReg {
+                        public: from,
+                        private,
+                    },
+                );
+                self.stats.registrations += 1;
+                self.send_udp(os, from, &Message::RegisterAck { public: from });
+            }
+            Message::ConnectRequest {
+                peer_id,
+                target,
+                nonce,
+            } => {
+                let (Some(req), Some(tgt)) = (
+                    self.udp_clients.get(&peer_id).copied(),
+                    self.udp_clients.get(&target).copied(),
+                ) else {
+                    self.stats.errors += 1;
+                    self.send_udp(
+                        os,
+                        from,
+                        &Message::ErrorReply {
+                            code: ERR_UNKNOWN_PEER,
+                        },
+                    );
+                    return;
+                };
+                self.stats.introductions += 1;
+                // §3.2 step 2: both sides learn each other's endpoints.
+                self.send_udp(
+                    os,
+                    req.public,
+                    &Message::Introduce {
+                        peer: target,
+                        public: tgt.public,
+                        private: tgt.private,
+                        nonce,
+                        initiator: true,
+                    },
+                );
+                self.send_udp(
+                    os,
+                    tgt.public,
+                    &Message::Introduce {
+                        peer: peer_id,
+                        public: req.public,
+                        private: req.private,
+                        nonce,
+                        initiator: false,
+                    },
+                );
+            }
+            Message::RelayData {
+                from: sender,
+                target,
+                data,
+            } => {
+                let Some(tgt) = self.udp_clients.get(&target).copied() else {
+                    self.stats.errors += 1;
+                    self.send_udp(
+                        os,
+                        from,
+                        &Message::ErrorReply {
+                            code: ERR_UNKNOWN_PEER,
+                        },
+                    );
+                    return;
+                };
+                self.stats.relayed_msgs += 1;
+                self.stats.relayed_bytes += data.len() as u64;
+                self.send_udp(os, tgt.public, &Message::RelayedData { from: sender, data });
+            }
+            Message::ReversalRequest {
+                peer_id,
+                target,
+                nonce,
+            } => {
+                let (Some(req), Some(tgt)) = (
+                    self.udp_clients.get(&peer_id).copied(),
+                    self.udp_clients.get(&target).copied(),
+                ) else {
+                    self.stats.errors += 1;
+                    self.send_udp(
+                        os,
+                        from,
+                        &Message::ErrorReply {
+                            code: ERR_UNKNOWN_PEER,
+                        },
+                    );
+                    return;
+                };
+                self.stats.reversals += 1;
+                self.send_udp(
+                    os,
+                    tgt.public,
+                    &Message::ReversalRequested {
+                        from: peer_id,
+                        public: req.public,
+                        private: req.private,
+                        nonce,
+                    },
+                );
+            }
+            Message::Ping => self.send_udp(os, from, &Message::Pong),
+            // Peer-to-peer and server-to-client messages are not for us.
+            _ => {
+                self.stats.errors += 1;
+            }
+        }
+    }
+
+    fn handle_tcp(&mut self, os: &mut Os<'_, '_>, sock: SocketId, msg: Message) {
+        match msg {
+            Message::Register { peer_id, private } => {
+                let Ok(public) = os.remote_endpoint(sock) else {
+                    return;
+                };
+                self.tcp_clients.insert(
+                    peer_id,
+                    TcpReg {
+                        sock,
+                        public,
+                        private,
+                    },
+                );
+                if let Some(conn) = self.conns.get_mut(&sock) {
+                    conn.peer = Some(peer_id);
+                }
+                self.stats.registrations += 1;
+                self.send_tcp(os, sock, &Message::RegisterAck { public });
+            }
+            Message::ConnectRequest {
+                peer_id,
+                target,
+                nonce,
+            } => {
+                let (Some(req), Some(tgt)) = (
+                    self.tcp_clients.get(&peer_id).copied(),
+                    self.tcp_clients.get(&target).copied(),
+                ) else {
+                    self.stats.errors += 1;
+                    self.send_tcp(
+                        os,
+                        sock,
+                        &Message::ErrorReply {
+                            code: ERR_UNKNOWN_PEER,
+                        },
+                    );
+                    return;
+                };
+                self.stats.introductions += 1;
+                self.send_tcp(
+                    os,
+                    req.sock,
+                    &Message::Introduce {
+                        peer: target,
+                        public: tgt.public,
+                        private: tgt.private,
+                        nonce,
+                        initiator: true,
+                    },
+                );
+                self.send_tcp(
+                    os,
+                    tgt.sock,
+                    &Message::Introduce {
+                        peer: peer_id,
+                        public: req.public,
+                        private: req.private,
+                        nonce,
+                        initiator: false,
+                    },
+                );
+            }
+            Message::RelayData {
+                from: sender,
+                target,
+                data,
+            } => {
+                let Some(tgt) = self.tcp_clients.get(&target).copied() else {
+                    self.stats.errors += 1;
+                    self.send_tcp(
+                        os,
+                        sock,
+                        &Message::ErrorReply {
+                            code: ERR_UNKNOWN_PEER,
+                        },
+                    );
+                    return;
+                };
+                self.stats.relayed_msgs += 1;
+                self.stats.relayed_bytes += data.len() as u64;
+                self.send_tcp(os, tgt.sock, &Message::RelayedData { from: sender, data });
+            }
+            Message::ReversalRequest {
+                peer_id,
+                target,
+                nonce,
+            } => {
+                let (Some(req), Some(tgt)) = (
+                    self.tcp_clients.get(&peer_id).copied(),
+                    self.tcp_clients.get(&target).copied(),
+                ) else {
+                    self.stats.errors += 1;
+                    self.send_tcp(
+                        os,
+                        sock,
+                        &Message::ErrorReply {
+                            code: ERR_UNKNOWN_PEER,
+                        },
+                    );
+                    return;
+                };
+                self.stats.reversals += 1;
+                self.send_tcp(
+                    os,
+                    tgt.sock,
+                    &Message::ReversalRequested {
+                        from: peer_id,
+                        public: req.public,
+                        private: req.private,
+                        nonce,
+                    },
+                );
+            }
+            Message::Ping => self.send_tcp(os, sock, &Message::Pong),
+            _ => {
+                self.stats.errors += 1;
+            }
+        }
+    }
+
+    /// Administratively aborts every client TCP connection and forgets
+    /// the registrations — what clients observe when the server restarts.
+    /// Failure-injection tests drive this; clients must re-register.
+    pub fn drop_all_clients(&mut self, os: &mut Os<'_, '_>) {
+        let socks: Vec<SocketId> = self.conns.keys().copied().collect();
+        for sock in socks {
+            let _ = os.tcp_abort(sock);
+        }
+        self.conns.clear();
+        self.tcp_clients.clear();
+        self.udp_clients.clear();
+    }
+
+    fn drop_conn(&mut self, sock: SocketId) {
+        if let Some(conn) = self.conns.remove(&sock) {
+            if let Some(peer) = conn.peer {
+                // Only drop the registration if it still points at this
+                // connection (the client may have re-registered).
+                if self.tcp_clients.get(&peer).map(|r| r.sock) == Some(sock) {
+                    self.tcp_clients.remove(&peer);
+                }
+            }
+        }
+    }
+}
+
+impl App for RendezvousServer {
+    fn on_start(&mut self, os: &mut Os<'_, '_>) {
+        self.udp_sock = Some(os.udp_bind(self.cfg.port).expect("server UDP port free"));
+        if self.cfg.probe_port {
+            self.probe_sock = Some(
+                os.udp_bind(self.cfg.port + 1)
+                    .expect("server probe port free"),
+            );
+        }
+        self.listener = Some(
+            os.tcp_listen(self.cfg.port, false)
+                .expect("server TCP port free"),
+        );
+    }
+
+    fn on_event(&mut self, os: &mut Os<'_, '_>, ev: SockEvent) {
+        match ev {
+            SockEvent::UdpReceived { sock, from, data } if Some(sock) == self.probe_sock => {
+                // The probe port answers anything with the observed source,
+                // from its own (distinct) endpoint.
+                let _ = data;
+                let reply = Message::RegisterAck { public: from };
+                let _ = os.udp_send(sock, from, reply.encode(self.cfg.obfuscate));
+            }
+            SockEvent::UdpReceived { from, data, .. } => match Message::decode(&data) {
+                Ok(msg) => self.handle_udp(os, from, msg),
+                Err(_) => self.stats.errors += 1,
+            },
+            SockEvent::TcpIncoming { listener } => {
+                while let Ok(Some((conn, _remote))) = os.tcp_accept(listener) {
+                    self.conns.insert(conn, ConnState::default());
+                }
+            }
+            SockEvent::TcpReceived { sock, data } => {
+                let Some(conn) = self.conns.get_mut(&sock) else {
+                    return;
+                };
+                conn.frames.push(&data);
+                loop {
+                    let Some(next) = self
+                        .conns
+                        .get_mut(&sock)
+                        .and_then(|c| c.frames.next_message())
+                    else {
+                        break;
+                    };
+                    match next {
+                        Ok(msg) => self.handle_tcp(os, sock, msg),
+                        Err(_) => {
+                            self.stats.errors += 1;
+                            let _ = os.tcp_abort(sock);
+                            self.drop_conn(sock);
+                            break;
+                        }
+                    }
+                }
+            }
+            SockEvent::TcpPeerClosed { sock } => {
+                let _ = os.close(sock);
+                self.drop_conn(sock);
+            }
+            SockEvent::TcpAborted { sock, .. } => self.drop_conn(sock),
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,612 @@
+//! Wire protocol between clients, the rendezvous server, and peers.
+//!
+//! A compact hand-rolled binary codec (version byte, type byte, fixed-
+//! width big-endian fields, length-prefixed blobs). Endpoints carried in
+//! message *bodies* may be obfuscated by one's-complementing the address
+//! octets (§3.1/§5.3) so payload-mangling NATs cannot corrupt them; the
+//! flag byte preceding each endpoint records the representation, so
+//! decoding is unambiguous either way.
+//!
+//! Over TCP the same messages are carried in 16-bit length-prefixed
+//! frames ([`encode_frame`] / [`FrameBuf`]).
+
+use crate::peer::PeerId;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use punch_net::Endpoint;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Protocol version understood by this implementation.
+pub const VERSION: u8 = 1;
+
+/// Error code: the requested peer is not registered.
+pub const ERR_UNKNOWN_PEER: u8 = 1;
+
+/// Codec errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the message did.
+    Truncated,
+    /// Unknown version byte.
+    BadVersion(u8),
+    /// Unknown message tag.
+    BadTag(u8),
+    /// A frame length exceeded [`MAX_FRAME`].
+    FrameTooLarge(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "message truncated"),
+            WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::BadTag(t) => write!(f, "unknown message tag {t}"),
+            WireError::FrameTooLarge(n) => write!(f, "frame of {n} bytes exceeds limit"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Maximum frame body accepted from a TCP stream.
+pub const MAX_FRAME: usize = 16 * 1024;
+
+/// All protocol messages.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Message {
+    /// Client → S: register under `peer_id`, reporting the private
+    /// endpoint the client believes it is using (§3.1).
+    Register {
+        /// Registering client.
+        peer_id: PeerId,
+        /// The client's own view of its endpoint.
+        private: Endpoint,
+    },
+    /// S → client: registration accepted; `public` is the endpoint S
+    /// observed in the packet headers.
+    RegisterAck {
+        /// The client's public endpoint as seen by S.
+        public: Endpoint,
+    },
+    /// Client → S: please introduce me to `target` (§3.2 step 1).
+    ConnectRequest {
+        /// Requesting client.
+        peer_id: PeerId,
+        /// Peer to connect to.
+        target: PeerId,
+        /// Nonce echoed in the peer-to-peer authentication handshake.
+        nonce: u64,
+    },
+    /// S → both clients: the other side's endpoints (§3.2 step 2).
+    Introduce {
+        /// The peer being introduced.
+        peer: PeerId,
+        /// Its public endpoint as observed by S.
+        public: Endpoint,
+        /// Its self-reported private endpoint.
+        private: Endpoint,
+        /// Session nonce (same on both sides).
+        nonce: u64,
+        /// True for the requesting side.
+        initiator: bool,
+    },
+    /// Client → S: forward `data` to `target` over S (§2.2 relaying).
+    RelayData {
+        /// Sending client.
+        from: PeerId,
+        /// Receiving client.
+        target: PeerId,
+        /// Opaque payload.
+        data: Bytes,
+    },
+    /// S → client: relayed payload from `from`.
+    RelayedData {
+        /// Original sender.
+        from: PeerId,
+        /// Opaque payload.
+        data: Bytes,
+    },
+    /// Client → S: ask `target` to open a connection back to me
+    /// (§2.3 connection reversal).
+    ReversalRequest {
+        /// Requesting client (the one behind no NAT, or unreachable).
+        peer_id: PeerId,
+        /// Peer asked to connect back.
+        target: PeerId,
+        /// Nonce for authenticating the reversed connection.
+        nonce: u64,
+    },
+    /// S → client: `from` asks you to connect back to it.
+    ReversalRequested {
+        /// The peer that wants to be connected to.
+        from: PeerId,
+        /// Its public endpoint.
+        public: Endpoint,
+        /// Its private endpoint.
+        private: Endpoint,
+        /// Nonce for authenticating the reversed connection.
+        nonce: u64,
+    },
+    /// Client → S keepalive.
+    Ping,
+    /// S → client keepalive answer.
+    Pong,
+    /// Peer → peer: authentication probe (§3.2 step 3 / §4.2 step 5).
+    PeerHello {
+        /// Sender's id.
+        from: PeerId,
+        /// The introduction nonce.
+        nonce: u64,
+    },
+    /// Peer → peer: authentication acknowledgment.
+    PeerHelloAck {
+        /// Sender's id.
+        from: PeerId,
+        /// The introduction nonce.
+        nonce: u64,
+    },
+    /// Peer → peer application payload.
+    PeerData {
+        /// Opaque payload.
+        data: Bytes,
+    },
+    /// Peer → peer NAT keepalive (§3.6).
+    KeepAlive,
+    /// S → client: request failed.
+    ErrorReply {
+        /// One of the `ERR_*` codes.
+        code: u8,
+    },
+}
+
+const TAG_REGISTER: u8 = 1;
+const TAG_REGISTER_ACK: u8 = 2;
+const TAG_CONNECT_REQUEST: u8 = 3;
+const TAG_INTRODUCE: u8 = 4;
+const TAG_RELAY_DATA: u8 = 5;
+const TAG_RELAYED_DATA: u8 = 6;
+const TAG_REVERSAL_REQUEST: u8 = 7;
+const TAG_REVERSAL_REQUESTED: u8 = 8;
+const TAG_PING: u8 = 9;
+const TAG_PONG: u8 = 10;
+const TAG_PEER_HELLO: u8 = 11;
+const TAG_PEER_HELLO_ACK: u8 = 12;
+const TAG_PEER_DATA: u8 = 13;
+const TAG_KEEP_ALIVE: u8 = 14;
+const TAG_ERROR: u8 = 15;
+
+fn put_endpoint(buf: &mut BytesMut, ep: Endpoint, obfuscate: bool) {
+    buf.put_u8(u8::from(obfuscate));
+    let octets = ep.ip.octets();
+    if obfuscate {
+        buf.put_slice(&[!octets[0], !octets[1], !octets[2], !octets[3]]);
+    } else {
+        buf.put_slice(&octets);
+    }
+    buf.put_u16(ep.port);
+}
+
+fn get_endpoint(buf: &mut &[u8]) -> Result<Endpoint, WireError> {
+    if buf.len() < 7 {
+        return Err(WireError::Truncated);
+    }
+    let obf = buf.get_u8() != 0;
+    let mut o = [0u8; 4];
+    buf.copy_to_slice(&mut o);
+    if obf {
+        o = [!o[0], !o[1], !o[2], !o[3]];
+    }
+    let port = buf.get_u16();
+    Ok(Endpoint::new(Ipv4Addr::from(o), port))
+}
+
+fn put_bytes(buf: &mut BytesMut, data: &Bytes) {
+    buf.put_u16(u16::try_from(data.len()).expect("payload too large for wire format"));
+    buf.put_slice(data);
+}
+
+fn get_bytes(buf: &mut &[u8]) -> Result<Bytes, WireError> {
+    if buf.len() < 2 {
+        return Err(WireError::Truncated);
+    }
+    let len = buf.get_u16() as usize;
+    if buf.len() < len {
+        return Err(WireError::Truncated);
+    }
+    let out = Bytes::copy_from_slice(&buf[..len]);
+    buf.advance(len);
+    Ok(out)
+}
+
+fn get_u64(buf: &mut &[u8]) -> Result<u64, WireError> {
+    if buf.len() < 8 {
+        return Err(WireError::Truncated);
+    }
+    Ok(buf.get_u64())
+}
+
+fn get_u8(buf: &mut &[u8]) -> Result<u8, WireError> {
+    if buf.is_empty() {
+        return Err(WireError::Truncated);
+    }
+    Ok(buf.get_u8())
+}
+
+impl Message {
+    /// Encodes the message. When `obfuscate` is set, endpoint addresses in
+    /// the body are one's-complemented to survive payload-mangling NATs.
+    pub fn encode(&self, obfuscate: bool) -> Bytes {
+        let mut buf = BytesMut::with_capacity(32);
+        buf.put_u8(VERSION);
+        match self {
+            Message::Register { peer_id, private } => {
+                buf.put_u8(TAG_REGISTER);
+                buf.put_u64(peer_id.0);
+                put_endpoint(&mut buf, *private, obfuscate);
+            }
+            Message::RegisterAck { public } => {
+                buf.put_u8(TAG_REGISTER_ACK);
+                put_endpoint(&mut buf, *public, obfuscate);
+            }
+            Message::ConnectRequest {
+                peer_id,
+                target,
+                nonce,
+            } => {
+                buf.put_u8(TAG_CONNECT_REQUEST);
+                buf.put_u64(peer_id.0);
+                buf.put_u64(target.0);
+                buf.put_u64(*nonce);
+            }
+            Message::Introduce {
+                peer,
+                public,
+                private,
+                nonce,
+                initiator,
+            } => {
+                buf.put_u8(TAG_INTRODUCE);
+                buf.put_u64(peer.0);
+                put_endpoint(&mut buf, *public, obfuscate);
+                put_endpoint(&mut buf, *private, obfuscate);
+                buf.put_u64(*nonce);
+                buf.put_u8(u8::from(*initiator));
+            }
+            Message::RelayData { from, target, data } => {
+                buf.put_u8(TAG_RELAY_DATA);
+                buf.put_u64(from.0);
+                buf.put_u64(target.0);
+                put_bytes(&mut buf, data);
+            }
+            Message::RelayedData { from, data } => {
+                buf.put_u8(TAG_RELAYED_DATA);
+                buf.put_u64(from.0);
+                put_bytes(&mut buf, data);
+            }
+            Message::ReversalRequest {
+                peer_id,
+                target,
+                nonce,
+            } => {
+                buf.put_u8(TAG_REVERSAL_REQUEST);
+                buf.put_u64(peer_id.0);
+                buf.put_u64(target.0);
+                buf.put_u64(*nonce);
+            }
+            Message::ReversalRequested {
+                from,
+                public,
+                private,
+                nonce,
+            } => {
+                buf.put_u8(TAG_REVERSAL_REQUESTED);
+                buf.put_u64(from.0);
+                put_endpoint(&mut buf, *public, obfuscate);
+                put_endpoint(&mut buf, *private, obfuscate);
+                buf.put_u64(*nonce);
+            }
+            Message::Ping => buf.put_u8(TAG_PING),
+            Message::Pong => buf.put_u8(TAG_PONG),
+            Message::PeerHello { from, nonce } => {
+                buf.put_u8(TAG_PEER_HELLO);
+                buf.put_u64(from.0);
+                buf.put_u64(*nonce);
+            }
+            Message::PeerHelloAck { from, nonce } => {
+                buf.put_u8(TAG_PEER_HELLO_ACK);
+                buf.put_u64(from.0);
+                buf.put_u64(*nonce);
+            }
+            Message::PeerData { data } => {
+                buf.put_u8(TAG_PEER_DATA);
+                put_bytes(&mut buf, data);
+            }
+            Message::KeepAlive => buf.put_u8(TAG_KEEP_ALIVE),
+            Message::ErrorReply { code } => {
+                buf.put_u8(TAG_ERROR);
+                buf.put_u8(*code);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes one message from `data`.
+    pub fn decode(data: &[u8]) -> Result<Message, WireError> {
+        let mut buf = data;
+        let version = get_u8(&mut buf)?;
+        if version != VERSION {
+            return Err(WireError::BadVersion(version));
+        }
+        let tag = get_u8(&mut buf)?;
+        let msg = match tag {
+            TAG_REGISTER => Message::Register {
+                peer_id: PeerId(get_u64(&mut buf)?),
+                private: get_endpoint(&mut buf)?,
+            },
+            TAG_REGISTER_ACK => Message::RegisterAck {
+                public: get_endpoint(&mut buf)?,
+            },
+            TAG_CONNECT_REQUEST => Message::ConnectRequest {
+                peer_id: PeerId(get_u64(&mut buf)?),
+                target: PeerId(get_u64(&mut buf)?),
+                nonce: get_u64(&mut buf)?,
+            },
+            TAG_INTRODUCE => Message::Introduce {
+                peer: PeerId(get_u64(&mut buf)?),
+                public: get_endpoint(&mut buf)?,
+                private: get_endpoint(&mut buf)?,
+                nonce: get_u64(&mut buf)?,
+                initiator: get_u8(&mut buf)? != 0,
+            },
+            TAG_RELAY_DATA => Message::RelayData {
+                from: PeerId(get_u64(&mut buf)?),
+                target: PeerId(get_u64(&mut buf)?),
+                data: get_bytes(&mut buf)?,
+            },
+            TAG_RELAYED_DATA => Message::RelayedData {
+                from: PeerId(get_u64(&mut buf)?),
+                data: get_bytes(&mut buf)?,
+            },
+            TAG_REVERSAL_REQUEST => Message::ReversalRequest {
+                peer_id: PeerId(get_u64(&mut buf)?),
+                target: PeerId(get_u64(&mut buf)?),
+                nonce: get_u64(&mut buf)?,
+            },
+            TAG_REVERSAL_REQUESTED => Message::ReversalRequested {
+                from: PeerId(get_u64(&mut buf)?),
+                public: get_endpoint(&mut buf)?,
+                private: get_endpoint(&mut buf)?,
+                nonce: get_u64(&mut buf)?,
+            },
+            TAG_PING => Message::Ping,
+            TAG_PONG => Message::Pong,
+            TAG_PEER_HELLO => Message::PeerHello {
+                from: PeerId(get_u64(&mut buf)?),
+                nonce: get_u64(&mut buf)?,
+            },
+            TAG_PEER_HELLO_ACK => Message::PeerHelloAck {
+                from: PeerId(get_u64(&mut buf)?),
+                nonce: get_u64(&mut buf)?,
+            },
+            TAG_PEER_DATA => Message::PeerData {
+                data: get_bytes(&mut buf)?,
+            },
+            TAG_KEEP_ALIVE => Message::KeepAlive,
+            TAG_ERROR => Message::ErrorReply {
+                code: get_u8(&mut buf)?,
+            },
+            other => return Err(WireError::BadTag(other)),
+        };
+        Ok(msg)
+    }
+}
+
+/// Encodes a message as a length-prefixed TCP frame.
+pub fn encode_frame(msg: &Message, obfuscate: bool) -> Bytes {
+    let body = msg.encode(obfuscate);
+    let mut buf = BytesMut::with_capacity(body.len() + 2);
+    buf.put_u16(u16::try_from(body.len()).expect("frame too large"));
+    buf.put_slice(&body);
+    buf.freeze()
+}
+
+/// Incremental TCP frame reassembler.
+///
+/// Feed stream chunks with [`FrameBuf::push`], then drain complete
+/// messages with [`FrameBuf::next_message`].
+#[derive(Debug, Default)]
+pub struct FrameBuf {
+    buf: BytesMut,
+}
+
+impl FrameBuf {
+    /// Creates an empty reassembler.
+    pub fn new() -> Self {
+        FrameBuf::default()
+    }
+
+    /// Appends stream bytes.
+    pub fn push(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Pops the next complete message, if any.
+    pub fn next_message(&mut self) -> Option<Result<Message, WireError>> {
+        if self.buf.len() < 2 {
+            return None;
+        }
+        let len = u16::from_be_bytes([self.buf[0], self.buf[1]]) as usize;
+        if len > MAX_FRAME {
+            return Some(Err(WireError::FrameTooLarge(len)));
+        }
+        if self.buf.len() < 2 + len {
+            return None;
+        }
+        self.buf.advance(2);
+        let body = self.buf.split_to(len);
+        Some(Message::decode(&body))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ep(s: &str) -> Endpoint {
+        s.parse().unwrap()
+    }
+
+    fn all_messages() -> Vec<Message> {
+        vec![
+            Message::Register {
+                peer_id: PeerId(7),
+                private: ep("10.0.0.1:4321"),
+            },
+            Message::RegisterAck {
+                public: ep("155.99.25.11:62000"),
+            },
+            Message::ConnectRequest {
+                peer_id: PeerId(7),
+                target: PeerId(9),
+                nonce: 0xdead,
+            },
+            Message::Introduce {
+                peer: PeerId(9),
+                public: ep("138.76.29.7:31000"),
+                private: ep("10.1.1.3:4321"),
+                nonce: 0xdead,
+                initiator: true,
+            },
+            Message::RelayData {
+                from: PeerId(7),
+                target: PeerId(9),
+                data: Bytes::from_static(b"hi"),
+            },
+            Message::RelayedData {
+                from: PeerId(7),
+                data: Bytes::from_static(b"hi"),
+            },
+            Message::ReversalRequest {
+                peer_id: PeerId(7),
+                target: PeerId(9),
+                nonce: 5,
+            },
+            Message::ReversalRequested {
+                from: PeerId(7),
+                public: ep("1.2.3.4:5"),
+                private: ep("10.0.0.9:5"),
+                nonce: 5,
+            },
+            Message::Ping,
+            Message::Pong,
+            Message::PeerHello {
+                from: PeerId(7),
+                nonce: 1,
+            },
+            Message::PeerHelloAck {
+                from: PeerId(9),
+                nonce: 1,
+            },
+            Message::PeerData {
+                data: Bytes::from_static(b"payload"),
+            },
+            Message::KeepAlive,
+            Message::ErrorReply {
+                code: ERR_UNKNOWN_PEER,
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_plain_and_obfuscated() {
+        for msg in all_messages() {
+            for obf in [false, true] {
+                let enc = msg.encode(obf);
+                let dec = Message::decode(&enc).unwrap_or_else(|e| panic!("{msg:?} ({obf}): {e}"));
+                assert_eq!(dec, msg, "obfuscate={obf}");
+            }
+        }
+    }
+
+    #[test]
+    fn obfuscation_hides_address_octets() {
+        let msg = Message::Register {
+            peer_id: PeerId(1),
+            private: ep("10.0.0.1:4321"),
+        };
+        let plain = msg.encode(false);
+        let obf = msg.encode(true);
+        let octets = [10u8, 0, 0, 1];
+        let contains = |hay: &[u8], needle: &[u8]| hay.windows(needle.len()).any(|w| w == needle);
+        assert!(contains(&plain, &octets));
+        assert!(!contains(&obf, &octets));
+    }
+
+    #[test]
+    fn truncated_inputs_error_not_panic() {
+        for msg in all_messages() {
+            let enc = msg.encode(false);
+            for cut in 0..enc.len() {
+                if let Ok(m) = Message::decode(&enc[..cut]) {
+                    // Prefix-decoding may succeed only for messages whose
+                    // tail is a suffix of another valid encoding; none of
+                    // ours are, except exact length.
+                    assert_eq!(cut, enc.len(), "short decode produced {m:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bad_version_and_tag() {
+        assert_eq!(
+            Message::decode(&[9, TAG_PING]),
+            Err(WireError::BadVersion(9))
+        );
+        assert_eq!(
+            Message::decode(&[VERSION, 200]),
+            Err(WireError::BadTag(200))
+        );
+        assert_eq!(Message::decode(&[]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn frame_reassembly_across_arbitrary_chunks() {
+        let msgs = all_messages();
+        let mut stream = BytesMut::new();
+        for m in &msgs {
+            stream.extend_from_slice(&encode_frame(m, false));
+        }
+        // Feed in 3-byte chunks.
+        let mut fb = FrameBuf::new();
+        let mut decoded = Vec::new();
+        for chunk in stream.chunks(3) {
+            fb.push(chunk);
+            while let Some(m) = fb.next_message() {
+                decoded.push(m.unwrap());
+            }
+        }
+        assert_eq!(decoded, msgs);
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut fb = FrameBuf::new();
+        fb.push(&(u16::MAX).to_be_bytes());
+        assert_eq!(
+            fb.next_message(),
+            Some(Err(WireError::FrameTooLarge(u16::MAX as usize)))
+        );
+    }
+
+    #[test]
+    fn empty_and_partial_frames_wait_for_more() {
+        let mut fb = FrameBuf::new();
+        assert!(fb.next_message().is_none());
+        fb.push(&[0]);
+        assert!(fb.next_message().is_none());
+        let frame = encode_frame(&Message::Ping, false);
+        fb.push(&frame[1..]); // complete the length byte + body
+        assert_eq!(fb.next_message(), Some(Ok(Message::Ping)));
+    }
+}

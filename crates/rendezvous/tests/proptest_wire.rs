@@ -1,0 +1,134 @@
+//! Property tests for the wire codec: round-trips for arbitrary
+//! messages, and no panics on arbitrary byte soup.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use punch_net::Endpoint;
+use punch_rendezvous::{encode_frame, FrameBuf, Message, PeerId};
+
+fn arb_endpoint() -> impl Strategy<Value = Endpoint> {
+    (any::<[u8; 4]>(), any::<u16>()).prop_map(|(o, p)| Endpoint::new(o.into(), p))
+}
+
+fn arb_payload() -> impl Strategy<Value = Bytes> {
+    proptest::collection::vec(any::<u8>(), 0..512).prop_map(Bytes::from)
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        (any::<u64>(), arb_endpoint()).prop_map(|(id, private)| Message::Register {
+            peer_id: PeerId(id),
+            private
+        }),
+        arb_endpoint().prop_map(|public| Message::RegisterAck { public }),
+        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(a, b, n)| Message::ConnectRequest {
+            peer_id: PeerId(a),
+            target: PeerId(b),
+            nonce: n,
+        }),
+        (
+            any::<u64>(),
+            arb_endpoint(),
+            arb_endpoint(),
+            any::<u64>(),
+            any::<bool>()
+        )
+            .prop_map(|(p, pb, pv, n, i)| Message::Introduce {
+                peer: PeerId(p),
+                public: pb,
+                private: pv,
+                nonce: n,
+                initiator: i,
+            }),
+        (any::<u64>(), any::<u64>(), arb_payload()).prop_map(|(f, t, d)| Message::RelayData {
+            from: PeerId(f),
+            target: PeerId(t),
+            data: d,
+        }),
+        (any::<u64>(), arb_payload()).prop_map(|(f, d)| Message::RelayedData {
+            from: PeerId(f),
+            data: d
+        }),
+        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(a, b, n)| Message::ReversalRequest {
+            peer_id: PeerId(a),
+            target: PeerId(b),
+            nonce: n,
+        }),
+        (any::<u64>(), arb_endpoint(), arb_endpoint(), any::<u64>()).prop_map(|(f, pb, pv, n)| {
+            Message::ReversalRequested {
+                from: PeerId(f),
+                public: pb,
+                private: pv,
+                nonce: n,
+            }
+        }),
+        Just(Message::Ping),
+        Just(Message::Pong),
+        (any::<u64>(), any::<u64>()).prop_map(|(f, n)| Message::PeerHello {
+            from: PeerId(f),
+            nonce: n
+        }),
+        (any::<u64>(), any::<u64>()).prop_map(|(f, n)| Message::PeerHelloAck {
+            from: PeerId(f),
+            nonce: n
+        }),
+        arb_payload().prop_map(|d| Message::PeerData { data: d }),
+        Just(Message::KeepAlive),
+        any::<u8>().prop_map(|c| Message::ErrorReply { code: c }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn roundtrip_any_message(msg in arb_message(), obf in any::<bool>()) {
+        let enc = msg.encode(obf);
+        let dec = Message::decode(&enc).expect("own encoding must decode");
+        prop_assert_eq!(dec, msg);
+    }
+
+    #[test]
+    fn decode_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Message::decode(&bytes);
+    }
+
+    #[test]
+    fn frame_reassembly_is_chunking_invariant(
+        msgs in proptest::collection::vec(arb_message(), 1..8),
+        chunk in 1usize..32,
+        obf in any::<bool>(),
+    ) {
+        let mut stream = Vec::new();
+        for m in &msgs {
+            stream.extend_from_slice(&encode_frame(m, obf));
+        }
+        let mut fb = FrameBuf::new();
+        let mut out = Vec::new();
+        for c in stream.chunks(chunk) {
+            fb.push(c);
+            while let Some(m) = fb.next_message() {
+                out.push(m.expect("valid frame"));
+            }
+        }
+        prop_assert_eq!(out, msgs);
+    }
+
+    #[test]
+    fn framebuf_survives_garbage_prefixes(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        // Arbitrary bytes may produce errors but never panic or loop.
+        let mut fb = FrameBuf::new();
+        fb.push(&bytes);
+        for _ in 0..64 {
+            if fb.next_message().is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn obfuscation_never_changes_decoded_value(ep in arb_endpoint(), id in any::<u64>()) {
+        let msg = Message::Register { peer_id: PeerId(id), private: ep };
+        let plain = Message::decode(&msg.encode(false)).expect("decodes");
+        let obf = Message::decode(&msg.encode(true)).expect("decodes");
+        prop_assert_eq!(plain, obf);
+    }
+}

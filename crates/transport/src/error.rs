@@ -1,0 +1,65 @@
+//! Socket error codes.
+//!
+//! These mirror the POSIX errno values that the paper's §4.2 step 4 and
+//! §4.3 talk about: `ECONNRESET`, `EHOSTUNREACH`, `EADDRINUSE`,
+//! `ETIMEDOUT`. Hole-punching logic branches on them, so they are a
+//! first-class enum rather than strings.
+
+use std::fmt;
+
+/// Errors surfaced by the socket API and by asynchronous socket events.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SocketError {
+    /// The requested local endpoint is already bound (`EADDRINUSE`).
+    ///
+    /// Also delivered asynchronously to a `connect()` whose 4-tuple was
+    /// claimed by a socket accepted off a listener — the second §4.3
+    /// behaviour ("address in use" after the accept succeeds).
+    AddrInUse,
+    /// The peer refused the connection with a RST (`ECONNREFUSED`).
+    ConnectionRefused,
+    /// The connection was reset by a RST (`ECONNRESET`).
+    ConnectionReset,
+    /// An ICMP error reported the destination unreachable (`EHOSTUNREACH`).
+    HostUnreachable,
+    /// Retransmissions were exhausted (`ETIMEDOUT`).
+    TimedOut,
+    /// The socket is not in a state that allows the operation (`EINVAL`).
+    InvalidState,
+    /// The socket id does not name a live socket (`EBADF`).
+    BadSocket,
+    /// No ephemeral ports remain in the configured range.
+    PortsExhausted,
+}
+
+impl fmt::Display for SocketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SocketError::AddrInUse => "address in use",
+            SocketError::ConnectionRefused => "connection refused",
+            SocketError::ConnectionReset => "connection reset by peer",
+            SocketError::HostUnreachable => "host unreachable",
+            SocketError::TimedOut => "connection timed out",
+            SocketError::InvalidState => "invalid socket state",
+            SocketError::BadSocket => "bad socket descriptor",
+            SocketError::PortsExhausted => "ephemeral ports exhausted",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl std::error::Error for SocketError {}
+
+/// Convenience alias for socket-API results.
+pub type SockResult<T> = Result<T, SocketError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(SocketError::AddrInUse.to_string(), "address in use");
+        assert_eq!(SocketError::TimedOut.to_string(), "connection timed out");
+    }
+}

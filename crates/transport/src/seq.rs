@@ -1,0 +1,71 @@
+//! TCP sequence-number arithmetic (RFC 793 §3.3).
+//!
+//! Sequence numbers live on a 32-bit circle; comparisons are modular.
+//! `a < b` means "a is earlier than b" when the distance is less than
+//! half the circle.
+
+/// Returns true if `a` is strictly earlier than `b` on the circle.
+pub fn lt(a: u32, b: u32) -> bool {
+    (a.wrapping_sub(b) as i32) < 0
+}
+
+/// Returns true if `a` is earlier than or equal to `b`.
+pub fn le(a: u32, b: u32) -> bool {
+    a == b || lt(a, b)
+}
+
+/// Returns true if `a` is strictly later than `b`.
+pub fn gt(a: u32, b: u32) -> bool {
+    lt(b, a)
+}
+
+/// Returns true if `a` is later than or equal to `b`.
+pub fn ge(a: u32, b: u32) -> bool {
+    le(b, a)
+}
+
+/// Returns true if `x` lies in the half-open interval `[lo, hi)` on the
+/// circle.
+pub fn in_range(x: u32, lo: u32, hi: u32) -> bool {
+    if lo == hi {
+        return false;
+    }
+    hi.wrapping_sub(lo) > x.wrapping_sub(lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_ordering() {
+        assert!(lt(1, 2));
+        assert!(!lt(2, 1));
+        assert!(!lt(5, 5));
+        assert!(le(5, 5));
+        assert!(gt(7, 3));
+        assert!(ge(7, 7));
+    }
+
+    #[test]
+    fn wraparound_ordering() {
+        assert!(lt(u32::MAX, 0));
+        assert!(lt(u32::MAX - 10, 5));
+        assert!(gt(5, u32::MAX - 10));
+        assert!(le(u32::MAX, 0));
+    }
+
+    #[test]
+    fn range_membership() {
+        assert!(in_range(5, 5, 10));
+        assert!(in_range(9, 5, 10));
+        assert!(!in_range(10, 5, 10));
+        assert!(!in_range(4, 5, 10));
+        // Wrapping interval.
+        assert!(in_range(u32::MAX, u32::MAX - 2, 3));
+        assert!(in_range(1, u32::MAX - 2, 3));
+        assert!(!in_range(3, u32::MAX - 2, 3));
+        // Empty interval contains nothing.
+        assert!(!in_range(7, 7, 7));
+    }
+}

@@ -1,0 +1,70 @@
+//! Classify a NAT's mapping behaviour from behind it (the §5.1 probing
+//! prerequisite for port prediction), STUN-style, against two rendezvous
+//! servers.
+//!
+//! Run with: `cargo run --example classify_nat`
+
+use p2p_punch::lab::{PeerSetup, WorldBuilder};
+use p2p_punch::prelude::*;
+use p2p_punch::punch::{Classifier, MappingVerdict};
+use std::net::Ipv4Addr;
+
+const S1: Ipv4Addr = Ipv4Addr::new(18, 181, 0, 31);
+const S2: Ipv4Addr = Ipv4Addr::new(64, 15, 12, 2);
+
+fn classify(label: &str, nat: Option<NatBehavior>) {
+    let servers: Vec<Endpoint> = vec![Endpoint::new(S1, 1234), Endpoint::new(S2, 1234)];
+    let mut wb = WorldBuilder::new(9);
+    wb.server(S1, RendezvousServer::new(ServerConfig::default()));
+    wb.server(S2, RendezvousServer::new(ServerConfig::default()));
+    let idx = match nat {
+        Some(behavior) => {
+            let n = wb.nat(behavior, "155.99.25.11".parse().unwrap());
+            wb.client(
+                "10.0.0.1".parse().unwrap(),
+                n,
+                PeerSetup::new(Classifier::new(servers)),
+            )
+        }
+        None => wb.public_client(
+            "99.1.1.1".parse().unwrap(),
+            PeerSetup::new(Classifier::new(servers)),
+        ),
+    };
+    let mut world = wb.build();
+    let node = world.clients[idx];
+    world.run_until_app::<Classifier>(node, SimTime::from_secs(30), |c| c.report().is_some());
+    let report = world
+        .app::<Classifier>(node)
+        .report()
+        .expect("finished")
+        .clone();
+    let verdict = match report.mapping {
+        MappingVerdict::NoNat => "no NAT (publicly reachable)".to_string(),
+        MappingVerdict::EndpointIndependent => "cone NAT — hole punching will work (§5.1)".into(),
+        MappingVerdict::AddressDependent => "address-dependent mapping".into(),
+        MappingVerdict::AddressAndPortDependent => match report.delta {
+            Some(d) => format!("symmetric NAT, port delta {d:+} — predictable, prediction viable"),
+            None => "symmetric NAT, no stable delta — prediction hopeless".into(),
+        },
+        MappingVerdict::Unknown => "unknown (probes lost)".into(),
+    };
+    println!("{label:<42} -> {verdict}");
+    for (via, seen) in &report.observations {
+        println!("    probe via {via:<18} observed {seen}");
+    }
+}
+
+fn main() {
+    println!("STUN-style classification against two servers (2 ports each):\n");
+    classify("no NAT", None);
+    classify("well-behaved cone NAT", Some(NatBehavior::well_behaved()));
+    classify(
+        "symmetric NAT, sequential ports",
+        Some(NatBehavior::symmetric().with_port_alloc(PortAllocation::Sequential)),
+    );
+    classify(
+        "symmetric NAT, random ports",
+        Some(NatBehavior::symmetric().with_port_alloc(PortAllocation::Random)),
+    );
+}
