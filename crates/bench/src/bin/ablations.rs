@@ -78,19 +78,18 @@ fn main() {
     totals("single-client survey, 30% contention-breakers", &contended);
     println!("   (identical UDP column to baseline — the blind spot)\n");
 
-    // The paired check sees them.
-    let mut hidden = 0;
-    let mut checked = 0;
-    for seed in 0..30u64 {
+    // The paired check sees them. Each device is an independent sim:
+    // fan out on the pool.
+    let checked = 30usize;
+    let hidden = punch_lab::par::run_n(checked, |seed| {
         let behavior = NatBehavior {
             contention_breaks_consistency: seed % 3 == 0, // 10 of 30
             ..NatBehavior::well_behaved()
         };
-        let pair = check_nat_pair(behavior, 7000 + seed);
-        checked += 1;
-        if pair.hidden_contention_failure() {
-            hidden += 1;
-        }
-    }
+        check_nat_pair(behavior, 7000 + seed as u64).hidden_contention_failure()
+    })
+    .into_iter()
+    .filter(|&h| h)
+    .count();
     println!("   paired check over {checked} devices (10 seeded breakers): {hidden} hidden failures exposed");
 }

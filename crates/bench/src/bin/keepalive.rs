@@ -4,19 +4,23 @@
 //! Run: `cargo run --release -p punch-bench --bin keepalive`
 
 use punch_bench::keepalive_trial;
+use punch_lab::par;
 use punch_net::Duration;
 
 fn main() {
     println!("== E5: session survival after 120 s of application silence ==");
     println!("   NAT idle timer 20 s (the paper's worst observed case)\n");
     println!("   keepalive   survived   re-punches to recover");
-    for ka_secs in [10u64, 15, 19, 25, 40, 600] {
-        let (survived, repunches) = keepalive_trial(
+    let ka_sweep = [10u64, 15, 19, 25, 40, 600];
+    let ka_results = par::run(&ka_sweep, |_, &ka_secs| {
+        keepalive_trial(
             1,
             Duration::from_secs(20),
             Duration::from_secs(ka_secs),
             Duration::from_secs(120),
-        );
+        )
+    });
+    for (ka_secs, (survived, repunches)) in ka_sweep.iter().zip(ka_results) {
         println!(
             "   {:>6} s    {:<9} {}",
             ka_secs,
@@ -26,13 +30,16 @@ fn main() {
     }
     println!();
     println!("== NAT timer sweep (keepalive fixed at 15 s) ==");
-    for timer in [10u64, 20, 30, 60, 120] {
-        let (survived, repunches) = keepalive_trial(
+    let timer_sweep = [10u64, 20, 30, 60, 120];
+    let timer_results = par::run(&timer_sweep, |_, &timer| {
+        keepalive_trial(
             2,
             Duration::from_secs(timer),
             Duration::from_secs(15),
             Duration::from_secs(120),
-        );
+        )
+    });
+    for (timer, (survived, repunches)) in timer_sweep.iter().zip(timer_results) {
         println!(
             "   NAT timer {:>4} s -> survived: {:<5} re-punches: {}",
             timer, survived, repunches

@@ -4,27 +4,30 @@
 //! Run: `cargo run --release -p punch-bench --bin latency`
 
 use punch_bench::{median, ms, relay_vs_direct, seq_vs_par, udp_punch_on, Outcome, Topology};
+use punch_lab::par;
 use punch_nat::NatBehavior;
 use punch_net::{Duration, LinkSpec};
 
 fn main() {
     println!("== E3a: UDP punch latency vs WAN one-way latency ==");
     for wan_ms in [10u64, 30, 60, 100, 200] {
-        let mut lats = Vec::new();
-        for seed in 0..5u64 {
-            let out = udp_punch_on(
+        let lats: Vec<Duration> = par::run_n(5, |seed| {
+            match udp_punch_on(
                 Topology::TwoNats(
                     Some(NatBehavior::well_behaved()),
                     Some(NatBehavior::well_behaved()),
                 ),
-                seed,
+                seed as u64,
                 |_| {},
                 LinkSpec::new(Duration::from_millis(wan_ms)),
-            );
-            if let Outcome::Direct(d) = out {
-                lats.push(d);
+            ) {
+                Outcome::Direct(d) => Some(d),
+                _ => None,
             }
-        }
+        })
+        .into_iter()
+        .flatten()
+        .collect();
         println!(
             "  wan {wan_ms:>4} ms  -> {}/5 direct, median punch {}",
             lats.len(),
@@ -38,52 +41,46 @@ fn main() {
 
     println!("\n== E3b: UDP punch success vs loss rate (30 volleys budget) ==");
     for loss in [0.0f64, 0.05, 0.10, 0.20, 0.30] {
-        let mut direct = 0;
-        let n = 10;
-        for seed in 0..n {
-            let out = udp_punch_on(
-                Topology::TwoNats(
-                    Some(NatBehavior::well_behaved()),
-                    Some(NatBehavior::well_behaved()),
+        let n = 10usize;
+        let direct = par::run_n(n, |seed| {
+            matches!(
+                udp_punch_on(
+                    Topology::TwoNats(
+                        Some(NatBehavior::well_behaved()),
+                        Some(NatBehavior::well_behaved()),
+                    ),
+                    300 + seed as u64,
+                    |c| c.punch.max_attempts = 30,
+                    LinkSpec::wan().with_loss(loss),
                 ),
-                300 + seed,
-                |c| c.punch.max_attempts = 30,
-                LinkSpec::wan().with_loss(loss),
-            );
-            if matches!(out, Outcome::Direct(_)) {
-                direct += 1;
-            }
-        }
+                Outcome::Direct(_)
+            )
+        })
+        .into_iter()
+        .filter(|&d| d)
+        .count();
         println!("  loss {:>3.0}% -> {direct}/{n} direct", loss * 100.0);
     }
 
     println!("\n== E8: parallel (§4.2) vs sequential (§4.5) TCP punch ==");
     for wait_ms in [100u64, 400, 700, 1500] {
-        let mut par = Vec::new();
-        let mut seq = Vec::new();
-        for seed in 0..5u64 {
-            let (p, s) = seq_vs_par(400 + seed, Duration::from_millis(wait_ms));
-            if let Some(d) = p {
-                par.push(d);
-            }
-            if let Some(d) = s {
-                seq.push(d);
-            }
-        }
+        let trials = par::run_n(5, |seed| seq_vs_par(400 + seed as u64, Duration::from_millis(wait_ms)));
+        let par_wins: Vec<Duration> = trials.iter().filter_map(|(p, _)| *p).collect();
+        let seq_wins: Vec<Duration> = trials.iter().filter_map(|(_, s)| *s).collect();
         println!(
             "  doomed_wait {wait_ms:>5} ms -> parallel {} ({}/5), sequential {} ({}/5)",
-            if par.is_empty() {
+            if par_wins.is_empty() {
                 "-".into()
             } else {
-                ms(median(par.clone()))
+                ms(median(par_wins.clone()))
             },
-            par.len(),
-            if seq.is_empty() {
+            par_wins.len(),
+            if seq_wins.is_empty() {
                 "-".into()
             } else {
-                ms(median(seq.clone()))
+                ms(median(seq_wins.clone()))
             },
-            seq.len(),
+            seq_wins.len(),
         );
     }
     println!("  (parallel completes ~as soon as both connects launch; sequential adds");

@@ -108,19 +108,19 @@ fn main() {
         ("RST", TcpUnsolicited::Rst),
         ("ICMP error", TcpUnsolicited::IcmpError),
     ] {
-        let mut lat = Vec::new();
-        for seed in 0..7u64 {
+        let lat: Vec<Duration> = punch_lab::par::run_n(7, |seed| {
             let nat_b = NatBehavior::well_behaved().with_tcp_unsolicited(policy);
-            if let Some(d) = tcp_punch_latency(
-                100 + seed,
+            tcp_punch_latency(
+                100 + seed as u64,
                 NatBehavior::well_behaved(),
                 nat_b,
                 Some(LinkSpec::new(Duration::from_millis(120))),
                 |_| {},
-            ) {
-                lat.push(d);
-            }
-        }
+            )
+        })
+        .into_iter()
+        .flatten()
+        .collect();
         let n = lat.len();
         if n == 0 {
             println!("  {label:<22} -> all failed");
@@ -142,20 +142,20 @@ fn main() {
         ("RST", TcpUnsolicited::Rst),
         ("ICMP error", TcpUnsolicited::IcmpError),
     ] {
-        let mut lat = Vec::new();
         let n = 15u64;
-        for seed in 0..n {
+        let lat: Vec<Duration> = punch_lab::par::run_n(n as usize, |seed| {
             let nat_b = NatBehavior::well_behaved().with_tcp_unsolicited(policy);
-            if let Some(d) = tcp_punch_latency(
-                200 + seed,
+            tcp_punch_latency(
+                200 + seed as u64,
                 NatBehavior::well_behaved(),
                 nat_b,
                 Some(LinkSpec::new(Duration::from_millis(120)).with_loss(0.25)),
                 |_| {},
-            ) {
-                lat.push(d);
-            }
-        }
+            )
+        })
+        .into_iter()
+        .flatten()
+        .collect();
         let k = lat.len();
         if k == 0 {
             println!("  {label:<22} -> all failed");
@@ -180,15 +180,22 @@ fn main() {
         print!("{name:>10}");
     }
     println!();
-    for (ra, na) in &kinds {
+    // All 25 cells are independent simulations: fan out on the pool,
+    // then print in row order.
+    let cells: Vec<(usize, usize)> = (0..kinds.len())
+        .flat_map(|r| (0..kinds.len()).map(move |c| (r, c)))
+        .collect();
+    let outcomes = punch_lab::par::run(&cells, |_, &(r, c)| {
+        udp_punch(
+            Topology::TwoNats(kinds[r].1.clone(), kinds[c].1.clone()),
+            50 + c as u64,
+            |_| {},
+        )
+    });
+    for (r, (ra, _)) in kinds.iter().enumerate() {
         print!("  {ra:<10}");
-        for (i, (_, nb)) in kinds.iter().enumerate() {
-            let out = udp_punch(
-                Topology::TwoNats(na.clone(), nb.clone()),
-                50 + i as u64,
-                |_| {},
-            );
-            print!("{:>10}", out.label());
+        for c in 0..kinds.len() {
+            print!("{:>10}", outcomes[r * kinds.len() + c].label());
         }
         println!();
     }

@@ -276,7 +276,9 @@ pub fn prediction_trial(
         .run_until_app::<UdpPeer>(sc.a, SimTime::from_secs(40), |p| p.is_established(B))
 }
 
-/// Success rate of [`prediction_trial`] over `n` seeds.
+/// Success rate of [`prediction_trial`] over `n` seeds. Trials are
+/// independent simulations, so they fan out on the [`punch_lab::par`]
+/// pool.
 pub fn prediction_rate(
     base_seed: u64,
     n: u64,
@@ -284,9 +286,12 @@ pub fn prediction_rate(
     window: u16,
     chatter: Option<Duration>,
 ) -> f64 {
-    let wins = (0..n)
-        .filter(|i| prediction_trial(base_seed + i * 7919, alloc, window, chatter))
-        .count();
+    let wins = punch_lab::par::run_n(n as usize, |i| {
+        prediction_trial(base_seed + i as u64 * 7919, alloc, window, chatter)
+    })
+    .into_iter()
+    .filter(|&won| won)
+    .count();
     wins as f64 / n as f64
 }
 

@@ -357,7 +357,9 @@ fn sequential_mode_with_tiny_doomed_wait_is_fragile() {
     };
     let mut wins_short = 0;
     let mut wins_long = 0;
-    for seed in 40..45 {
+    let seeds = 40..70u64;
+    let n = seeds.end - seeds.start;
+    for seed in seeds {
         if run(Duration::from_millis(5), seed).is_some() {
             wins_short += 1;
         }
@@ -369,9 +371,12 @@ fn sequential_mode_with_tiny_doomed_wait_is_fragile() {
         wins_long >= wins_short,
         "longer doomed_wait should not be less robust ({wins_long} vs {wins_short})"
     );
+    // Two-thirds rather than "almost always": the margin keeps the
+    // assertion meaningful without being tuned to one RNG stream's
+    // particular draws on a handful of seeds.
     assert!(
-        wins_long >= 4,
-        "comfortable doomed_wait should almost always work at 15% loss ({wins_long}/5)"
+        3 * wins_long >= 2 * n,
+        "comfortable doomed_wait should usually work at 15% loss ({wins_long}/{n})"
     );
 }
 

@@ -13,7 +13,12 @@
 //!
 //! All builders return a [`World`] wrapping the [`punch_net::Sim`], with helpers to
 //! reach into host applications.
+//!
+//! The [`par`] module runs fan-outs of independent simulations on a
+//! worker pool while keeping results in task order, so experiment
+//! output stays byte-identical to a sequential run.
 
+pub mod par;
 pub mod world;
 
 #[cfg(test)]

@@ -186,6 +186,20 @@ impl VendorProfile {
     /// inside each reporting subset and the vendor's observed rates
     /// outside it.
     pub fn sample_population(&self, rng: &mut StdRng) -> Vec<SampledNat> {
+        self.sample_population_capped(rng, None)
+    }
+
+    /// [`VendorProfile::sample_population`], but only materializing the
+    /// first `cap` devices. The per-axis quota/subset assignments are
+    /// still drawn over the full population (so the prefix is exactly
+    /// the first `cap` devices of the full sample), but per-device
+    /// behaviour construction — the expensive part — stops at the cap.
+    /// Smoke surveys use this to avoid paying full sampling cost.
+    pub fn sample_population_capped(
+        &self,
+        rng: &mut StdRng,
+        cap: Option<u32>,
+    ) -> Vec<SampledNat> {
         let s = self.spec;
         let n = s.udp.1;
         assert!(
@@ -208,9 +222,10 @@ impl VendorProfile {
         let tcp_rate = s.tcp.0 as f64 / s.tcp.1.max(1) as f64;
         let tcp_hp_rate = s.tcp_hairpin.0 as f64 / s.tcp_hairpin.1.max(1) as f64;
 
+        let limit = cap.map_or(n, |c| c.min(n));
         let (mut hp_idx, mut tcp_idx, mut tcp_hp_idx) = (0usize, 0usize, 0usize);
-        let mut out = Vec::with_capacity(n as usize);
-        for i in 0..n as usize {
+        let mut out = Vec::with_capacity(limit as usize);
+        for i in 0..limit as usize {
             let udp_hp = udp_ok[i];
             let hairpin_udp = if in_hp[i] {
                 let v = hp_in[hp_idx];
@@ -398,6 +413,22 @@ mod tests {
         }
         let c = sample(6);
         assert!(a.iter().zip(&c).any(|(x, y)| x.behavior != y.behavior));
+    }
+
+    #[test]
+    fn capped_sampling_is_a_prefix_of_the_full_sample() {
+        let profile = VendorProfile::new(VENDORS[0]); // Linksys, n=46
+        let full = profile.sample_population(&mut StdRng::seed_from_u64(11));
+        for cap in [0u32, 1, 5, 46, 100] {
+            let capped =
+                profile.sample_population_capped(&mut StdRng::seed_from_u64(11), Some(cap));
+            assert_eq!(capped.len(), (cap.min(46)) as usize);
+            for (a, b) in capped.iter().zip(&full) {
+                assert_eq!(a.behavior, b.behavior);
+                assert_eq!(a.in_hairpin_sample, b.in_hairpin_sample);
+                assert_eq!(a.in_tcp_sample, b.in_tcp_sample);
+            }
+        }
     }
 
     #[test]

@@ -24,5 +24,8 @@ pub mod wire;
 pub use client::{NatCheckClient, NatCheckReport};
 pub use pair::{check_nat_pair, PairReport};
 pub use servers::{CheckServer, ServerRole, CHECK_PORT, S3_PROBE_PORT};
-pub use survey::{check_nat, run_survey, run_survey_mutated, SurveyResult, SurveyRow};
+pub use survey::{
+    check_nat, check_nat_instrumented, run_survey, run_survey_mutated,
+    run_survey_mutated_with_workers, SurveyResult, SurveyRow,
+};
 pub use wire::{CheckFrames, CheckMsg, InboundStatus};

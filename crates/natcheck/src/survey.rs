@@ -3,9 +3,10 @@
 
 use crate::client::{NatCheckClient, NatCheckReport};
 use crate::servers::{CheckServer, ServerRole};
-use punch_lab::WorldBuilder;
-use punch_nat::{NatBehavior, VendorProfile, VENDORS};
-use punch_net::SimTime;
+use punch_lab::{par, WorldBuilder};
+use punch_nat::{NatBehavior, SampledNat, VendorProfile, VENDORS};
+use punch_net::seed::{derive_seed, mix};
+use punch_net::{SimStats, SimTime};
 use punch_transport::HostDevice;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -21,6 +22,12 @@ pub const S3: Ipv4Addr = Ipv4Addr::new(128, 8, 126, 9);
 /// Runs the full NAT Check procedure against one NAT configuration and
 /// returns the measured report.
 pub fn check_nat(behavior: NatBehavior, seed: u64) -> NatCheckReport {
+    check_nat_instrumented(behavior, seed).0
+}
+
+/// [`check_nat`], also returning the engine counters of the underlying
+/// simulation — the survey aggregates these into its throughput figures.
+pub fn check_nat_instrumented(behavior: NatBehavior, seed: u64) -> (NatCheckReport, SimStats) {
     let mut wb = WorldBuilder::new(seed);
     wb.server(S1, CheckServer::new(ServerRole::One));
     wb.server(S2, CheckServer::new(ServerRole::Two { s3: S3 }));
@@ -34,11 +41,12 @@ pub fn check_nat(behavior: NatBehavior, seed: u64) -> NatCheckReport {
     let mut world = wb.build();
     let client = world.clients[0];
     world.run_until_app::<NatCheckClient>(client, SimTime::from_secs(120), |c| c.done());
-    world
+    let report = world
         .sim
         .device::<HostDevice>(client)
         .app::<NatCheckClient>()
-        .report()
+        .report();
+    (report, world.sim.stats())
 }
 
 /// One reproduced Table 1 row: `(compatible, tested)` per column.
@@ -93,6 +101,16 @@ pub struct SurveyResult {
     pub rows: Vec<SurveyRow>,
     /// The "All Vendors" totals row.
     pub total: SurveyRow,
+    /// Devices measured end-to-end.
+    pub devices: u64,
+    /// Engine events dispatched, summed over every device simulation
+    /// (deterministic per seed).
+    pub sim_events: u64,
+    /// Wall-clock nanoseconds the engines spent in their run loops,
+    /// summed over devices. Under parallel execution this exceeds the
+    /// survey's elapsed time (it is CPU time, not latency); not
+    /// deterministic.
+    pub sim_busy_nanos: u64,
 }
 
 impl SurveyResult {
@@ -124,44 +142,89 @@ pub fn run_survey(seed: u64, per_vendor_cap: Option<u32>) -> SurveyResult {
 /// [`run_survey`] with a hook that may mutate each sampled device's
 /// behaviour before measurement — the substrate for ablation studies
 /// (force payload mangling, hairpin filtering, contention breakage, ...).
+///
+/// Devices are measured on the [`par`] worker pool. Each device's task
+/// is self-contained: its simulation seed and its mutation RNG both
+/// derive from `(seed, vendor, index)` via [`derive_seed`], never from
+/// a stream shared across devices — so the result is identical for any
+/// worker count (see [`run_survey_mutated_with_workers`] and the
+/// determinism regression tests).
 pub fn run_survey_mutated(
     seed: u64,
     per_vendor_cap: Option<u32>,
-    mutate: impl Fn(&mut NatBehavior, &mut StdRng),
+    mutate: impl Fn(&mut NatBehavior, &mut StdRng) + Sync,
 ) -> SurveyResult {
+    run_survey_mutated_with_workers(seed, per_vendor_cap, None, mutate)
+}
+
+/// Salt folded into a device's seed to decouple its mutation RNG stream
+/// from its simulation RNG stream (b"mutate" as an integer).
+const MUTATE_SALT: u64 = 0x6d75_7461_7465;
+
+/// [`run_survey_mutated`] with an explicit worker count (`None` = the
+/// [`par::jobs`] default). Output is byte-identical across worker
+/// counts; the explicit form exists so tests can prove that.
+pub fn run_survey_mutated_with_workers(
+    seed: u64,
+    per_vendor_cap: Option<u32>,
+    workers: Option<usize>,
+    mutate: impl Fn(&mut NatBehavior, &mut StdRng) + Sync,
+) -> SurveyResult {
+    // Phase 1 — sequential: sample every vendor population from one RNG
+    // stream in vendor order (quota assignment is inherently a
+    // whole-population draw, and it is cheap next to measurement).
     let mut rng = StdRng::seed_from_u64(seed);
+    let mut tasks: Vec<(usize, u64, SampledNat)> = Vec::new();
+    for (v, spec) in VENDORS.iter().enumerate() {
+        let population =
+            VendorProfile::new(*spec).sample_population_capped(&mut rng, per_vendor_cap);
+        for (i, device) in population.into_iter().enumerate() {
+            tasks.push((v, i as u64, device));
+        }
+    }
+
+    // Phase 2 — parallel: run NAT Check end-to-end on every device.
+    // Each task derives its own seeds from its identity alone.
+    let measure = |_: usize, (v, i, device): &(usize, u64, SampledNat)| {
+        let vendor = VENDORS[*v].name;
+        let device_seed = derive_seed(seed, vendor, *i);
+        let mut behavior = device.behavior.clone();
+        let mut mutation_rng = StdRng::seed_from_u64(mix(device_seed ^ MUTATE_SALT));
+        mutate(&mut behavior, &mut mutation_rng);
+        check_nat_instrumented(behavior, device_seed)
+    };
+    let reports = match workers {
+        Some(w) => par::run_with_workers(&tasks, w, measure),
+        None => par::run(&tasks, measure),
+    };
+
+    // Phase 3 — sequential: tally in task order, so the table is
+    // independent of which worker measured which device.
     let mut result = SurveyResult::default();
     result.total.vendor = "All".into();
-    for spec in VENDORS {
-        let mut row = SurveyRow {
+    result.rows = VENDORS
+        .iter()
+        .map(|spec| SurveyRow {
             vendor: spec.name.to_string(),
             ..SurveyRow::default()
-        };
-        let population = VendorProfile::new(*spec).sample_population(&mut rng);
-        for (i, device) in population.iter().enumerate() {
-            if let Some(cap) = per_vendor_cap {
-                if i as u32 >= cap {
-                    break;
-                }
-            }
-            let device_seed = seed ^ ((i as u64) << 20) ^ fxhash(spec.name);
-            let mut behavior = device.behavior.clone();
-            mutate(&mut behavior, &mut rng);
-            let report = check_nat(behavior, device_seed);
-            tally(
-                &mut row,
-                device.in_hairpin_sample,
-                device.in_tcp_sample,
-                &report,
-            );
-            tally(
-                &mut result.total,
-                device.in_hairpin_sample,
-                device.in_tcp_sample,
-                &report,
-            );
-        }
-        result.rows.push(row);
+        })
+        .collect();
+    for ((v, _, device), (report, stats)) in tasks.iter().zip(&reports) {
+        tally(
+            &mut result.rows[*v],
+            device.in_hairpin_sample,
+            device.in_tcp_sample,
+            report,
+        );
+        tally(
+            &mut result.total,
+            device.in_hairpin_sample,
+            device.in_tcp_sample,
+            report,
+        );
+        result.devices += 1;
+        result.sim_events += stats.events;
+        result.sim_busy_nanos += stats.busy_nanos;
     }
     result
 }
@@ -190,10 +253,4 @@ fn tally(row: &mut SurveyRow, in_hairpin: bool, in_tcp: bool, report: &NatCheckR
             row.tcp_hairpin.0 += u32::from(hp);
         }
     }
-}
-
-fn fxhash(s: &str) -> u64 {
-    s.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-        (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
-    })
 }

@@ -46,6 +46,7 @@ pub mod link;
 pub mod node;
 pub mod packet;
 pub mod router;
+pub mod seed;
 pub mod sim;
 pub mod testutil;
 pub mod time;

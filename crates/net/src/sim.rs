@@ -8,16 +8,24 @@
 use crate::link::LinkSpec;
 use crate::node::{Ctx, Device, IfaceId, NodeId};
 use crate::packet::Packet;
+use crate::seed::mix;
 use crate::time::SimTime;
 use crate::trace::{TraceDir, TraceEvent, Tracer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Counters maintained by the engine.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+///
+/// All counters are deterministic functions of the seed and the API
+/// call sequence, except `busy_nanos`, which measures host wall-clock
+/// time and therefore varies run to run. Equality deliberately ignores
+/// `busy_nanos` so determinism tests can compare whole `SimStats`
+/// values.
+#[derive(Clone, Copy, Debug, Default)]
 pub struct SimStats {
     /// Events dispatched.
     pub events: u64,
@@ -29,6 +37,44 @@ pub struct SimStats {
     pub packets_lost: u64,
     /// Packets dropped by devices (NAT filtering, no route, ...).
     pub device_drops: u64,
+    /// Host wall-clock nanoseconds spent inside the run loops
+    /// ([`Sim::run_until`], [`Sim::run_until_idle`], [`Sim::run_while`]).
+    /// Not deterministic; excluded from equality.
+    pub busy_nanos: u64,
+}
+
+impl PartialEq for SimStats {
+    fn eq(&self, other: &Self) -> bool {
+        // busy_nanos is wall-clock measurement metadata, not simulation
+        // state — see the struct docs.
+        (
+            self.events,
+            self.packets_sent,
+            self.packets_delivered,
+            self.packets_lost,
+            self.device_drops,
+        ) == (
+            other.events,
+            other.packets_sent,
+            other.packets_delivered,
+            other.packets_lost,
+            other.device_drops,
+        )
+    }
+}
+
+impl Eq for SimStats {}
+
+impl SimStats {
+    /// Events dispatched per wall-clock second of run-loop time, the
+    /// engine's throughput figure of merit. Returns `None` until some
+    /// busy time has been recorded.
+    pub fn events_per_sec(&self) -> Option<f64> {
+        if self.busy_nanos == 0 {
+            return None;
+        }
+        Some(self.events as f64 * 1e9 / self.busy_nanos as f64)
+    }
 }
 
 enum EventKind {
@@ -78,7 +124,9 @@ struct LinkRef {
 }
 
 struct NodeMeta {
-    name: String,
+    /// Interned once at `add_node`; trace events share it by refcount
+    /// instead of cloning a `String` per recorded event.
+    name: Arc<str>,
     ifaces: Vec<LinkRef>,
     rng: StdRng,
 }
@@ -102,15 +150,6 @@ pub(crate) struct SimCore {
     stats: SimStats,
 }
 
-/// SplitMix64 finalizer, used to derive independent per-node RNG seeds
-/// from the simulation seed.
-fn mix(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
-
 impl SimCore {
     fn push(&mut self, at: SimTime, kind: EventKind) {
         let seq = self.seq;
@@ -131,17 +170,26 @@ impl SimCore {
         &mut self.nodes[node.index()].rng
     }
 
+    /// Records a trace event. The disabled case is the hot path — one
+    /// branch, no allocation, nothing constructed — since `transmit` and
+    /// `step` call this for every packet.
+    #[inline]
     fn trace(&mut self, node: NodeId, iface: IfaceId, dir: TraceDir, pkt: &Packet) {
-        if let Some(tr) = &mut self.tracer {
-            tr.record(TraceEvent {
-                time: self.time,
-                node,
-                node_name: self.nodes[node.index()].name.clone(),
-                iface,
-                dir,
-                packet: pkt.summary(),
-            });
-        }
+        let Some(tr) = &mut self.tracer else {
+            return;
+        };
+        let time = self.time;
+        let name = &self.nodes[node.index()].name;
+        // The packet summary `String` is only built if the tracer still
+        // has room; full traces stop paying for formatting.
+        tr.record_with(|| TraceEvent {
+            time,
+            node,
+            node_name: Arc::clone(name),
+            iface,
+            dir,
+            packet: pkt.summary(),
+        });
     }
 
     pub(crate) fn note_device_drop(&mut self, node: NodeId, reason: &'static str, pkt: &Packet) {
@@ -217,13 +265,18 @@ pub struct Sim {
 /// which in practice means a device is re-arming timers forever.
 const IDLE_EVENT_CAP: u64 = 50_000_000;
 
+/// Initial event-queue capacity (number of `Scheduled` entries).
+const EVENT_HEAP_CAPACITY: usize = 1024;
+
 impl Sim {
     /// Creates an empty simulation. All randomness derives from `seed`.
     pub fn new(seed: u64) -> Self {
         Sim {
             core: SimCore {
                 time: SimTime::ZERO,
-                heap: BinaryHeap::new(),
+                // Pre-sized so typical scenarios (a few nodes exchanging
+                // bursts) never reallocate the event queue mid-run.
+                heap: BinaryHeap::with_capacity(EVENT_HEAP_CAPACITY),
                 seq: 0,
                 links: Vec::new(),
                 nodes: Vec::new(),
@@ -252,7 +305,7 @@ impl Sim {
 
     /// Adds a node running `device`; its `on_start` runs when the
     /// simulation next executes.
-    pub fn add_node(&mut self, name: impl Into<String>, device: Box<dyn Device>) -> NodeId {
+    pub fn add_node(&mut self, name: impl Into<Arc<str>>, device: Box<dyn Device>) -> NodeId {
         let id = NodeId(u32::try_from(self.devices.len()).expect("too many nodes"));
         let rng = StdRng::seed_from_u64(mix(self.seed ^ mix(id.0 as u64 + 1)));
         self.core.nodes.push(NodeMeta {
@@ -419,6 +472,7 @@ impl Sim {
     /// `deadline` are processed. The clock ends at `deadline` even if the
     /// queue drains early.
     pub fn run_until(&mut self, deadline: SimTime) {
+        let started = Instant::now();
         while let Some(next) = self.core.heap.peek() {
             if next.at > deadline {
                 break;
@@ -428,6 +482,7 @@ impl Sim {
         if self.core.time < deadline {
             self.core.time = deadline;
         }
+        self.note_busy(started);
     }
 
     /// Runs for `d` of simulated time from now.
@@ -444,6 +499,7 @@ impl Sim {
     /// Panics after 50 million events, which indicates a device re-arming
     /// timers unboundedly; use [`Sim::run_until`] for such workloads.
     pub fn run_until_idle(&mut self) -> u64 {
+        let started = Instant::now();
         let mut n = 0u64;
         while self.step() {
             n += 1;
@@ -452,6 +508,7 @@ impl Sim {
                 "run_until_idle exceeded {IDLE_EVENT_CAP} events"
             );
         }
+        self.note_busy(started);
         n
     }
 
@@ -461,19 +518,29 @@ impl Sim {
         if pred(self) {
             return true;
         }
+        let started = Instant::now();
         while let Some(next) = self.core.heap.peek() {
             if next.at > deadline {
                 break;
             }
             self.step();
             if pred(self) {
+                self.note_busy(started);
                 return true;
             }
         }
         if self.core.time < deadline {
             self.core.time = deadline;
         }
+        self.note_busy(started);
         false
+    }
+
+    /// Accumulates wall-clock run-loop time into [`SimStats::busy_nanos`].
+    /// Sampled once per run-loop call (not per event) so the hot loop
+    /// pays nothing for the measurement.
+    fn note_busy(&mut self, started: Instant) {
+        self.core.stats.busy_nanos += u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
     }
 }
 
@@ -689,6 +756,28 @@ mod tests {
         sim.run_until_idle();
         assert_eq!(sim.device::<SinkDevice>(a).packets.len(), 1);
         assert_eq!(sim.device::<SinkDevice>(b).packets.len(), 1);
+    }
+
+    #[test]
+    fn busy_time_accumulates_but_does_not_affect_equality() {
+        let run = || {
+            let mut sim = Sim::new(3);
+            let a = sim.add_node("a", Box::new(SinkDevice::default()));
+            let b = sim.add_node("b", Box::new(EchoDevice::default()));
+            sim.connect(a, b, LinkSpec::lan());
+            for _ in 0..50 {
+                sim.with_node(a, |_, ctx| ctx.send(0, udp()));
+            }
+            sim.run_until_idle();
+            sim.stats()
+        };
+        let s1 = run();
+        let s2 = run();
+        assert!(s1.busy_nanos > 0, "run loop must record wall time");
+        assert!(s1.events_per_sec().unwrap() > 0.0);
+        // Deterministic counters match even though wall time differs.
+        assert_eq!(s1, s2);
+        assert_eq!(SimStats::default().events_per_sec(), None);
     }
 
     #[test]

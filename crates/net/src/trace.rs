@@ -8,6 +8,7 @@
 use crate::node::{IfaceId, NodeId};
 use crate::time::SimTime;
 use std::fmt;
+use std::sync::Arc;
 
 /// Direction or disposition of a traced packet event.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -29,8 +30,9 @@ pub struct TraceEvent {
     pub time: SimTime,
     /// The node transmitting, receiving, or dropping.
     pub node: NodeId,
-    /// Node name at recording time.
-    pub node_name: String,
+    /// Node name, shared with the engine's interned copy (no per-event
+    /// string allocation).
+    pub node_name: Arc<str>,
     /// The interface involved (0 for device drops that predate routing).
     pub iface: IfaceId,
     /// Direction or disposition.
@@ -77,6 +79,17 @@ impl Tracer {
     pub fn record(&mut self, ev: TraceEvent) {
         if self.events.len() < self.cap {
             self.events.push(ev);
+        } else {
+            self.truncated = true;
+        }
+    }
+
+    /// Like [`Tracer::record`], but only constructs the event if there
+    /// is room — callers with expensive event construction (packet
+    /// summaries allocate) use this so a full trace costs one branch.
+    pub fn record_with(&mut self, build: impl FnOnce() -> TraceEvent) {
+        if self.events.len() < self.cap {
+            self.events.push(build());
         } else {
             self.truncated = true;
         }

@@ -1,0 +1,236 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness, covering the API subset this workspace's benches
+//! use: `criterion_group!` / `criterion_main!`, benchmark groups,
+//! `bench_function`, `Bencher::iter`, `Throughput`, and `black_box`.
+//!
+//! Measurement is deliberately simple — warm up, then run timed batches
+//! until the measurement window closes, and report mean wall-clock per
+//! iteration (plus derived throughput when configured). No statistics,
+//! plots, or saved baselines; good enough to compare hot-path changes
+//! order-of-magnitude style while staying dependency-free.
+
+#![warn(missing_docs)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level harness configuration and entry point.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_secs(1),
+            sample_size: 50,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the measurement window.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up window.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the target number of samples.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Parses CLI configuration (accepted and ignored in the stand-in).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let cfg = self.clone();
+        run_bench(&cfg, name, None, f);
+        self
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Sets the sample size for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        let cfg = self.criterion.clone();
+        run_bench(&cfg, &full, self.throughput, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Iterations to run in the current batch.
+    iters: u64,
+    /// Time spent inside `iter` bodies for the current batch.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it as many times as the harness asks.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench(
+    cfg: &Criterion,
+    name: &str,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    // Warm-up: grow the batch size until one batch takes ~10 ms, so the
+    // measurement loop has a sensible granularity.
+    let mut iters = 1u64;
+    let warm_start = Instant::now();
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if warm_start.elapsed() >= cfg.warm_up_time {
+            break;
+        }
+        if b.elapsed < Duration::from_millis(10) {
+            iters = iters.saturating_mul(2);
+        }
+    }
+
+    let mut total = Duration::ZERO;
+    let mut total_iters = 0u64;
+    let mut samples = 0usize;
+    let measure_start = Instant::now();
+    while measure_start.elapsed() < cfg.measurement_time || samples < 2 {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        total += b.elapsed;
+        total_iters += iters;
+        samples += 1;
+        if samples >= cfg.sample_size && measure_start.elapsed() >= cfg.measurement_time {
+            break;
+        }
+    }
+
+    let per_iter = if total_iters == 0 {
+        Duration::ZERO
+    } else {
+        total / u32::try_from(total_iters.min(u64::from(u32::MAX))).unwrap_or(u32::MAX)
+    };
+    let per_iter_ns = total.as_nanos() as f64 / total_iters.max(1) as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!(
+                "  ({:.0} elem/s)",
+                n as f64 * 1e9 / per_iter_ns.max(f64::MIN_POSITIVE)
+            )
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!(
+                "  ({:.1} MiB/s)",
+                n as f64 * 1e9 / per_iter_ns.max(f64::MIN_POSITIVE) / (1024.0 * 1024.0)
+            )
+        }
+        None => String::new(),
+    };
+    let _ = per_iter;
+    println!(
+        "bench: {name:<40} {:>12.1} ns/iter  [{} samples x {} iters]{}",
+        per_iter_ns, samples, iters, rate
+    );
+}
+
+/// Declares a group of benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,50 @@
+//! Collection strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// Acceptable length specifications for [`vec`].
+pub trait SizeRange {
+    /// Draws a concrete length.
+    fn pick(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeRange for Range<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty size range");
+        rng.inner().gen_range(self.start..self.end)
+    }
+}
+
+impl SizeRange for usize {
+    fn pick(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+/// A strategy producing `Vec`s whose elements come from `element` and
+/// whose length is drawn from `size`.
+pub struct VecStrategy<S, R> {
+    element: S,
+    size: R,
+}
+
+/// Generates vectors of values from `element`, with length in `size`.
+pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R>
+where
+    S::Value: Debug,
+{
+    type Value = Vec<S::Value>;
+
+    fn sample_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.pick(rng);
+        (0..n).map(|_| self.element.sample_value(rng)).collect()
+    }
+}

@@ -1,0 +1,162 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate, implementing the strategy combinators and macros this
+//! workspace's property tests use.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! - **No shrinking.** A failing case panics with the generated inputs
+//!   in the message (every strategy value is `Debug`), but is not
+//!   minimized.
+//! - **Deterministic seeding.** Upstream seeds from OS entropy; this
+//!   stand-in derives each case's seed from the test-function name and
+//!   the case index, so failures reproduce bit-identically on every
+//!   machine — the same discipline the simulator itself follows.
+//!
+//! Supported surface: [`prelude`] (`proptest!`, `prop_oneof!`,
+//! `prop_assert!`, `prop_assert_eq!`, `any`, `Just`, `Strategy`,
+//! `ProptestConfig`), range strategies for integers and floats, tuple
+//! strategies up to arity 6, [`collection::vec`], and
+//! [`Strategy::prop_map`] / [`Strategy::prop_filter`] /
+//! [`Strategy::prop_flat_map`].
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Arbitrary, Just, Strategy};
+pub use test_runner::{Config as ProptestConfig, TestRng};
+
+/// The glob-import module, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn holds(x in 0u32..100, v in proptest::collection::vec(any::<u8>(), 0..16)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl [$cfg] $($rest)*);
+    };
+    (@impl [$cfg:expr]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                for case in 0..config.cases {
+                    let mut __proptest_rng =
+                        $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                    $(
+                        let $pat = $crate::strategy::Strategy::sample_value(
+                            &($strat),
+                            &mut __proptest_rng,
+                        );
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl [$crate::test_runner::Config::default()] $($rest)*);
+    };
+}
+
+/// Chooses uniformly between several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( Box::new($strat) as Box<dyn $crate::strategy::Strategy<Value = _>> ),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($arg:tt)*) => { assert_ne!($($arg)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_vecs_stay_in_bounds(
+            x in 5u16..10,
+            v in crate::collection::vec(any::<u8>(), 2..6),
+            f in 0.0f64..1.0,
+        ) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn oneof_and_map_compose(
+            y in prop_oneof![
+                (0u32..10).prop_map(|v| v * 2),
+                (100u32..110).prop_map(|v| v + 1),
+            ],
+        ) {
+            prop_assert!(y < 20 && y % 2 == 0 || (101u32..111).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_just(t in (any::<bool>(), Just(7u8), 1usize..4)) {
+            prop_assert_eq!(t.1, 7);
+            prop_assert!((1..4).contains(&t.2));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_name() {
+        let strat = crate::collection::vec(any::<u64>(), 0..8);
+        let a: Vec<Vec<u64>> = (0..10)
+            .map(|i| strat.sample_value(&mut crate::TestRng::for_case("det", i)))
+            .collect();
+        let b: Vec<Vec<u64>> = (0..10)
+            .map(|i| strat.sample_value(&mut crate::TestRng::for_case("det", i)))
+            .collect();
+        assert_eq!(a, b);
+        // Different names give different streams.
+        let c = strat.sample_value(&mut crate::TestRng::for_case("other", 0));
+        let d = strat.sample_value(&mut crate::TestRng::for_case("det", 0));
+        assert!(a.len() == 10 && (c != d || a[0] != a[1] || a[1] != a[2]));
+    }
+}

@@ -1,0 +1,52 @@
+//! Test-execution plumbing: per-case RNGs and run configuration.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How many cases each property test runs, etc.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        // Upstream defaults to 256; the simulator-heavy tests here are
+        // expensive enough that 64 is the deliberate tier-1 budget.
+        Config { cases: 64 }
+    }
+}
+
+/// The RNG handed to strategies: deterministic per `(test name, case)`.
+pub struct TestRng {
+    rng: StdRng,
+}
+
+/// FNV-1a over a string, used to give each test its own seed space.
+fn hash_name(s: &str) -> u64 {
+    s.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+    })
+}
+
+impl TestRng {
+    /// The RNG for one case of one named test.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        TestRng {
+            rng: StdRng::seed_from_u64(hash_name(test_name) ^ (0x9e37_79b9 * (case as u64 + 1))),
+        }
+    }
+
+    /// Access to the raw generator (used by strategy implementations).
+    pub fn inner(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}

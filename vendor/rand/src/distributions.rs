@@ -1,0 +1,256 @@
+//! Distributions and range sampling.
+
+use crate::Rng;
+use crate::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Samples one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution per type: uniform over all values for
+/// integers and `bool`, uniform in `[0, 1)` for floats.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Standard;
+
+macro_rules! standard_uint {
+    ($($t:ty => $via:ident),+ $(,)?) => {$(
+        impl Distribution<$t> for Standard {
+            #[inline]
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.$via() as $t
+            }
+        }
+    )+};
+}
+
+standard_uint! {
+    u8 => next_u32,
+    u16 => next_u32,
+    u32 => next_u32,
+    u64 => next_u64,
+    usize => next_u64,
+    i8 => next_u32,
+    i16 => next_u32,
+    i32 => next_u32,
+    i64 => next_u64,
+    isize => next_u64,
+}
+
+impl Distribution<u128> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Distribution<bool> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Types that can be drawn uniformly from a bounded span.
+pub trait SampleUniform: Sized {
+    /// Samples uniformly from `[low, high]` (both inclusive).
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+/// Uniformly samples `x` in `[0, span]` using Lemire-style widening
+/// multiplication with rejection, over a `u64` working width.
+fn uniform_u64_inclusive<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    if span == u64::MAX {
+        return rng.next_u64();
+    }
+    let n = span + 1;
+    // Zone: largest multiple of n that fits in 2^64, minus 1.
+    let zone = u64::MAX - (u64::MAX - n + 1) % n;
+    loop {
+        let v = rng.next_u64();
+        let (hi, lo) = (
+            ((v as u128 * n as u128) >> 64) as u64,
+            (v as u128 * n as u128) as u64,
+        );
+        if lo <= zone {
+            return hi;
+        }
+    }
+}
+
+macro_rules! sample_uniform_uint {
+    ($($t:ty),+ $(,)?) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "gen_range: empty range");
+                let span = (high as u64).wrapping_sub(low as u64);
+                low.wrapping_add(uniform_u64_inclusive(rng, span) as $t)
+            }
+        }
+    )+};
+}
+
+sample_uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! sample_uniform_int {
+    ($($t:ty : $ut:ty),+ $(,)?) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "gen_range: empty range");
+                let span = (high as $ut).wrapping_sub(low as $ut) as u64;
+                low.wrapping_add(uniform_u64_inclusive(rng, span) as $t)
+            }
+        }
+    )+};
+}
+
+sample_uniform_int!(i8: u8, i16: u16, i32: u32, i64: u64, isize: usize);
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low <= high, "gen_range: empty range");
+        let unit: f64 = Standard.sample(&mut SampleRng(rng));
+        low + unit * (high - low)
+    }
+}
+
+impl SampleUniform for f32 {
+    #[inline]
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low <= high, "gen_range: empty range");
+        let unit: f32 = Standard.sample(&mut SampleRng(rng));
+        low + unit * (high - low)
+    }
+}
+
+/// Adapter so `SampleUniform` impls can reuse [`Standard`] sampling on
+/// an unsized `RngCore`.
+struct SampleRng<'a, R: RngCore + ?Sized>(&'a mut R);
+
+impl<R: RngCore + ?Sized> RngCore for SampleRng<'_, R> {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.0.fill_bytes(dest)
+    }
+}
+
+/// Range-like arguments accepted by [`Rng::gen_range`](crate::Rng::gen_range).
+pub trait SampleRange<T> {
+    /// Samples one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd + HalfOpen> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let high = self.end.predecessor_or_self();
+        T::sample_inclusive(rng, self.start, high)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T>
+where
+    T: Copy,
+{
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// Maps a half-open upper bound to the inclusive one (`end - 1` for
+/// integers, `end` itself for floats, where the unit draw is already
+/// half-open).
+pub trait HalfOpen {
+    /// Returns the largest value strictly below `self` for integers, or
+    /// `self` for floats.
+    fn predecessor_or_self(self) -> Self;
+}
+
+macro_rules! half_open_int {
+    ($($t:ty),+ $(,)?) => {$(
+        impl HalfOpen for $t {
+            #[inline]
+            fn predecessor_or_self(self) -> Self {
+                self - 1
+            }
+        }
+    )+};
+}
+
+half_open_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl HalfOpen for f64 {
+    #[inline]
+    fn predecessor_or_self(self) -> Self {
+        self
+    }
+}
+
+impl HalfOpen for f32 {
+    #[inline]
+    fn predecessor_or_self(self) -> Self {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn uniform_rejects_out_of_zone() {
+        let mut r = StdRng::seed_from_u64(11);
+        // A span that does not divide 2^64: distribution must stay in bounds.
+        for _ in 0..10_000 {
+            let v = uniform_u64_inclusive(&mut r, 2);
+            assert!(v <= 2);
+        }
+    }
+
+    #[test]
+    fn signed_ranges_work() {
+        let mut r = StdRng::seed_from_u64(12);
+        for _ in 0..1000 {
+            let v: i64 = r.gen_range(-5..=5);
+            assert!((-5..=5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn full_u64_range_does_not_loop() {
+        let mut r = StdRng::seed_from_u64(13);
+        let _: u64 = r.gen_range(0..=u64::MAX);
+    }
+}

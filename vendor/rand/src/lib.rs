@@ -1,0 +1,192 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! This workspace builds in a hermetic container with no crates.io
+//! access, so the external `rand` dependency is replaced (via a path
+//! dependency in the workspace manifest) with this self-contained
+//! implementation of exactly the API surface the workspace uses:
+//!
+//! - [`RngCore`] / [`SeedableRng`] / [`Rng`]
+//! - [`rngs::StdRng`] — a ChaCha12-based generator (same algorithm
+//!   family as upstream `StdRng`, though not bit-compatible with it)
+//! - [`Rng::gen`], [`Rng::gen_bool`], [`Rng::gen_range`]
+//! - [`seq::SliceRandom::shuffle`] / [`seq::SliceRandom::choose`]
+//!
+//! Determinism is the property the simulator cares about: every stream
+//! derives from an explicit seed, there is no global or thread-local
+//! state, and the implementation is pure Rust `std`. Statistical
+//! quality comes from ChaCha12, which is far stronger than the use
+//! cases (loss draws, jitter, population sampling) require.
+
+#![warn(missing_docs)]
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+use distributions::{Distribution, SampleRange, Standard};
+
+/// The core of a random number generator: raw integer output.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// The seed type, a fixed-size byte array.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanded into a full seed with
+    /// SplitMix64 (the same construction upstream `rand_core` uses).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64 step.
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// User-facing convenience methods, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Returns a value sampled from the [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+        Self: Sized,
+    {
+        Standard.sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of range");
+        // 53 random mantissa bits against the threshold.
+        let v: f64 = self.gen();
+        v < p
+    }
+
+    /// Returns a value uniformly distributed in `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: u16 = r.gen_range(0..4000);
+            assert!(x < 4000);
+            let y: u64 = r.gen_range(0..=5);
+            assert!(y <= 5);
+            let z: i32 = r.gen_range(-10..10);
+            assert!((-10..10).contains(&z));
+            let f: f64 = r.gen_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_ranges() {
+        let mut r = StdRng::seed_from_u64(2);
+        let mut seen = [false; 6];
+        for _ in 0..500 {
+            seen[r.gen_range(0usize..6)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn gen_bool_rates_are_sane() {
+        let mut r = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2200..2800).contains(&hits), "hits = {hits}");
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn f64_standard_is_unit_interval() {
+        let mut r = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let v: f64 = r.gen();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_fills_everything() {
+        let mut r = StdRng::seed_from_u64(5);
+        let mut buf = [0u8; 37];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+        let mut buf2 = [0u8; 37];
+        StdRng::seed_from_u64(5).fill_bytes(&mut buf2);
+        assert_eq!(buf, buf2);
+    }
+}
