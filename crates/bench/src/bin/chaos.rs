@@ -1,0 +1,116 @@
+//! EC: chaos — scripted faults (NAT reboots, rendezvous restarts, link
+//! outages, behaviour flips) against the recovery machinery, reporting
+//! recovery-time distributions per fault class.
+//!
+//! Run: `cargo run --release -p punch-bench --bin chaos [-- --trials N] [--no-write]`
+
+use punch_bench::{chaos_trial, ms, FaultClass};
+use punch_lab::par;
+use punch_net::Duration;
+use std::fmt::Write as _;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let trials: u64 = args
+        .iter()
+        .position(|a| a == "--trials")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20);
+
+    let classes = [
+        (
+            FaultClass::NatReboot,
+            "nat-reboot",
+            "NAT A reboots: tables flushed, port pool moved",
+        ),
+        (
+            FaultClass::ServerRestart,
+            "server-restart",
+            "S restarts behind an 8 s uplink outage (recovery = re-registration)",
+        ),
+        (
+            FaultClass::LinkOutage,
+            "link-outage",
+            "client A's access link down for 5 s",
+        ),
+        (
+            FaultClass::RelayRecovery,
+            "relay-upgrade",
+            "blocked pair relays, block clears (recovery = direct upgrade)",
+        ),
+    ];
+
+    let mut out = String::new();
+    writeln!(out, "== EC: recovery times under scripted faults ==").unwrap();
+    writeln!(
+        out,
+        "   resilient profile: 1 s keepalives, 3-miss liveness, auto re-punch,"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "   jittered exponential backoff, 2 s server keepalive; {trials} seeds per class\n"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "   {:<15} {:>10} {:>10} {:>10} {:>10}   failures",
+        "fault", "min", "median", "p90", "max"
+    )
+    .unwrap();
+
+    let seeds: Vec<u64> = (1..=trials).collect();
+    for (class, name, desc) in classes {
+        let results = par::run(&seeds, |_, &seed| chaos_trial(seed, class));
+        let mut times: Vec<Duration> = results.into_iter().flatten().collect();
+        times.sort();
+        let failures = seeds.len() - times.len();
+        if times.is_empty() {
+            writeln!(
+                out,
+                "   {:<15} {:>10} {:>10} {:>10} {:>10}   {}/{}",
+                name,
+                "-",
+                "-",
+                "-",
+                "-",
+                failures,
+                seeds.len()
+            )
+            .unwrap();
+        } else {
+            let pick = |q_num: usize, q_den: usize| times[(times.len() - 1) * q_num / q_den];
+            writeln!(
+                out,
+                "   {:<15} {:>10} {:>10} {:>10} {:>10}   {}/{}",
+                name,
+                ms(pick(0, 1)),
+                ms(pick(1, 2)),
+                ms(pick(9, 10)),
+                ms(pick(1, 1)),
+                failures,
+                seeds.len()
+            )
+            .unwrap();
+        }
+        writeln!(out, "     ({desc})").unwrap();
+    }
+    writeln!(out).unwrap();
+    writeln!(
+        out,
+        "(liveness detection costs a few keepalive intervals; the punch itself"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        " re-runs in well under a second once both sides hold fresh mappings)"
+    )
+    .unwrap();
+
+    print!("{out}");
+    let no_write = args.iter().any(|a| a == "--no-write");
+    if !no_write && std::path::Path::new("results").is_dir() {
+        std::fs::write("results/chaos.txt", &out).expect("write results/chaos.txt");
+    }
+}

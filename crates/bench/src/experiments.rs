@@ -6,7 +6,7 @@ use holepunch::{
 };
 use punch_lab::{addrs, fig4, fig5, fig6, PeerSetup, Scenario, WorldBuilder};
 use punch_nat::{NatBehavior, PortAllocation};
-use punch_net::{Duration, Endpoint, LinkSpec, SimTime};
+use punch_net::{Duration, Endpoint, FaultPlan, LinkSpec, SimTime};
 use punch_rendezvous::{RendezvousServer, ServerConfig};
 use punch_transport::{App, Os, SockEvent, SocketId, StackConfig, TcpFlavor};
 
@@ -507,6 +507,142 @@ pub fn tcp_flavor_paths(
             .established_path(A)
             .expect("established"),
     ))
+}
+
+/// Fault classes injected by the chaos experiment (EC).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultClass {
+    /// NAT A reboots: its tables flush and its port pool moves, so every
+    /// mapping through it dies and the punched session must be redone.
+    NatReboot,
+    /// S restarts with empty tables behind an 8 s uplink outage; recovery
+    /// is both peers re-registering (the direct session survives).
+    ServerRestart,
+    /// Client A's access link goes down for 5 s; recovery is the session
+    /// re-punching after the link returns.
+    LinkOutage,
+    /// A blocked pair (A behind a symmetric NAT) degrades to relaying;
+    /// the block then clears and recovery is the relay-to-direct upgrade.
+    RelayRecovery,
+}
+
+/// The chaos-hardened peer profile the EC trials run with: 1 s
+/// keepalives with a 3-miss liveness limit, automatic re-punch with
+/// jittered exponential backoff, 2 s server keepalives, and periodic
+/// relay-to-direct probing.
+fn chaos_peer(id: PeerId, fault: FaultClass) -> PeerSetup {
+    let mut c = UdpPeerConfig::new(id, Scenario::server_endpoint());
+    c.server_keepalive = Duration::from_secs(2);
+    c.register_retry = Duration::from_secs(1);
+    c.punch = holepunch::PunchConfig::resilient();
+    c.punch.keepalive_interval = Duration::from_secs(1);
+    if matches!(fault, FaultClass::RelayRecovery) {
+        // Reach the relay quickly: constant cadence, small volley budget.
+        c.punch.backoff = 1.0;
+        c.punch.backoff_jitter = 0.0;
+        c.punch.max_attempts = 4;
+    }
+    PeerSetup::new(UdpPeer::new(c))
+}
+
+/// Waits for B to observe the session die, then for both sides to be
+/// re-established; returns the time from `t0` to full recovery.
+fn recover_established(sc: &mut Scenario, deadline: SimTime, t0: SimTime) -> Option<Duration> {
+    let w = &mut sc.world;
+    if !w.run_until_app::<UdpPeer>(sc.b, deadline, |p| !p.is_established(A)) {
+        return None;
+    }
+    if !w.run_until_app::<UdpPeer>(sc.b, deadline, |p| p.is_established(A)) {
+        return None;
+    }
+    if !w.run_until_app::<UdpPeer>(sc.a, deadline, |p| p.is_established(B)) {
+        return None;
+    }
+    Some(w.sim.now() - t0)
+}
+
+/// EC: injects one scripted fault into a settled resilient pair and
+/// measures the time from injection to full recovery (see
+/// [`FaultClass`] for what "recovery" means per class). `None` if the
+/// pair missed the 60 s recovery deadline.
+pub fn chaos_trial(seed: u64, fault: FaultClass) -> Option<Duration> {
+    let nat_a = if matches!(fault, FaultClass::RelayRecovery) {
+        NatBehavior::symmetric()
+    } else {
+        NatBehavior::well_behaved()
+    };
+    let mut sc = fig5(
+        seed,
+        nat_a,
+        NatBehavior::well_behaved(),
+        chaos_peer(A, fault),
+        chaos_peer(B, fault),
+    );
+    sc.world.sim.run_for(Duration::from_secs(2));
+    sc.world.with_app::<UdpPeer, _>(sc.a, |p, os| p.connect(os, B));
+    let settle = sc.world.sim.now() + Duration::from_secs(30);
+    if matches!(fault, FaultClass::RelayRecovery) {
+        if !sc
+            .world
+            .run_until_app::<UdpPeer>(sc.a, settle, |p| p.is_relaying(B))
+        {
+            return None;
+        }
+    } else if !sc
+        .world
+        .run_until_app::<UdpPeer>(sc.a, settle, |p| p.is_established(B))
+        || !sc
+            .world
+            .run_until_app::<UdpPeer>(sc.b, settle, |p| p.is_established(A))
+    {
+        return None;
+    }
+
+    let t0 = sc.world.sim.now();
+    let deadline = t0 + Duration::from_secs(60);
+    match fault {
+        FaultClass::NatReboot => {
+            let nat = sc.world.nats[0];
+            sc.world.reboot_nat(nat);
+            recover_established(&mut sc, deadline, t0)
+        }
+        FaultClass::ServerRestart => {
+            let s = sc.server;
+            let link = sc.world.uplink(s);
+            sc.world.restart_server(s);
+            let plan = FaultPlan::new().outage(t0, Duration::from_secs(8), link);
+            sc.world.apply_faults(&plan);
+            let w = &mut sc.world;
+            if !w.run_until_app::<UdpPeer>(sc.a, deadline, |p| !p.is_registered()) {
+                return None;
+            }
+            if !w.run_until_app::<UdpPeer>(sc.a, deadline, |p| p.is_registered()) {
+                return None;
+            }
+            if !w.run_until_app::<UdpPeer>(sc.b, deadline, |p| p.is_registered()) {
+                return None;
+            }
+            Some(w.sim.now() - t0)
+        }
+        FaultClass::LinkOutage => {
+            let link = sc.world.uplink(sc.a);
+            let plan = FaultPlan::new().outage(t0, Duration::from_secs(5), link);
+            sc.world.apply_faults(&plan);
+            recover_established(&mut sc, deadline, t0)
+        }
+        FaultClass::RelayRecovery => {
+            let nat = sc.world.nats[0];
+            sc.world.set_nat_behavior(nat, NatBehavior::well_behaved());
+            let w = &mut sc.world;
+            if !w.run_until_app::<UdpPeer>(sc.a, deadline, |p| p.is_established(B)) {
+                return None;
+            }
+            if !w.run_until_app::<UdpPeer>(sc.b, deadline, |p| p.is_established(A)) {
+                return None;
+            }
+            Some(w.sim.now() - t0)
+        }
+    }
 }
 
 /// Formats a duration in milliseconds for reports.

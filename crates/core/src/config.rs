@@ -38,6 +38,27 @@ pub struct PunchConfig {
     pub use_private_candidates: bool,
     /// Candidate strategy.
     pub strategy: PunchStrategy,
+    /// Liveness detection: declare an established session dead after
+    /// this many keepalive intervals with no inbound traffic, without
+    /// waiting for the full `session_timeout`. `0` disables miss-based
+    /// detection (the default, and the paper's baseline behaviour).
+    pub keepalive_miss_limit: u32,
+    /// Re-punch immediately when an established session dies, instead
+    /// of waiting for the application's next send (§3.6's on-demand
+    /// repair is the default).
+    pub auto_repunch: bool,
+    /// Multiplier applied to `spray_interval` per failed volley
+    /// (exponential backoff). `1.0` keeps the paper's constant cadence.
+    pub backoff: f64,
+    /// Upper bound for the backoff-inflated volley interval.
+    pub backoff_max: Duration,
+    /// Fraction of the volley interval added as seeded random jitter
+    /// (`0.0` = none), de-synchronising retry storms after an outage.
+    pub backoff_jitter: f64,
+    /// While relaying, retry a direct punch this often and upgrade the
+    /// session if it succeeds. `None` (the default) never probes: once
+    /// relaying, the session stays relayed.
+    pub relay_probe_interval: Option<Duration>,
 }
 
 impl Default for PunchConfig {
@@ -50,6 +71,30 @@ impl Default for PunchConfig {
             relay_fallback: true,
             use_private_candidates: true,
             strategy: PunchStrategy::Basic,
+            keepalive_miss_limit: 0,
+            auto_repunch: false,
+            backoff: 1.0,
+            backoff_max: Duration::from_secs(10),
+            backoff_jitter: 0.0,
+            relay_probe_interval: None,
+        }
+    }
+}
+
+impl PunchConfig {
+    /// A chaos-hardened profile: aggressive liveness detection, instant
+    /// re-punching with jittered exponential backoff, and periodic
+    /// relay-to-direct probing. Used by the fault-injection tests and
+    /// the chaos experiment; the default profile stays the paper's.
+    pub fn resilient() -> Self {
+        PunchConfig {
+            keepalive_miss_limit: 3,
+            auto_repunch: true,
+            backoff: 2.0,
+            backoff_max: Duration::from_secs(8),
+            backoff_jitter: 0.1,
+            relay_probe_interval: Some(Duration::from_secs(5)),
+            ..PunchConfig::default()
         }
     }
 }
@@ -139,6 +184,12 @@ pub struct TcpPeerConfig {
     /// (§2.2: "a useful fall-back strategy if maximum robustness is
     /// desired").
     pub relay_fallback: bool,
+    /// Multiplier applied to `retry_delay` per consecutive failed
+    /// reconnection to S (exponential backoff). `1.0` keeps the fixed
+    /// cadence; the first retry is always after `retry_delay`.
+    pub reconnect_backoff: f64,
+    /// Upper bound for the backoff-inflated reconnect delay.
+    pub reconnect_max_delay: Duration,
 }
 
 impl TcpPeerConfig {
@@ -155,6 +206,8 @@ impl TcpPeerConfig {
             use_private_candidates: true,
             mode: TcpPunchMode::Parallel,
             relay_fallback: true,
+            reconnect_backoff: 1.0,
+            reconnect_max_delay: Duration::from_secs(30),
         }
     }
 }
@@ -178,5 +231,24 @@ mod tests {
         );
         assert!(u.obfuscate, "§3.1: obfuscate addresses in bodies");
         assert_eq!(u.punch.strategy, PunchStrategy::Basic);
+    }
+
+    #[test]
+    fn default_recovery_knobs_preserve_paper_behaviour() {
+        let p = PunchConfig::default();
+        assert_eq!(p.keepalive_miss_limit, 0, "miss detection is opt-in");
+        assert!(!p.auto_repunch, "§3.6 repairs on demand by default");
+        assert_eq!(p.backoff, 1.0, "constant cadence by default");
+        assert_eq!(p.backoff_jitter, 0.0, "no extra RNG draws by default");
+        assert_eq!(p.relay_probe_interval, None);
+    }
+
+    #[test]
+    fn resilient_profile_enables_recovery() {
+        let p = PunchConfig::resilient();
+        assert!(p.auto_repunch);
+        assert!(p.keepalive_miss_limit > 0);
+        assert!(p.backoff > 1.0);
+        assert!(p.relay_probe_interval.is_some());
     }
 }

@@ -66,6 +66,11 @@ pub enum UdpPeerEvent {
         /// The peer.
         peer: PeerId,
     },
+    /// The rendezvous server stopped acknowledging our periodic
+    /// registrations (e.g. it restarted and lost its tables); the peer
+    /// is re-registering. A fresh [`UdpPeerEvent::Registered`] follows
+    /// once S answers again.
+    ServerLost,
 }
 
 /// Events from a [`crate::TcpPeer`].

@@ -84,6 +84,9 @@ pub struct TcpPeer {
     next_token: u64,
     timers: HashMap<u64, TimerPurpose>,
     stats: TcpPeerStats,
+    /// Consecutive failed reconnections to S; drives the reconnect
+    /// backoff and resets once S acknowledges a registration.
+    reconnect_fails: u32,
 }
 
 impl TcpPeer {
@@ -108,6 +111,7 @@ impl TcpPeer {
             next_token: 1,
             timers: HashMap::new(),
             stats: TcpPeerStats::default(),
+            reconnect_fails: 0,
         }
     }
 
@@ -293,11 +297,24 @@ impl TcpPeer {
         };
         match os.tcp_connect(self.cfg.server, opts) {
             Ok(sock) => self.server_sock = Some(sock),
-            Err(_) => {
-                let delay = self.cfg.retry_delay;
-                self.arm(os, delay, TimerPurpose::ServerReconnect);
-            }
+            Err(_) => self.arm_server_reconnect(os),
         }
+    }
+
+    /// Arms the server-reconnect timer. Consecutive failures inflate the
+    /// delay by `reconnect_backoff` per failure (capped at
+    /// `reconnect_max_delay`); the default `1.0` multiplier keeps the
+    /// paper's fixed §4.2 cadence, and the first retry always waits
+    /// exactly `retry_delay`.
+    fn arm_server_reconnect(&mut self, os: &mut Os<'_, '_>) {
+        let mut delay = self.cfg.retry_delay;
+        if self.cfg.reconnect_backoff > 1.0 && self.reconnect_fails > 0 {
+            delay = delay
+                .mul_f64(self.cfg.reconnect_backoff.powi(self.reconnect_fails as i32))
+                .min(self.cfg.reconnect_max_delay);
+        }
+        self.reconnect_fails = self.reconnect_fails.saturating_add(1);
+        self.arm(os, delay, TimerPurpose::ServerReconnect);
     }
 
     /// Records the peer's candidates on the session without connecting.
@@ -550,6 +567,7 @@ impl TcpPeer {
             Message::RegisterAck { public } => {
                 let first = !self.registered;
                 self.registered = true;
+                self.reconnect_fails = 0;
                 self.public = Some(public);
                 if first {
                     self.events.push_back(TcpPeerEvent::Registered { public });
@@ -702,8 +720,7 @@ impl App for TcpPeer {
             SockEvent::TcpConnectFailed { sock, err } => {
                 if Some(sock) == self.server_sock {
                     self.server_sock = None;
-                    let delay = self.cfg.retry_delay;
-                    self.arm(os, delay, TimerPurpose::ServerReconnect);
+                    self.arm_server_reconnect(os);
                 } else {
                     self.handle_connect_failed(os, sock, err);
                 }
@@ -757,8 +774,7 @@ impl App for TcpPeer {
                     let _ = os.close(sock);
                     self.server_sock = None;
                     self.registered = false;
-                    let delay = self.cfg.retry_delay;
-                    self.arm(os, delay, TimerPurpose::ServerReconnect);
+                    self.arm_server_reconnect(os);
                 } else {
                     let _ = os.close(sock);
                     self.drop_sock(os, sock, false);
@@ -768,8 +784,7 @@ impl App for TcpPeer {
                 if Some(sock) == self.server_sock {
                     self.server_sock = None;
                     self.registered = false;
-                    let delay = self.cfg.retry_delay;
-                    self.arm(os, delay, TimerPurpose::ServerReconnect);
+                    self.arm_server_reconnect(os);
                 } else {
                     self.drop_sock(os, sock, false);
                 }

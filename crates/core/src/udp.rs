@@ -48,6 +48,10 @@ struct Session {
     pending: VecDeque<Bytes>,
     keepalive_armed: bool,
     tick_armed: bool,
+    /// When we last sent anything on the direct path; keepalives are
+    /// suppressed while application traffic keeps the mapping fresh.
+    last_sent: SimTime,
+    relay_probe_armed: bool,
 }
 
 /// What a timer token means.
@@ -56,6 +60,7 @@ enum TimerPurpose {
     ServerKeepalive,
     PunchTick(PeerId),
     Keepalive(PeerId),
+    RelayProbe(PeerId),
 }
 
 /// Counters exposed for experiments.
@@ -69,6 +74,11 @@ pub struct UdpPeerStats {
     pub relay_msgs: u64,
     /// Sessions that re-punched on demand after dying (§3.6).
     pub repunches: u64,
+    /// Peer keepalive datagrams actually sent.
+    pub keepalives_sent: u64,
+    /// Keepalives skipped because application traffic had already
+    /// refreshed the mapping within the interval.
+    pub keepalives_suppressed: u64,
 }
 
 /// A UDP hole-punching client endpoint (an [`App`]).
@@ -95,6 +105,10 @@ pub struct UdpPeer {
     next_token: u64,
     timers: HashMap<u64, TimerPurpose>,
     stats: UdpPeerStats,
+    /// When S last acknowledged a registration; a long silence while
+    /// `registered` means S restarted and lost its tables.
+    last_server_ack: SimTime,
+    server_ka_armed: bool,
 }
 
 impl UdpPeer {
@@ -115,6 +129,8 @@ impl UdpPeer {
             next_token: 1,
             timers: HashMap::new(),
             stats: UdpPeerStats::default(),
+            last_server_ack: SimTime::ZERO,
+            server_ka_armed: false,
         }
     }
 
@@ -126,6 +142,11 @@ impl UdpPeer {
     /// Our public endpoint as observed by S, once registered.
     pub fn public_endpoint(&self) -> Option<Endpoint> {
         self.public
+    }
+
+    /// True while S is acknowledging our registrations.
+    pub fn is_registered(&self) -> bool {
+        self.registered
     }
 
     /// The measured port-allocation delta (predict strategy only).
@@ -181,6 +202,8 @@ impl UdpPeer {
             pending: VecDeque::new(),
             keepalive_armed: false,
             tick_armed: false,
+            last_sent: SimTime::ZERO,
+            relay_probe_armed: false,
         });
         self.send_server(
             os,
@@ -215,23 +238,12 @@ impl UdpPeer {
                 if now.saturating_since(*last_recv) > timeout {
                     // The hole evidently closed; re-run the procedure.
                     session.pending.push_back(data);
-                    session.state = SessionState::Punching;
-                    session.attempts = 0;
-                    self.stats.repunches += 1;
                     self.events.push_back(UdpPeerEvent::SessionDied { peer });
-                    let nonce = session.nonce;
-                    self.send_server(
-                        os,
-                        &Message::ConnectRequest {
-                            peer_id: self.cfg.id,
-                            target: peer,
-                            nonce,
-                        },
-                    );
-                    self.arm_punch_tick(os, peer);
+                    self.start_repunch(os, peer);
                     return;
                 }
                 let remote = *remote;
+                session.last_sent = now;
                 self.stats.direct_msgs += 1;
                 self.send_to(os, remote, &Message::PeerData { data });
             }
@@ -250,19 +262,7 @@ impl UdpPeer {
             SessionState::Punching => session.pending.push_back(data),
             SessionState::Failed => {
                 session.pending.push_back(data);
-                session.state = SessionState::Punching;
-                session.attempts = 0;
-                let nonce = session.nonce;
-                self.stats.repunches += 1;
-                self.send_server(
-                    os,
-                    &Message::ConnectRequest {
-                        peer_id: self.cfg.id,
-                        target: peer,
-                        nonce,
-                    },
-                );
-                self.arm_punch_tick(os, peer);
+                self.start_repunch(os, peer);
             }
         }
     }
@@ -271,16 +271,56 @@ impl UdpPeer {
     // Internals
     // ------------------------------------------------------------------
 
+    /// Restarts the §3.2 procedure for a session that died or failed:
+    /// reset the volley budget, ask S for a fresh introduction (the
+    /// peer's public endpoint may have changed, e.g. after a NAT
+    /// reboot), and resume spraying.
+    fn start_repunch(&mut self, os: &mut Os<'_, '_>, peer: PeerId) {
+        let Some(session) = self.sessions.get_mut(&peer) else {
+            return;
+        };
+        session.state = SessionState::Punching;
+        session.attempts = 0;
+        let nonce = session.nonce;
+        self.stats.repunches += 1;
+        self.send_server(
+            os,
+            &Message::ConnectRequest {
+                peer_id: self.cfg.id,
+                target: peer,
+                nonce,
+            },
+        );
+        self.arm_punch_tick(os, peer);
+    }
+
     /// Arms the per-session punch tick unless one is already pending.
+    ///
+    /// With `backoff > 1.0` the interval grows exponentially with the
+    /// attempt count (capped at `backoff_max`), and `backoff_jitter`
+    /// adds a seeded random fraction to de-synchronise retry storms
+    /// after an outage. The defaults (1.0 / 0.0) reproduce the paper's
+    /// constant cadence exactly, with no extra RNG draws.
     fn arm_punch_tick(&mut self, os: &mut Os<'_, '_>, peer: PeerId) {
-        let interval = self.cfg.punch.spray_interval;
-        if let Some(s) = self.sessions.get_mut(&peer) {
+        let attempts = if let Some(s) = self.sessions.get_mut(&peer) {
             if s.tick_armed {
                 return;
             }
             s.tick_armed = true;
+            s.attempts
         } else {
             return;
+        };
+        let cfg = &self.cfg.punch;
+        let mut interval = cfg.spray_interval;
+        if cfg.backoff > 1.0 {
+            interval = interval
+                .mul_f64(cfg.backoff.powi(attempts as i32))
+                .min(cfg.backoff_max);
+        }
+        if cfg.backoff_jitter > 0.0 {
+            let jitter = cfg.backoff_jitter;
+            interval = interval.mul_f64(1.0 + os.rng().gen_range(0.0..jitter));
         }
         self.arm(os, interval, TimerPurpose::PunchTick(peer));
     }
@@ -363,6 +403,8 @@ impl UdpPeer {
             pending: VecDeque::new(),
             keepalive_armed: false,
             tick_armed: false,
+            last_sent: SimTime::ZERO,
+            relay_probe_armed: false,
         });
         session.nonce = nonce;
         session.candidates = candidates;
@@ -374,7 +416,13 @@ impl UdpPeer {
         ) {
             session.attempts = 0;
         }
-        if !matches!(session.state, SessionState::Established { .. }) {
+        // A relayed session keeps flowing through S while we probe for a
+        // direct upgrade; demoting it to `Punching` here would black-hole
+        // traffic until the probe succeeds.
+        if !matches!(
+            session.state,
+            SessionState::Established { .. } | SessionState::Relaying
+        ) {
             session.state = SessionState::Punching;
         }
         // §5.1 prediction: tell the peer which ports our symmetric NAT
@@ -461,6 +509,10 @@ impl UdpPeer {
                     remote,
                     last_recv: now,
                 };
+                // The hello/ack volley that produced this establishment
+                // just refreshed the mapping. (A pending relay-probe
+                // timer clears its own flag when it finds us upgraded.)
+                session.last_sent = now;
             }
         }
         self.events
@@ -514,10 +566,14 @@ impl UdpPeer {
                 let first = !self.registered;
                 self.registered = true;
                 self.public = Some(public);
+                self.last_server_ack = now;
                 if first {
                     self.events.push_back(UdpPeerEvent::Registered { public });
-                    let ka = self.cfg.server_keepalive;
-                    self.arm(os, ka, TimerPurpose::ServerKeepalive);
+                    if !self.server_ka_armed {
+                        self.server_ka_armed = true;
+                        let ka = self.cfg.server_keepalive;
+                        self.arm(os, ka, TimerPurpose::ServerKeepalive);
+                    }
                     if matches!(self.cfg.punch.strategy, PunchStrategy::Predict { .. }) {
                         // Measure the allocation delta via the probe port.
                         let probe = self.probe_endpoint();
@@ -624,12 +680,24 @@ impl UdpPeer {
 
     fn fail_punch(&mut self, os: &mut Os<'_, '_>, peer: PeerId) {
         let relay = self.cfg.punch.relay_fallback;
+        let probe_interval = self.cfg.punch.relay_probe_interval;
         let Some(session) = self.sessions.get_mut(&peer) else {
             return;
         };
         if relay {
             session.state = SessionState::Relaying;
+            let arm_probe = match probe_interval {
+                Some(_) if !session.relay_probe_armed => {
+                    session.relay_probe_armed = true;
+                    true
+                }
+                _ => false,
+            };
             self.events.push_back(UdpPeerEvent::RelayActive { peer });
+            if arm_probe {
+                let interval = probe_interval.expect("checked above");
+                self.arm(os, interval, TimerPurpose::RelayProbe(peer));
+            }
             let pending: Vec<Bytes> = self
                 .sessions
                 .get_mut(&peer)
@@ -703,10 +771,31 @@ impl App for UdpPeer {
                 }
             }
             TimerPurpose::ServerKeepalive => {
+                let now = os.now();
+                let ka = self.cfg.server_keepalive;
+                let private = self.local.expect("socket bound");
+                // Two missed keepalive acks (plus a retry's grace) mean S
+                // is gone — most likely restarted with empty tables. Drop
+                // to the registration loop so peers can find us again
+                // once it returns.
+                let lost_after = ka * 2 + self.cfg.register_retry;
+                if self.registered && now.saturating_since(self.last_server_ack) > lost_after {
+                    self.registered = false;
+                    self.server_ka_armed = false;
+                    self.events.push_back(UdpPeerEvent::ServerLost);
+                    self.send_server(
+                        os,
+                        &Message::Register {
+                            peer_id: self.cfg.id,
+                            private,
+                        },
+                    );
+                    self.arm(os, self.cfg.register_retry, TimerPurpose::RegisterRetry);
+                    return;
+                }
                 // Refresh both S's registration record and the NAT
                 // mapping toward S (§3.6 applies to the rendezvous
                 // session as much as to peer sessions).
-                let private = self.local.expect("socket bound");
                 self.send_server(
                     os,
                     &Message::Register {
@@ -714,7 +803,6 @@ impl App for UdpPeer {
                         private,
                     },
                 );
-                let ka = self.cfg.server_keepalive;
                 self.arm(os, ka, TimerPurpose::ServerKeepalive);
             }
             TimerPurpose::PunchTick(peer) => {
@@ -751,24 +839,71 @@ impl App for UdpPeer {
             TimerPurpose::Keepalive(peer) => {
                 let interval = self.cfg.punch.keepalive_interval;
                 let timeout = self.cfg.punch.session_timeout;
+                let miss_limit = self.cfg.punch.keepalive_miss_limit;
+                let auto_repunch = self.cfg.punch.auto_repunch;
                 let now = os.now();
                 let Some(session) = self.sessions.get_mut(&peer) else {
                     return;
                 };
                 if let SessionState::Established { remote, last_recv } = session.state {
-                    if now.saturating_since(last_recv) > timeout {
+                    let quiet = now.saturating_since(last_recv);
+                    // Miss-based liveness: several silent keepalive
+                    // intervals condemn the session without waiting for
+                    // the full timeout (opt-in; 0 disables).
+                    let missed = miss_limit > 0 && quiet > interval * miss_limit;
+                    if quiet > timeout || missed {
                         session.state = SessionState::Failed;
                         session.keepalive_armed = false;
                         self.events.push_back(UdpPeerEvent::SessionDied { peer });
+                        if auto_repunch {
+                            self.start_repunch(os, peer);
+                        }
                         return;
                     }
+                    // §3.6 refinement: application traffic already
+                    // refreshed the NAT mapping — skip the redundant
+                    // keepalive and re-arm for the remainder.
+                    let since_sent = now.saturating_since(session.last_sent);
+                    if since_sent < interval {
+                        self.stats.keepalives_suppressed += 1;
+                        self.arm(os, interval - since_sent, TimerPurpose::Keepalive(peer));
+                        return;
+                    }
+                    session.last_sent = now;
+                    self.stats.keepalives_sent += 1;
                     self.send_to(os, remote, &Message::KeepAlive);
                     self.arm(os, interval, TimerPurpose::Keepalive(peer));
                 } else {
-                    if let Some(s) = self.sessions.get_mut(&peer) {
-                        s.keepalive_armed = false;
-                    }
+                    session.keepalive_armed = false;
                 }
+            }
+            TimerPurpose::RelayProbe(peer) => {
+                // While relaying, periodically re-run the §3.2 procedure
+                // and upgrade to the direct path if it now works (the
+                // blocking condition — a restrictive NAT, an outage —
+                // may have cleared).
+                let Some(interval) = self.cfg.punch.relay_probe_interval else {
+                    return;
+                };
+                let Some(session) = self.sessions.get_mut(&peer) else {
+                    return;
+                };
+                if !matches!(session.state, SessionState::Relaying) {
+                    session.relay_probe_armed = false;
+                    return;
+                }
+                session.attempts = 0;
+                let nonce = session.nonce;
+                self.send_server(
+                    os,
+                    &Message::ConnectRequest {
+                        peer_id: self.cfg.id,
+                        target: peer,
+                        nonce,
+                    },
+                );
+                self.spray(os, peer);
+                self.arm(os, interval, TimerPurpose::RelayProbe(peer));
             }
         }
     }
@@ -839,6 +974,8 @@ mod tests {
                 pending: VecDeque::new(),
                 keepalive_armed: false,
                 tick_armed: false,
+                last_sent: SimTime::ZERO,
+                relay_probe_armed: false,
             },
         );
         let mut payload = vec![138, 76, 29, 7, 2];
@@ -869,6 +1006,8 @@ mod tests {
                 pending: VecDeque::new(),
                 keepalive_armed: false,
                 tick_armed: false,
+                last_sent: SimTime::ZERO,
+                relay_probe_armed: false,
             },
         );
         peer.handle_control(PeerId(2), &[1, 2, 3]); // too short

@@ -1,7 +1,7 @@
 //! Topology construction.
 
 use punch_nat::{NatBehavior, NatDevice};
-use punch_net::{Cidr, Endpoint, LinkSpec, NodeId, Router, Sim, SimTime};
+use punch_net::{Cidr, Endpoint, FaultPlan, LinkId, LinkSpec, NodeId, Router, Sim, SimTime, FAULT_RESTART};
 use punch_rendezvous::{RendezvousServer, ServerConfig};
 use punch_transport::{App, HostDevice, Os, StackConfig};
 use std::net::Ipv4Addr;
@@ -127,6 +127,46 @@ impl World {
     pub fn nat(&self, node: NodeId) -> &NatDevice {
         self.sim.device::<NatDevice>(node)
     }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    /// The link connecting `node` to the rest of the topology (its
+    /// iface-0 uplink: a client's access link, a NAT's public link, a
+    /// server's backbone link). Pass it to [`FaultPlan`] builders or
+    /// [`Sim::link_mut`].
+    pub fn uplink(&self, node: NodeId) -> LinkId {
+        self.sim.link_of(node, 0)
+    }
+
+    /// Schedules every step of a fault plan onto the simulation.
+    pub fn apply_faults(&mut self, plan: &FaultPlan) {
+        plan.apply(&mut self.sim);
+    }
+
+    /// Reboots the NAT on `node` at the current instant: its tables
+    /// flush and its port pool moves, so every mapping through it dies.
+    /// Takes effect when the simulation next runs.
+    pub fn reboot_nat(&mut self, node: NodeId) {
+        let now = self.sim.now();
+        self.sim.schedule_device_fault(now, node, FAULT_RESTART);
+    }
+
+    /// Swaps the NAT behavior on `node` (e.g. clearing a restrictive
+    /// NAT to let a relayed pair upgrade to a direct path). Existing
+    /// mappings survive; only new allocations see the new behavior.
+    pub fn set_nat_behavior(&mut self, node: NodeId, behavior: NatBehavior) {
+        self.sim.device_mut::<NatDevice>(node).set_behavior(behavior);
+    }
+
+    /// Restarts the rendezvous server on `node` at the current instant:
+    /// all registrations and relay state are lost. Takes effect when
+    /// the simulation next runs.
+    pub fn restart_server(&mut self, node: NodeId) {
+        let now = self.sim.now();
+        self.sim.schedule_device_fault(now, node, FAULT_RESTART);
+    }
 }
 
 /// Builds arbitrary experiment topologies.
@@ -140,6 +180,7 @@ pub struct WorldBuilder {
     servers: Vec<ServerSpec>,
     nats: Vec<NatSpec>,
     clients: Vec<ClientSpec>,
+    faults: Option<FaultPlan>,
 }
 
 impl WorldBuilder {
@@ -152,7 +193,17 @@ impl WorldBuilder {
             servers: Vec::new(),
             nats: Vec::new(),
             clients: Vec::new(),
+            faults: None,
         }
+    }
+
+    /// Schedules a fault plan to be applied as soon as the topology is
+    /// built. Link ids are assigned in connect order: server uplinks
+    /// first, then NAT uplinks, then client access links — or use
+    /// [`World::uplink`] after building for by-node lookup.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
     }
 
     /// Sets the backbone link profile (server/NAT to router).
@@ -323,6 +374,9 @@ impl WorldBuilder {
             for (cidr, iface) in routes {
                 router.add_route(cidr, iface);
             }
+        }
+        if let Some(plan) = &self.faults {
+            plan.apply(&mut sim);
         }
         World {
             sim,

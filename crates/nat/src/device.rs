@@ -13,6 +13,7 @@ use crate::mangle::rewrite_addr;
 use crate::table::{MapId, NatTables};
 use punch_net::{
     Body, Ctx, Device, Endpoint, IcmpKind, IcmpMessage, IfaceId, Packet, Proto, TcpFlags,
+    FAULT_RESTART,
 };
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -42,6 +43,8 @@ pub struct NatStats {
     pub switched_local: u64,
     /// Payloads rewritten by the §5.3 mangler.
     pub payloads_mangled: u64,
+    /// Times the device rebooted, flushing all state.
+    pub reboots: u64,
 }
 
 /// A configurable NAT/NAPT middlebox.
@@ -110,6 +113,35 @@ impl NatDevice {
     /// from outbound traffic; useful to stage §3.4 "wrong host" tests).
     pub fn add_private_host(&mut self, ip: Ipv4Addr, iface: IfaceId) {
         self.private_iface.insert(ip, iface);
+    }
+
+    /// Reboots the device: every translation, learned host, and pool
+    /// assignment is lost, and the sequential port allocator resumes
+    /// from a shifted base — so sessions that survived in the endpoints'
+    /// memory now point at mappings that no longer exist, and fresh
+    /// outbound traffic receives *different* public endpoints. This is
+    /// the middlebox failure mode that forces peers to re-run hole
+    /// punching (§3.5's rationale for keepalives and on-demand repair).
+    pub fn reboot(&mut self) {
+        self.stats.reboots += 1;
+        self.tables = NatTables::new();
+        self.private_iface.clear();
+        self.basic_assign.clear();
+        // Shift the pool per reboot; a reboot that handed out identical
+        // ports again would heal sessions transparently and hide the
+        // fault from recovery logic.
+        self.next_seq_port = self
+            .behavior
+            .port_base
+            .wrapping_add((self.stats.reboots as u16).wrapping_mul(512))
+            .max(1024);
+    }
+
+    /// Replaces the behaviour configuration in place, keeping existing
+    /// mappings. Models a reconfigured middlebox (e.g. a firmware update
+    /// fixing a symmetric NAT); new mappings follow the new policy.
+    pub fn set_behavior(&mut self, behavior: NatBehavior) {
+        self.behavior = behavior;
     }
 
     fn is_public_ip(&self, ip: Ipv4Addr) -> bool {
@@ -509,6 +541,12 @@ impl Device for NatDevice {
             ctx.send(out, pkt);
         } else {
             self.handle_outbound(ctx, pkt);
+        }
+    }
+
+    fn on_fault(&mut self, _ctx: &mut Ctx<'_>, fault: u64) {
+        if fault == FAULT_RESTART {
+            self.reboot();
         }
     }
 }

@@ -144,12 +144,19 @@ impl NatTables {
         Self::default()
     }
 
-    /// Number of live entries (expired entries may linger until touched).
-    pub fn len(&self) -> usize {
+    /// Number of entries still live at `now`. Expired entries awaiting
+    /// their purge (which happens on the next allocation, or an explicit
+    /// [`NatTables::sweep`]) are not counted.
+    pub fn len(&self, now: SimTime) -> usize {
+        self.entries.values().filter(|e| e.expires_at > now).count()
+    }
+
+    /// Number of stored entries, live or expired (diagnostics).
+    pub fn total_len(&self) -> usize {
         self.entries.len()
     }
 
-    /// Returns true if no entries exist.
+    /// Returns true if no entries exist, live or expired.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
@@ -199,6 +206,11 @@ impl NatTables {
             }
             self.remove(id);
         }
+        // About to allocate: purge every expired entry first, so dead
+        // mappings cannot hold public ports hostage and exhaust the
+        // allocator under churn. Only the (rare) allocation path pays
+        // for the sweep; packets on live mappings never reach here.
+        self.sweep(now);
         let public = alloc(self)?;
         let id = self.next_id;
         self.next_id += 1;
@@ -340,7 +352,7 @@ mod tests {
             .0;
         assert_eq!(a, b, "cone NAT must preserve the public endpoint (§5.1)");
         assert_eq!(t.get(a).unwrap().public, ep("155.99.25.11:62000"));
-        assert_eq!(t.len(), 1);
+        assert_eq!(t.len(now), 1);
     }
 
     #[test]
@@ -371,9 +383,11 @@ mod tests {
             .unwrap()
             .0;
         assert_ne!(a, b);
-        assert_eq!(t.len(), 2);
-        // Same destination, different port → also a fresh mapping.
+        // Refresh first: a just-created entry is live only once the
+        // caller arms its timer.
         t.refresh(b, now, Duration::from_secs(60));
+        assert_eq!(t.len(now), 2);
+        // Same destination, different port → also a fresh mapping.
         let c = t
             .outbound(
                 MappingPolicy::AddressAndPortDependent,
@@ -579,7 +593,7 @@ mod tests {
             .0;
         assert_ne!(id, id2);
         assert_eq!(t.get(id2).unwrap().public.port, 62001);
-        assert_eq!(t.len(), 1, "expired entry removed");
+        assert_eq!(t.total_len(), 1, "expired entry removed");
     }
 
     #[test]
@@ -621,9 +635,74 @@ mod tests {
             t.refresh(id, t0, Duration::from_secs(i as u64 * 10));
         }
         assert_eq!(t.sweep(SimTime::from_secs(15)), 1);
-        assert_eq!(t.len(), 2);
+        assert_eq!(t.len(SimTime::from_secs(15)), 2);
         assert_eq!(t.sweep(SimTime::from_secs(100)), 2);
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn len_counts_live_entries_only() {
+        let mut t = NatTables::new();
+        let t0 = SimTime::ZERO;
+        for (i, port, secs) in [(1u16, 62000u16, 10u64), (2, 62001, 100)] {
+            let id = t
+                .outbound(
+                    MappingPolicy::EndpointIndependent,
+                    Proto::Udp,
+                    ep(&format!("10.0.0.{i}:1")),
+                    ep("2.2.2.2:2"),
+                    t0,
+                    fixed_alloc(port),
+                )
+                .unwrap()
+                .0;
+            t.refresh(id, t0, Duration::from_secs(secs));
+        }
+        let mid = SimTime::from_secs(50);
+        assert_eq!(t.len(t0), 2);
+        assert_eq!(t.len(mid), 1, "expired entry must not be counted");
+        assert_eq!(t.total_len(), 2, "...but it still occupies a slot");
+    }
+
+    #[test]
+    fn allocation_purges_expired_entries_to_free_their_ports() {
+        let mut t = NatTables::new();
+        let t0 = SimTime::ZERO;
+        let id = t
+            .outbound(
+                MappingPolicy::EndpointIndependent,
+                Proto::Udp,
+                ep("10.0.0.1:1"),
+                ep("2.2.2.2:2"),
+                t0,
+                fixed_alloc(62000),
+            )
+            .unwrap()
+            .0;
+        t.refresh(id, t0, Duration::from_secs(20));
+        // A *different* private host allocates long after the first
+        // mapping expired, and the pool's only remaining port is the one
+        // the dead entry holds. Without the purge, the allocator sees the
+        // port in use and the NAT refuses the new session.
+        let later = SimTime::from_secs(60);
+        let scavenge = |tables: &NatTables| {
+            (!tables.public_in_use(Proto::Udp, ep("155.99.25.11:62000")))
+                .then(|| ep("155.99.25.11:62000"))
+        };
+        let id2 = t
+            .outbound(
+                MappingPolicy::EndpointIndependent,
+                Proto::Udp,
+                ep("10.0.0.2:1"),
+                ep("2.2.2.2:2"),
+                later,
+                scavenge,
+            )
+            .expect("expired entry must release its port")
+            .0;
+        assert_ne!(id, id2);
+        assert_eq!(t.total_len(), 1, "dead entry purged, new entry stored");
+        assert_eq!(t.get(id2).unwrap().public, ep("155.99.25.11:62000"));
     }
 
     #[test]

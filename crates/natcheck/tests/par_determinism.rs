@@ -3,11 +3,14 @@
 //! worker count must never show up in the output. These tests are the
 //! regression fence for `punch_lab::par` + the survey refactor.
 
+use holepunch::{PeerId, PunchConfig, UdpPeer, UdpPeerConfig};
 use proptest::prelude::*;
-use punch_nat::VENDORS;
+use punch_lab::{fig5, par, PeerSetup, Scenario};
+use punch_nat::{NatBehavior, VENDORS};
 use punch_natcheck::run_survey_mutated_with_workers;
 use punch_net::seed::derive_seed;
-use rand::Rng;
+use punch_net::{Duration, FaultPlan, LinkSpec, SimTime};
+use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::collections::HashSet;
 
 /// A mutation that actually consumes RNG draws, so the test also proves
@@ -37,6 +40,109 @@ fn survey_is_byte_identical_for_1_2_and_8_workers() {
 fn survey_is_identical_across_repeated_runs_on_the_pool() {
     let run = || run_survey_mutated_with_workers(7, Some(2), None, jitter_timeouts).format();
     assert_eq!(run(), run());
+}
+
+/// A chaos-hardened peer so the fault plan exercises the full recovery
+/// machinery (liveness timers, re-punch backoff, re-registration).
+fn resilient_peer(id: u64) -> PeerSetup {
+    let mut cfg = UdpPeerConfig::new(PeerId(id), Scenario::server_endpoint());
+    cfg.server_keepalive = Duration::from_secs(2);
+    cfg.register_retry = Duration::from_secs(1);
+    cfg.punch = PunchConfig::resilient();
+    cfg.punch.keepalive_interval = Duration::from_secs(1);
+    PeerSetup::new(UdpPeer::new(cfg))
+}
+
+/// Builds a Figure-5 world, derives a random `FaultPlan` entirely from
+/// `seed` (link outages, loss/dup/reorder degradation, NAT and server
+/// restarts), runs a punch attempt through the carnage, and fingerprints
+/// the run: the packet-level trace plus both peers' event streams. The
+/// fingerprint must depend only on `seed`.
+fn faulted_run_fingerprint(seed: u64) -> String {
+    let mut sc = fig5(
+        seed,
+        NatBehavior::well_behaved(),
+        NatBehavior::well_behaved(),
+        resilient_peer(1),
+        resilient_peer(2),
+    );
+    sc.world.sim.enable_trace(200_000);
+
+    let links = [
+        sc.world.uplink(sc.server),
+        sc.world.uplink(sc.world.nats[0]),
+        sc.world.uplink(sc.world.nats[1]),
+        sc.world.uplink(sc.a),
+        sc.world.uplink(sc.b),
+    ];
+    let nodes = [sc.server, sc.world.nats[0], sc.world.nats[1]];
+
+    // The plan's own RNG stream is derived from the master seed, so the
+    // plan shape varies per task but never per run.
+    let mut rng = StdRng::seed_from_u64(derive_seed(seed, "fault-plan", 0));
+    let mut plan = FaultPlan::new();
+    for _ in 0..rng.gen_range(2..6) {
+        let at = SimTime::from_millis(rng.gen_range(2_500..10_000));
+        let link = links[rng.gen_range(0..links.len())];
+        match rng.gen_range(0..4u32) {
+            0 => {
+                let dur = Duration::from_millis(rng.gen_range(200..2_500));
+                plan = plan.outage(at, dur, link);
+            }
+            1 => {
+                let spec = LinkSpec::wan()
+                    .with_loss(0.3)
+                    .with_duplicate(0.2)
+                    .with_reorder(0.2);
+                plan = plan.link_set(at, link, spec);
+            }
+            2 => {
+                let node = nodes[rng.gen_range(0..nodes.len())];
+                plan = plan.restart(at, node);
+            }
+            _ => {
+                let up = at + Duration::from_millis(rng.gen_range(300..2_000));
+                plan = plan.link_down(at, link).link_up(up, link);
+            }
+        }
+    }
+    sc.world.apply_faults(&plan);
+
+    sc.world.sim.run_for(Duration::from_secs(2));
+    sc.world.with_app::<UdpPeer, _>(sc.a, |p, os| p.connect(os, PeerId(2)));
+    sc.world.sim.run_for(Duration::from_secs(14));
+
+    let mut fp = sc.world.sim.trace().expect("trace enabled").dump();
+    for node in [sc.a, sc.b] {
+        let evs = sc.world.with_app::<UdpPeer, _>(node, |p, _| p.take_events());
+        fp.push_str(&format!("{evs:?}\n"));
+    }
+    fp
+}
+
+#[test]
+fn faulted_runs_are_identical_across_worker_counts() {
+    let seeds: Vec<u64> = (0..6).collect();
+    let runs: Vec<Vec<String>> = [1usize, 2, 8]
+        .iter()
+        .map(|&w| par::run_with_workers(&seeds, w, |_, &s| faulted_run_fingerprint(s)))
+        .collect();
+    assert_eq!(runs[0], runs[1], "1 vs 2 workers");
+    assert_eq!(runs[0], runs[2], "1 vs 8 workers");
+    // Different seeds must produce different carnage, or the comparison
+    // above proves nothing.
+    assert_ne!(runs[0][0], runs[0][1]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any seeded `FaultPlan` replays byte-identically: same seed, same
+    /// packet trace and peer events, run after run.
+    #[test]
+    fn fault_plans_replay_byte_identically(seed in any::<u64>()) {
+        prop_assert_eq!(faulted_run_fingerprint(seed), faulted_run_fingerprint(seed));
+    }
 }
 
 proptest! {

@@ -42,6 +42,7 @@
 //! ```
 
 pub mod addr;
+pub mod fault;
 pub mod link;
 pub mod node;
 pub mod packet;
@@ -53,11 +54,12 @@ pub mod time;
 pub mod trace;
 
 pub use addr::{Cidr, Endpoint};
+pub use fault::{FaultPlan, LinkAction, FAULT_RESTART};
 pub use link::LinkSpec;
 pub use node::{Ctx, Device, IfaceId, NodeId};
 pub use packet::{Body, IcmpKind, IcmpMessage, Packet, Proto, TcpFlags, TcpSegment};
 pub use router::Router;
-pub use sim::{Sim, SimStats};
+pub use sim::{LinkId, Sim, SimStats};
 pub use time::SimTime;
 pub use trace::{TraceDir, TraceEvent, Tracer};
 

@@ -16,6 +16,14 @@ use std::time::Duration;
 /// simulation's seeded RNG, and the packet is dropped with probability
 /// `loss` instead of being delivered.
 ///
+/// Two fault knobs model misbehaving paths: with probability
+/// `duplicate` a second copy of the packet is delivered shortly after
+/// the first, and with probability `reorder` the packet is exempted
+/// from the link's FIFO ordering and held for an extra random delay so
+/// later traffic can overtake it. Both default to zero, and a link with
+/// both at zero consumes no extra RNG draws — traces of existing
+/// configurations are unchanged.
+///
 /// # Examples
 ///
 /// ```
@@ -36,6 +44,13 @@ pub struct LinkSpec {
     pub jitter: Duration,
     /// Independent per-packet drop probability in `[0, 1]`.
     pub loss: f64,
+    /// Independent per-packet duplication probability in `[0, 1]`: the
+    /// duplicate copy arrives shortly after the original.
+    pub duplicate: f64,
+    /// Independent per-packet reordering probability in `[0, 1]`: a
+    /// reordered packet skips the FIFO clamp and is held for an extra
+    /// uniform delay up to `max(4 * jitter, latency, 1 ms)`.
+    pub reorder: f64,
     /// Bytes per second, or `None` for infinite bandwidth (no
     /// serialization delay or queueing).
     pub bandwidth: Option<u64>,
@@ -49,6 +64,8 @@ impl LinkSpec {
             latency,
             jitter: Duration::ZERO,
             loss: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
             bandwidth: None,
         }
     }
@@ -86,6 +103,42 @@ impl LinkSpec {
         );
         self.loss = loss;
         self
+    }
+
+    /// Sets the per-packet duplication probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duplicate` is not within `[0, 1]`.
+    pub fn with_duplicate(mut self, duplicate: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&duplicate),
+            "duplicate probability {duplicate} outside [0,1]"
+        );
+        self.duplicate = duplicate;
+        self
+    }
+
+    /// Sets the per-packet reordering probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reorder` is not within `[0, 1]`.
+    pub fn with_reorder(mut self, reorder: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&reorder),
+            "reorder probability {reorder} outside [0,1]"
+        );
+        self.reorder = reorder;
+        self
+    }
+
+    /// Extra hold window for a reordered packet: wide enough that
+    /// in-order traffic behind it actually overtakes.
+    pub fn reorder_window(&self) -> Duration {
+        (self.jitter * 4)
+            .max(self.latency)
+            .max(Duration::from_millis(1))
     }
 
     /// Sets a finite bandwidth in bytes per second.
@@ -128,11 +181,45 @@ mod tests {
         let l = LinkSpec::new(Duration::from_millis(5))
             .with_jitter(Duration::from_millis(1))
             .with_loss(0.5)
+            .with_duplicate(0.25)
+            .with_reorder(0.125)
             .with_bandwidth(100);
         assert_eq!(l.latency, Duration::from_millis(5));
         assert_eq!(l.jitter, Duration::from_millis(1));
         assert_eq!(l.loss, 0.5);
+        assert_eq!(l.duplicate, 0.25);
+        assert_eq!(l.reorder, 0.125);
         assert_eq!(l.bandwidth, Some(100));
+    }
+
+    #[test]
+    fn fault_knobs_default_to_zero() {
+        let l = LinkSpec::default();
+        assert_eq!(l.duplicate, 0.0);
+        assert_eq!(l.reorder, 0.0);
+    }
+
+    #[test]
+    fn reorder_window_scales_with_jitter_and_latency() {
+        let quiet = LinkSpec::new(Duration::ZERO);
+        assert_eq!(quiet.reorder_window(), Duration::from_millis(1));
+        let wan = LinkSpec::wan(); // 30 ms latency, 3 ms jitter
+        assert_eq!(wan.reorder_window(), Duration::from_millis(30));
+        let jittery = LinkSpec::new(Duration::from_millis(2))
+            .with_jitter(Duration::from_millis(10));
+        assert_eq!(jittery.reorder_window(), Duration::from_millis(40));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn duplicate_out_of_range_panics() {
+        let _ = LinkSpec::lan().with_duplicate(-0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn reorder_out_of_range_panics() {
+        let _ = LinkSpec::lan().with_reorder(2.0);
     }
 
     #[test]

@@ -60,6 +60,12 @@ pub trait Device: Any {
     /// Timers cannot be cancelled; devices that re-arm timers should carry
     /// a generation number in `token` and ignore stale firings.
     fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
+
+    /// Called when a scripted device fault fires (see [`crate::fault`]).
+    /// `fault` identifies the fault kind; [`crate::fault::FAULT_RESTART`]
+    /// is the conventional "restart, losing volatile state" code. The
+    /// default ignores faults.
+    fn on_fault(&mut self, _ctx: &mut Ctx<'_>, _fault: u64) {}
 }
 
 impl dyn Device {

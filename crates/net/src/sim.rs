@@ -5,6 +5,7 @@
 //! order, so any two runs with the same seed and same setup calls are
 //! identical — the property the whole test and survey methodology rests on.
 
+use crate::fault::LinkAction;
 use crate::link::LinkSpec;
 use crate::node::{Ctx, Device, IfaceId, NodeId};
 use crate::packet::Packet;
@@ -37,6 +38,14 @@ pub struct SimStats {
     pub packets_lost: u64,
     /// Packets dropped by devices (NAT filtering, no route, ...).
     pub device_drops: u64,
+    /// Packets dropped because the link was administratively down.
+    pub link_down_drops: u64,
+    /// Extra deliveries created by link duplication faults.
+    pub packets_duplicated: u64,
+    /// Packets exempted from FIFO ordering by link reordering faults.
+    pub packets_reordered: u64,
+    /// Scripted fault events (link and device) that have fired.
+    pub faults_injected: u64,
     /// Host wall-clock nanoseconds spent inside the run loops
     /// ([`Sim::run_until`], [`Sim::run_until_idle`], [`Sim::run_while`]).
     /// Not deterministic; excluded from equality.
@@ -53,12 +62,20 @@ impl PartialEq for SimStats {
             self.packets_delivered,
             self.packets_lost,
             self.device_drops,
+            self.link_down_drops,
+            self.packets_duplicated,
+            self.packets_reordered,
+            self.faults_injected,
         ) == (
             other.events,
             other.packets_sent,
             other.packets_delivered,
             other.packets_lost,
             other.device_drops,
+            other.link_down_drops,
+            other.packets_duplicated,
+            other.packets_reordered,
+            other.faults_injected,
         )
     }
 }
@@ -77,6 +94,12 @@ impl SimStats {
     }
 }
 
+/// Identifies a link, as returned by [`Sim::connect`] order (the first
+/// `connect` call creates link 0, the second link 1, ...). Stable for
+/// the lifetime of the simulation; links are never removed, only taken
+/// down.
+pub type LinkId = usize;
+
 enum EventKind {
     Start(NodeId),
     Deliver {
@@ -88,6 +111,10 @@ enum EventKind {
         node: NodeId,
         token: u64,
     },
+    /// Scripted link fault from a [`crate::fault::FaultPlan`].
+    LinkFault { link: LinkId, action: LinkAction },
+    /// Scripted device fault from a [`crate::fault::FaultPlan`].
+    DeviceFault { node: NodeId, fault: u64 },
 }
 
 struct Scheduled {
@@ -137,6 +164,8 @@ struct LinkState {
     busy_until: [SimTime; 2],
     /// Links are FIFO per direction: jitter may not reorder packets.
     last_arrival: [SimTime; 2],
+    /// Administrative state: a down link drops everything offered to it.
+    up: bool,
 }
 
 /// Engine internals shared with device callbacks through [`Ctx`].
@@ -210,6 +239,11 @@ impl SimCore {
         self.trace(node, iface, TraceDir::Tx, &pkt);
 
         let spec = self.links[link_idx].spec;
+        if !self.links[link_idx].up {
+            self.stats.link_down_drops += 1;
+            self.trace(node, iface, TraceDir::LinkDown, &pkt);
+            return;
+        }
         // Loss is drawn from the sender's RNG stream so each node's draws
         // are independent of unrelated traffic elsewhere.
         if spec.loss > 0.0 {
@@ -226,9 +260,24 @@ impl SimCore {
             let bound = spec.jitter.as_nanos() as u64;
             Duration::from_nanos(self.nodes[node.index()].rng.gen_range(0..=bound))
         };
+        // Fault knobs draw only when enabled, in a fixed order (reorder
+        // then duplicate), so links without them keep byte-identical RNG
+        // streams and traces.
+        let hold = if spec.reorder > 0.0
+            && self.nodes[node.index()].rng.gen::<f64>() < spec.reorder
+        {
+            let bound = spec.reorder_window().as_nanos() as u64;
+            Some(Duration::from_nanos(
+                self.nodes[node.index()].rng.gen_range(1..=bound.max(1)),
+            ))
+        } else {
+            None
+        };
+        let duplicated =
+            spec.duplicate > 0.0 && self.nodes[node.index()].rng.gen::<f64>() < spec.duplicate;
 
         let link = &mut self.links[link_idx];
-        let mut arrive = if spec.bandwidth.is_some() {
+        let base = if spec.bandwidth.is_some() {
             let depart = link.busy_until[side].max(self.time);
             let tx = spec.serialization_delay(pkt.wire_size());
             link.busy_until[side] = depart + tx;
@@ -236,11 +285,26 @@ impl SimCore {
         } else {
             self.time + spec.latency + jitter
         };
-        // Physical links deliver in order; jitter shifts delay but must
-        // not reorder (TCP over a reordering path degrades unrealistically).
-        arrive = arrive.max(link.last_arrival[side]);
-        link.last_arrival[side] = arrive;
+        let arrive = match hold {
+            // A reordered packet is held past the FIFO clamp and does not
+            // advance it, so in-order traffic behind it overtakes.
+            Some(extra) => base + extra,
+            None => {
+                // Physical links deliver in order; jitter shifts delay but
+                // must not reorder (TCP over a reordering path degrades
+                // unrealistically).
+                let a = base.max(link.last_arrival[side]);
+                link.last_arrival[side] = a;
+                a
+            }
+        };
         let (peer, peer_iface) = link.ends[1 - side];
+        if hold.is_some() {
+            self.stats.packets_reordered += 1;
+        }
+        // The duplicate trails the original by the reorder window and is
+        // likewise exempt from the FIFO clamp (it is a fault, not traffic).
+        let dup = duplicated.then(|| (arrive + spec.reorder_window(), pkt.clone()));
         self.push(
             arrive,
             EventKind::Deliver {
@@ -249,6 +313,17 @@ impl SimCore {
                 pkt,
             },
         );
+        if let Some((dup_at, dup_pkt)) = dup {
+            self.stats.packets_duplicated += 1;
+            self.push(
+                dup_at,
+                EventKind::Deliver {
+                    node: peer,
+                    iface: peer_iface,
+                    pkt: dup_pkt,
+                },
+            );
+        }
     }
 }
 
@@ -349,8 +424,74 @@ impl Sim {
             ends: [(a, ia), (b, ib)],
             busy_until: [SimTime::ZERO; 2],
             last_arrival: [SimTime::ZERO; 2],
+            up: true,
         });
         (ia, ib)
+    }
+
+    /// Returns the number of links created so far.
+    pub fn link_count(&self) -> usize {
+        self.core.links.len()
+    }
+
+    /// Returns the link attached to `node`'s interface `iface`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interface is not connected.
+    pub fn link_of(&self, node: NodeId, iface: IfaceId) -> LinkId {
+        self.core.nodes[node.index()]
+            .ifaces
+            .get(iface)
+            .unwrap_or_else(|| panic!("node {node} has no iface {iface}"))
+            .link
+    }
+
+    /// Returns the first link directly connecting `a` and `b`, if any.
+    pub fn link_between(&self, a: NodeId, b: NodeId) -> Option<LinkId> {
+        self.core.links.iter().position(|l| {
+            let ends = [l.ends[0].0, l.ends[1].0];
+            ends == [a, b] || ends == [b, a]
+        })
+    }
+
+    /// Returns a link's current transmission properties.
+    pub fn link_spec(&self, link: LinkId) -> LinkSpec {
+        self.core.links[link].spec
+    }
+
+    /// Mutable access to a link's transmission properties, for changing
+    /// conditions mid-run. Takes effect for every packet transmitted
+    /// after the call; packets already in flight are unaffected.
+    pub fn link_mut(&mut self, link: LinkId) -> &mut LinkSpec {
+        &mut self.core.links[link].spec
+    }
+
+    /// Returns whether a link is administratively up.
+    pub fn link_is_up(&self, link: LinkId) -> bool {
+        self.core.links[link].up
+    }
+
+    /// Takes a link down (every packet offered to it is dropped) or
+    /// brings it back up. Packets already in flight still arrive.
+    pub fn set_link_up(&mut self, link: LinkId, up: bool) {
+        self.core.links[link].up = up;
+    }
+
+    /// Schedules a scripted link fault to fire at `at` (absolute
+    /// simulated time). Usually driven through
+    /// [`crate::fault::FaultPlan`] rather than directly.
+    pub fn schedule_link_fault(&mut self, at: SimTime, link: LinkId, action: LinkAction) {
+        assert!(link < self.core.links.len(), "unknown link {link}");
+        let at = at.max(self.core.time);
+        self.core.push(at, EventKind::LinkFault { link, action });
+    }
+
+    /// Schedules a scripted device fault: at `at`, the device on `node`
+    /// gets [`Device::on_fault`] with the given fault code.
+    pub fn schedule_device_fault(&mut self, at: SimTime, node: NodeId, fault: u64) {
+        let at = at.max(self.core.time);
+        self.core.push(at, EventKind::DeviceFault { node, fault });
     }
 
     /// Delivers `pkt` to `node` on `iface` at the current time, as if it
@@ -451,6 +592,18 @@ impl Sim {
             }
             EventKind::Timer { node, token } => {
                 self.dispatch(node, |dev, ctx| dev.on_timer(ctx, token));
+            }
+            EventKind::LinkFault { link, action } => {
+                self.core.stats.faults_injected += 1;
+                match action {
+                    LinkAction::Up => self.core.links[link].up = true,
+                    LinkAction::Down => self.core.links[link].up = false,
+                    LinkAction::Set(spec) => self.core.links[link].spec = spec,
+                }
+            }
+            EventKind::DeviceFault { node, fault } => {
+                self.core.stats.faults_injected += 1;
+                self.dispatch(node, |dev, ctx| dev.on_fault(ctx, fault));
             }
         }
         true
@@ -778,6 +931,130 @@ mod tests {
         // Deterministic counters match even though wall time differs.
         assert_eq!(s1, s2);
         assert_eq!(SimStats::default().events_per_sec(), None);
+    }
+
+    #[test]
+    fn down_link_drops_everything() {
+        let mut sim = Sim::new(1);
+        let a = sim.add_node("a", Box::new(SinkDevice::default()));
+        let b = sim.add_node("b", Box::new(SinkDevice::default()));
+        sim.connect(a, b, LinkSpec::lan());
+        let link = sim.link_of(a, 0);
+        assert!(sim.link_is_up(link));
+        sim.set_link_up(link, false);
+        for _ in 0..5 {
+            sim.with_node(a, |_, ctx| ctx.send(0, udp()));
+        }
+        sim.run_until_idle();
+        assert_eq!(sim.device::<SinkDevice>(b).packets.len(), 0);
+        assert_eq!(sim.stats().link_down_drops, 5);
+        sim.set_link_up(link, true);
+        sim.with_node(a, |_, ctx| ctx.send(0, udp()));
+        sim.run_until_idle();
+        assert_eq!(sim.device::<SinkDevice>(b).packets.len(), 1);
+    }
+
+    #[test]
+    fn link_mut_changes_conditions_mid_run() {
+        let mut sim = Sim::new(1);
+        let a = sim.add_node("a", Box::new(SinkDevice::default()));
+        let b = sim.add_node("b", Box::new(SinkDevice::default()));
+        sim.connect(a, b, LinkSpec::new(Duration::from_millis(1)));
+        let link = sim.link_of(a, 0);
+        sim.with_node(a, |_, ctx| ctx.send(0, udp()));
+        sim.run_until_idle();
+        link_assert_latency(&mut sim, link, Duration::from_millis(50));
+        sim.with_node(a, |_, ctx| ctx.send(0, udp()));
+        let before = sim.now();
+        sim.run_until_idle();
+        assert_eq!(sim.now(), before + Duration::from_millis(50));
+        assert_eq!(sim.device::<SinkDevice>(b).packets.len(), 2);
+    }
+
+    fn link_assert_latency(sim: &mut Sim, link: LinkId, lat: Duration) {
+        sim.link_mut(link).latency = lat;
+        assert_eq!(sim.link_spec(link).latency, lat);
+    }
+
+    #[test]
+    fn scheduled_outage_fires_at_its_time() {
+        use crate::fault::LinkAction;
+        let mut sim = Sim::new(1);
+        let a = sim.add_node("a", Box::new(SinkDevice::default()));
+        let b = sim.add_node("b", Box::new(SinkDevice::default()));
+        sim.connect(a, b, LinkSpec::lan());
+        let link = sim.link_of(a, 0);
+        sim.schedule_link_fault(SimTime::from_secs(1), link, LinkAction::Down);
+        sim.schedule_link_fault(SimTime::from_secs(2), link, LinkAction::Up);
+        // One packet before, one during, one after the outage window.
+        for at_ms in [500u64, 1500, 2500] {
+            sim.run_until(SimTime::from_millis(at_ms));
+            sim.with_node(a, |_, ctx| ctx.send(0, udp()));
+        }
+        sim.run_until_idle();
+        assert_eq!(sim.device::<SinkDevice>(b).packets.len(), 2);
+        assert_eq!(sim.stats().link_down_drops, 1);
+        assert_eq!(sim.stats().faults_injected, 2);
+    }
+
+    #[test]
+    fn duplication_delivers_extra_copies() {
+        let mut sim = Sim::new(11);
+        let a = sim.add_node("a", Box::new(SinkDevice::default()));
+        let b = sim.add_node("b", Box::new(SinkDevice::default()));
+        sim.connect(a, b, LinkSpec::lan().with_duplicate(1.0));
+        for _ in 0..10 {
+            sim.with_node(a, |_, ctx| ctx.send(0, udp()));
+        }
+        sim.run_until_idle();
+        assert_eq!(sim.device::<SinkDevice>(b).packets.len(), 20);
+        assert_eq!(sim.stats().packets_duplicated, 10);
+        assert_eq!(sim.stats().packets_sent, 10);
+    }
+
+    #[test]
+    fn reordering_lets_later_traffic_overtake() {
+        // First packet reordered (held ≥1 ns past its latency), the rest
+        // sent after the knob is turned off again: with a deterministic
+        // latency the held packet arrives behind a later one.
+        let mut sim = Sim::new(5);
+        let a = sim.add_node("a", Box::new(SinkDevice::default()));
+        let b = sim.add_node("b", Box::new(SinkDevice::default()));
+        sim.connect(a, b, LinkSpec::new(Duration::from_millis(10)).with_reorder(1.0));
+        let link = sim.link_of(a, 0);
+        let tagged = |tag: u8| {
+            Packet::udp(ep("10.0.0.1:1"), ep("10.0.0.2:2"), vec![tag])
+        };
+        sim.with_node(a, |_, ctx| ctx.send(0, tagged(0)));
+        sim.link_mut(link).reorder = 0.0;
+        // The reorder window is max(4*jitter, latency, 1ms) = 10 ms, so a
+        // packet sent 11 ms later would always lose the race; one sent
+        // immediately can win it whenever the held delay exceeds 0.
+        sim.with_node(a, |_, ctx| ctx.send(0, tagged(1)));
+        sim.run_until_idle();
+        let got: Vec<u8> = sim.device::<SinkDevice>(b)
+            .packets
+            .iter()
+            .map(|(_, p)| p.udp_payload().unwrap()[0])
+            .collect();
+        assert_eq!(sim.stats().packets_reordered, 1);
+        assert_eq!(got, vec![1, 0], "held packet must arrive second");
+    }
+
+    #[test]
+    fn link_lookup_helpers() {
+        let mut sim = Sim::new(1);
+        let a = sim.add_node("a", Box::new(SinkDevice::default()));
+        let b = sim.add_node("b", Box::new(SinkDevice::default()));
+        let c = sim.add_node("c", Box::new(SinkDevice::default()));
+        sim.connect(a, b, LinkSpec::lan());
+        sim.connect(b, c, LinkSpec::wan());
+        assert_eq!(sim.link_count(), 2);
+        assert_eq!(sim.link_of(a, 0), 0);
+        assert_eq!(sim.link_of(c, 0), 1);
+        assert_eq!(sim.link_between(b, a), Some(0));
+        assert_eq!(sim.link_between(c, b), Some(1));
+        assert_eq!(sim.link_between(a, c), None);
     }
 
     #[test]

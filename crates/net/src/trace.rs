@@ -19,6 +19,8 @@ pub enum TraceDir {
     Rx,
     /// Packet dropped by the link's loss process.
     LossDrop,
+    /// Packet dropped because the link was administratively down.
+    LinkDown,
     /// Packet dropped by a device, with a device-supplied reason.
     DeviceDrop(&'static str),
 }
@@ -47,6 +49,7 @@ impl fmt::Display for TraceEvent {
             TraceDir::Tx => "tx".to_string(),
             TraceDir::Rx => "rx".to_string(),
             TraceDir::LossDrop => "LOST".to_string(),
+            TraceDir::LinkDown => "DOWN".to_string(),
             TraceDir::DeviceDrop(r) => format!("DROP({r})"),
         };
         write!(

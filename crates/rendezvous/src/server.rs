@@ -53,6 +53,8 @@ pub struct ServerStats {
     pub reversals: u64,
     /// Requests that failed (unknown peer, unparsable).
     pub errors: u64,
+    /// Scripted restarts endured (registrations dropped each time).
+    pub restarts: u64,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -420,6 +422,17 @@ impl App for RendezvousServer {
         );
     }
 
+    fn on_fault(&mut self, os: &mut Os<'_, '_>, fault: u64) {
+        if fault == punch_net::FAULT_RESTART {
+            // A restarted server keeps its ports (same bind on boot) but
+            // has an empty registration table; clients discover this only
+            // when their next request goes unanswered or their connection
+            // aborts.
+            self.stats.restarts += 1;
+            self.drop_all_clients(os);
+        }
+    }
+
     fn on_event(&mut self, os: &mut Os<'_, '_>, ev: SockEvent) {
         match ev {
             SockEvent::UdpReceived { sock, from, data } if Some(sock) == self.probe_sock => {
@@ -443,14 +456,11 @@ impl App for RendezvousServer {
                     return;
                 };
                 conn.frames.push(&data);
-                loop {
-                    let Some(next) = self
-                        .conns
-                        .get_mut(&sock)
-                        .and_then(|c| c.frames.next_message())
-                    else {
-                        break;
-                    };
+                while let Some(next) = self
+                    .conns
+                    .get_mut(&sock)
+                    .and_then(|c| c.frames.next_message())
+                {
                     match next {
                         Ok(msg) => self.handle_tcp(os, sock, msg),
                         Err(_) => {

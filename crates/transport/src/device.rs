@@ -129,6 +129,11 @@ pub trait App: Any {
 
     /// Called when an application timer armed via [`Os::set_timer`] fires.
     fn on_timer(&mut self, _os: &mut Os<'_, '_>, _token: u64) {}
+
+    /// Called when a scripted device fault (see [`punch_net::fault`])
+    /// hits this host. `punch_net::FAULT_RESTART` means "restart the
+    /// process, losing volatile state". The default ignores faults.
+    fn on_fault(&mut self, _os: &mut Os<'_, '_>, _fault: u64) {}
 }
 
 impl dyn App {
@@ -273,6 +278,15 @@ impl Device for HostDevice {
             };
             self.app.on_timer(&mut os, token);
         }
+        Self::drive(&mut self.stack, self.app.as_mut(), ctx);
+    }
+
+    fn on_fault(&mut self, ctx: &mut Ctx<'_>, fault: u64) {
+        let mut os = Os {
+            stack: &mut self.stack,
+            ctx,
+        };
+        self.app.on_fault(&mut os, fault);
         Self::drive(&mut self.stack, self.app.as_mut(), ctx);
     }
 }

@@ -571,6 +571,10 @@ impl Tcb {
             if self.dup_acks == 3 {
                 self.retransmit_front(io);
                 self.arm_rto(io);
+                // Reno: restart the count so a later loss in the same
+                // window can fast-retransmit again instead of stalling
+                // until the full RTO.
+                self.dup_acks = 0;
             }
         }
         if seq::gt(ack, self.snd_una) {
@@ -1149,6 +1153,42 @@ mod tests {
         let seg = h.last_seg();
         assert_eq!(seg.seq, 1001, "earliest unacked");
         assert_eq!(seg.payload.len(), 1400);
+    }
+
+    #[test]
+    fn fast_retransmit_fires_on_third_dup_ack() {
+        let (mut h, mut tcb) = established_pair();
+        tcb.send(&vec![1u8; 2800], &mut h.io()).unwrap();
+        h.out.clear();
+        let dup = TcpSegment::control(TcpFlags::ACK, 5001, 1001);
+        tcb.on_segment(&dup, &mut h.io());
+        tcb.on_segment(&dup, &mut h.io());
+        assert!(h.out.is_empty(), "two dup acks are not enough");
+        tcb.on_segment(&dup, &mut h.io());
+        let seg = h.last_seg();
+        assert_eq!(seg.seq, 1001, "third dup ack retransmits earliest unacked");
+        assert_eq!(seg.payload.len(), 1400);
+    }
+
+    #[test]
+    fn fast_retransmit_rearms_after_firing() {
+        // Reno regression: if the fast-retransmitted segment is lost too,
+        // three *further* dup acks must trigger another fast retransmit
+        // rather than counting past 3 forever and stalling until RTO.
+        let (mut h, mut tcb) = established_pair();
+        tcb.send(&vec![1u8; 2800], &mut h.io()).unwrap();
+        h.out.clear();
+        let dup = TcpSegment::control(TcpFlags::ACK, 5001, 1001);
+        for _ in 0..3 {
+            tcb.on_segment(&dup, &mut h.io());
+        }
+        assert_eq!(h.out.len(), 1, "first fast retransmit");
+        h.out.clear();
+        for _ in 0..3 {
+            tcb.on_segment(&dup, &mut h.io());
+        }
+        assert_eq!(h.out.len(), 1, "counter reset: second fast retransmit");
+        assert_eq!(h.last_seg().seq, 1001);
     }
 
     #[test]

@@ -1,0 +1,44 @@
+#!/usr/bin/env sh
+# Full local CI: build, test, lint, and a chaos smoke test.
+#
+#   scripts/ci.sh            (from the repo root)
+#
+# Steps:
+#   1. cargo build --release              — everything compiles optimized
+#   2. cargo test -q                      — tier-1: the root package's suites
+#                                           (paper_claims, resilience, chaos)
+#   3. cargo test --workspace -q          — every crate's suites
+#   4. cargo clippy ... -- -D warnings    — lint our crates only; vendor/*
+#                                           are workspace members (vendored
+#                                           rand/bytes/proptest/criterion),
+#                                           so they must be excluded rather
+#                                           than linted to their authors'
+#                                           standards
+#   5. chaos smoke test                   — 2 trials per fault class, must
+#                                           report zero failures
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release --quiet
+
+echo "== test (tier-1: root package) =="
+cargo test -q
+
+echo "== test (workspace) =="
+cargo test --workspace -q
+
+echo "== clippy (-D warnings, vendor/* excluded) =="
+cargo clippy --workspace \
+    --exclude rand --exclude bytes --exclude proptest --exclude criterion \
+    --all-targets -- -D warnings
+
+echo "== chaos smoke test (2 trials per fault class) =="
+out=$(cargo run --release --quiet -p punch-bench --bin chaos -- --trials 2 --no-write)
+echo "$out"
+if echo "$out" | grep -q "[1-9][0-9]*/2\b"; then
+    echo "FAIL: chaos smoke test reported recovery failures" >&2
+    exit 1
+fi
+echo "OK: all chaos smoke trials recovered"

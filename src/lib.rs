@@ -82,7 +82,9 @@ pub mod prelude {
         FilteringPolicy, Hairpin, MappingPolicy, NatBehavior, NatDevice, PortAllocation,
         TcpUnsolicited,
     };
-    pub use punch_net::{Duration, Endpoint, LinkSpec, Sim, SimTime};
+    pub use punch_net::{
+        Duration, Endpoint, FaultPlan, LinkAction, LinkId, LinkSpec, Sim, SimTime, FAULT_RESTART,
+    };
     pub use punch_rendezvous::{RendezvousServer, ServerConfig};
     pub use punch_transport::{App, HostDevice, Os, SockEvent, StackConfig, TcpFlavor};
 }
