@@ -2,11 +2,18 @@
 //! outages, behaviour flips) against the recovery machinery, reporting
 //! recovery-time distributions per fault class.
 //!
-//! Run: `cargo run --release -p punch-bench --bin chaos [-- --trials N] [--no-write]`
+//! Run: `cargo run --release -p punch-bench --bin chaos
+//! [-- --trials N] [--no-write] [--metrics-out PATH]`
+//!
+//! Besides the recovery-time table, each run exports the merged metrics
+//! snapshots per fault class (failure-reason counters, per-layer drop
+//! counters) as JSON — to `results/metrics_chaos.json` when `results/`
+//! exists, or to an explicit `--metrics-out PATH`. The export is
+//! byte-identical for the same trial count at any worker count.
 
-use punch_bench::{chaos_trial, ms, FaultClass};
+use punch_bench::{chaos_trial_metrics, metrics_report, ms, FaultClass};
 use punch_lab::par;
-use punch_net::Duration;
+use punch_net::{Duration, MetricsSnapshot};
 use std::fmt::Write as _;
 
 fn main() {
@@ -61,8 +68,11 @@ fn main() {
     .unwrap();
 
     let seeds: Vec<u64> = (1..=trials).collect();
+    let mut sections: Vec<(&str, MetricsSnapshot)> = Vec::new();
     for (class, name, desc) in classes {
-        let results = par::run(&seeds, |_, &seed| chaos_trial(seed, class));
+        let (results, merged) =
+            par::run_merge_metrics(&seeds, |_, &seed| chaos_trial_metrics(seed, class));
+        sections.push((name, merged));
         let mut times: Vec<Duration> = results.into_iter().flatten().collect();
         times.sort();
         let failures = seeds.len() - times.len();
@@ -109,8 +119,18 @@ fn main() {
     .unwrap();
 
     print!("{out}");
+    let metrics_json = metrics_report(&sections);
     let no_write = args.iter().any(|a| a == "--no-write");
     if !no_write && std::path::Path::new("results").is_dir() {
         std::fs::write("results/chaos.txt", &out).expect("write results/chaos.txt");
+        std::fs::write("results/metrics_chaos.json", &metrics_json)
+            .expect("write results/metrics_chaos.json");
+    }
+    if let Some(path) = args
+        .iter()
+        .position(|a| a == "--metrics-out")
+        .and_then(|i| args.get(i + 1))
+    {
+        std::fs::write(path, &metrics_json).unwrap_or_else(|e| panic!("write {path}: {e}"));
     }
 }

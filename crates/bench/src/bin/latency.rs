@@ -2,32 +2,51 @@
 //! direct).
 //!
 //! Run: `cargo run --release -p punch-bench --bin latency`
+//!
+//! The E3a sweep runs with the metrics registry enabled and exports its
+//! merged punch-latency histograms per WAN setting to
+//! `results/metrics_latency.json` (when `results/` exists). Metrics
+//! never change the simulated outcomes, and the export is byte-identical
+//! at any worker count.
 
-use punch_bench::{median, ms, relay_vs_direct, seq_vs_par, udp_punch_on, Outcome, Topology};
+use punch_bench::{
+    median, metrics_report, ms, relay_vs_direct, seq_vs_par, udp_punch_metrics, udp_punch_on,
+    Outcome, Topology,
+};
 use punch_lab::par;
 use punch_nat::NatBehavior;
-use punch_net::{Duration, LinkSpec};
+use punch_net::{Duration, LinkSpec, MetricsSnapshot};
 
 fn main() {
+    let mut sections: Vec<(&str, MetricsSnapshot)> = Vec::new();
     println!("== E3a: UDP punch latency vs WAN one-way latency ==");
-    for wan_ms in [10u64, 30, 60, 100, 200] {
-        let lats: Vec<Duration> = par::run_n(5, |seed| {
-            match udp_punch_on(
+    for (wan_ms, section) in [
+        (10u64, "e3a_wan_10ms"),
+        (30, "e3a_wan_30ms"),
+        (60, "e3a_wan_60ms"),
+        (100, "e3a_wan_100ms"),
+        (200, "e3a_wan_200ms"),
+    ] {
+        let seeds: Vec<u64> = (0..5).collect();
+        let (outcomes, merged) = par::run_merge_metrics(&seeds, |_, &seed| {
+            udp_punch_metrics(
                 Topology::TwoNats(
                     Some(NatBehavior::well_behaved()),
                     Some(NatBehavior::well_behaved()),
                 ),
-                seed as u64,
+                seed,
                 |_| {},
                 LinkSpec::new(Duration::from_millis(wan_ms)),
-            ) {
+            )
+        });
+        sections.push((section, merged));
+        let lats: Vec<Duration> = outcomes
+            .into_iter()
+            .filter_map(|o| match o {
                 Outcome::Direct(d) => Some(d),
                 _ => None,
-            }
-        })
-        .into_iter()
-        .flatten()
-        .collect();
+            })
+            .collect();
         println!(
             "  wan {wan_ms:>4} ms  -> {}/5 direct, median punch {}",
             lats.len(),
@@ -95,5 +114,11 @@ fn main() {
             ms(relay),
             relay.as_secs_f64() / direct.as_secs_f64(),
         );
+    }
+
+    if std::path::Path::new("results").is_dir() {
+        std::fs::write("results/metrics_latency.json", metrics_report(&sections))
+            .expect("write results/metrics_latency.json");
+        println!("\n(wrote results/metrics_latency.json)");
     }
 }

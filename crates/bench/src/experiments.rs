@@ -6,7 +6,7 @@ use holepunch::{
 };
 use punch_lab::{addrs, fig4, fig5, fig6, PeerSetup, Scenario, WorldBuilder};
 use punch_nat::{NatBehavior, PortAllocation};
-use punch_net::{Duration, Endpoint, FaultPlan, LinkSpec, SimTime};
+use punch_net::{Duration, Endpoint, FaultPlan, LinkSpec, MetricsSnapshot, SimTime};
 use punch_rendezvous::{RendezvousServer, ServerConfig};
 use punch_transport::{App, Os, SockEvent, SocketId, StackConfig, TcpFlavor};
 
@@ -118,7 +118,33 @@ pub fn udp_punch_on(
     cfg_mod: impl Fn(&mut UdpPeerConfig),
     wan: LinkSpec,
 ) -> Outcome {
+    run_udp_punch(topo, seed, cfg_mod, wan, false).0
+}
+
+/// [`udp_punch_on`] with the metrics registry enabled, additionally
+/// returning the run's [`MetricsSnapshot`] (punch timeline counters,
+/// per-layer drop counters, the `punch.latency` histogram). Enabling
+/// metrics never changes the outcome.
+pub fn udp_punch_metrics(
+    topo: Topology,
+    seed: u64,
+    cfg_mod: impl Fn(&mut UdpPeerConfig),
+    wan: LinkSpec,
+) -> (Outcome, MetricsSnapshot) {
+    run_udp_punch(topo, seed, cfg_mod, wan, true)
+}
+
+fn run_udp_punch(
+    topo: Topology,
+    seed: u64,
+    cfg_mod: impl Fn(&mut UdpPeerConfig),
+    wan: LinkSpec,
+    metrics: bool,
+) -> (Outcome, MetricsSnapshot) {
     let mut sc = build_udp(&topo, seed, &cfg_mod, wan);
+    if metrics {
+        sc.world.sim.enable_metrics();
+    }
     sc.world.sim.run_for(Duration::from_secs(2));
     let started = sc.world.sim.now();
     sc.world
@@ -128,14 +154,15 @@ pub fn udp_punch_on(
         .world
         .run_until_app::<UdpPeer>(sc.a, deadline, |p| p.is_established(B) || p.is_relaying(B));
     let app = sc.world.app::<UdpPeer>(sc.a);
-    if app.is_established(B) {
+    let outcome = if app.is_established(B) {
         Outcome::Direct(sc.world.sim.now() - started)
     } else if app.is_relaying(B) {
         Outcome::Relay
     } else {
         let _ = direct;
         Outcome::Failed
-    }
+    };
+    (outcome, sc.world.sim.metrics_snapshot())
 }
 
 /// Runs a TCP punch between two NATs (with an optional slow access link
@@ -566,6 +593,21 @@ fn recover_established(sc: &mut Scenario, deadline: SimTime, t0: SimTime) -> Opt
 /// [`FaultClass`] for what "recovery" means per class). `None` if the
 /// pair missed the 60 s recovery deadline.
 pub fn chaos_trial(seed: u64, fault: FaultClass) -> Option<Duration> {
+    run_chaos_trial(seed, fault, false).0
+}
+
+/// [`chaos_trial`] with the metrics registry enabled, additionally
+/// returning the run's [`MetricsSnapshot`] (failure-reason and recovery
+/// counters). Enabling metrics never changes the recovery time.
+pub fn chaos_trial_metrics(seed: u64, fault: FaultClass) -> (Option<Duration>, MetricsSnapshot) {
+    run_chaos_trial(seed, fault, true)
+}
+
+fn run_chaos_trial(
+    seed: u64,
+    fault: FaultClass,
+    metrics: bool,
+) -> (Option<Duration>, MetricsSnapshot) {
     let nat_a = if matches!(fault, FaultClass::RelayRecovery) {
         NatBehavior::symmetric()
     } else {
@@ -578,6 +620,15 @@ pub fn chaos_trial(seed: u64, fault: FaultClass) -> Option<Duration> {
         chaos_peer(A, fault),
         chaos_peer(B, fault),
     );
+    if metrics {
+        sc.world.sim.enable_metrics();
+    }
+    let recovery = run_chaos_fault(&mut sc, fault);
+    let snap = sc.world.sim.metrics_snapshot();
+    (recovery, snap)
+}
+
+fn run_chaos_fault(sc: &mut Scenario, fault: FaultClass) -> Option<Duration> {
     sc.world.sim.run_for(Duration::from_secs(2));
     sc.world.with_app::<UdpPeer, _>(sc.a, |p, os| p.connect(os, B));
     let settle = sc.world.sim.now() + Duration::from_secs(30);
@@ -604,7 +655,7 @@ pub fn chaos_trial(seed: u64, fault: FaultClass) -> Option<Duration> {
         FaultClass::NatReboot => {
             let nat = sc.world.nats[0];
             sc.world.reboot_nat(nat);
-            recover_established(&mut sc, deadline, t0)
+            recover_established(sc, deadline, t0)
         }
         FaultClass::ServerRestart => {
             let s = sc.server;
@@ -628,7 +679,7 @@ pub fn chaos_trial(seed: u64, fault: FaultClass) -> Option<Duration> {
             let link = sc.world.uplink(sc.a);
             let plan = FaultPlan::new().outage(t0, Duration::from_secs(5), link);
             sc.world.apply_faults(&plan);
-            recover_established(&mut sc, deadline, t0)
+            recover_established(sc, deadline, t0)
         }
         FaultClass::RelayRecovery => {
             let nat = sc.world.nats[0];
@@ -643,6 +694,32 @@ pub fn chaos_trial(seed: u64, fault: FaultClass) -> Option<Duration> {
             Some(w.sim.now() - t0)
         }
     }
+}
+
+/// Renders named [`MetricsSnapshot`] sections as one JSON document:
+/// `{"<name>": <snapshot>, ...}`. Section order is preserved, so the
+/// output is byte-identical for identical inputs — the bench bins use
+/// this for `results/metrics_*.json` exports.
+pub fn metrics_report(sections: &[(&str, MetricsSnapshot)]) -> String {
+    let mut out = String::from("{\n");
+    for (i, (name, snap)) in sections.iter().enumerate() {
+        let body = snap.to_json();
+        let mut lines = body.trim_end().lines();
+        out.push_str(&format!("  \"{name}\": {}\n", lines.next().unwrap_or("{")));
+        for line in lines {
+            out.push_str("  ");
+            out.push_str(line);
+            out.push('\n');
+        }
+        // The nested object's closing brace was just written; add the
+        // separator behind it.
+        if i + 1 < sections.len() {
+            out.pop();
+            out.push_str(",\n");
+        }
+    }
+    out.push_str("}\n");
+    out
 }
 
 /// Formats a duration in milliseconds for reports.

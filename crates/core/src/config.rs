@@ -21,7 +21,11 @@ pub enum PunchStrategy {
 }
 
 /// Tunables for UDP hole punching (§3).
+///
+/// Construct via [`PunchConfig::default`] or [`PunchConfig::resilient`]
+/// and customise with the chainable `with_*` builders.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct PunchConfig {
     /// Interval between probe volleys while punching.
     pub spray_interval: Duration,
@@ -97,10 +101,93 @@ impl PunchConfig {
             ..PunchConfig::default()
         }
     }
+
+    /// Same configuration with a different volley interval.
+    pub fn with_spray_interval(mut self, interval: Duration) -> Self {
+        self.spray_interval = interval;
+        self
+    }
+
+    /// Same configuration with a different volley budget.
+    pub fn with_max_attempts(mut self, attempts: u32) -> Self {
+        self.max_attempts = attempts;
+        self
+    }
+
+    /// Same configuration with a different keepalive interval.
+    pub fn with_keepalive_interval(mut self, interval: Duration) -> Self {
+        self.keepalive_interval = interval;
+        self
+    }
+
+    /// Same configuration with a different session timeout.
+    pub fn with_session_timeout(mut self, timeout: Duration) -> Self {
+        self.session_timeout = timeout;
+        self
+    }
+
+    /// Same configuration with relay fallback enabled or disabled.
+    pub fn with_relay_fallback(mut self, enabled: bool) -> Self {
+        self.relay_fallback = enabled;
+        self
+    }
+
+    /// Same configuration with private candidates enabled or disabled.
+    pub fn with_private_candidates(mut self, enabled: bool) -> Self {
+        self.use_private_candidates = enabled;
+        self
+    }
+
+    /// Same configuration with a different candidate strategy.
+    pub fn with_strategy(mut self, strategy: PunchStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Same configuration with a different keepalive miss limit.
+    pub fn with_keepalive_miss_limit(mut self, limit: u32) -> Self {
+        self.keepalive_miss_limit = limit;
+        self
+    }
+
+    /// Same configuration with automatic re-punching on or off.
+    pub fn with_auto_repunch(mut self, enabled: bool) -> Self {
+        self.auto_repunch = enabled;
+        self
+    }
+
+    /// Same configuration with a different backoff multiplier.
+    pub fn with_backoff(mut self, backoff: f64) -> Self {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Same configuration with a different backoff ceiling.
+    pub fn with_backoff_max(mut self, max: Duration) -> Self {
+        self.backoff_max = max;
+        self
+    }
+
+    /// Same configuration with a different backoff jitter fraction.
+    pub fn with_backoff_jitter(mut self, jitter: f64) -> Self {
+        self.backoff_jitter = jitter;
+        self
+    }
+
+    /// Same configuration with a different relay-to-direct probe
+    /// interval (`None` never probes).
+    pub fn with_relay_probe_interval(mut self, interval: Option<Duration>) -> Self {
+        self.relay_probe_interval = interval;
+        self
+    }
 }
 
 /// Configuration for a UDP hole-punching client.
+///
+/// Construct via [`UdpPeerConfig::new`] and customise with the
+/// chainable `with_*` builders.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct UdpPeerConfig {
     /// This client's identity.
     pub id: PeerId,
@@ -134,6 +221,36 @@ impl UdpPeerConfig {
             punch: PunchConfig::default(),
         }
     }
+
+    /// Same configuration with a fixed local port (0 = ephemeral).
+    pub fn with_local_port(mut self, port: u16) -> Self {
+        self.local_port = port;
+        self
+    }
+
+    /// Same configuration with address obfuscation on or off (§3.1).
+    pub fn with_obfuscate(mut self, enabled: bool) -> Self {
+        self.obfuscate = enabled;
+        self
+    }
+
+    /// Same configuration with a different registration retry interval.
+    pub fn with_register_retry(mut self, interval: Duration) -> Self {
+        self.register_retry = interval;
+        self
+    }
+
+    /// Same configuration with a different server keepalive interval.
+    pub fn with_server_keepalive(mut self, interval: Duration) -> Self {
+        self.server_keepalive = interval;
+        self
+    }
+
+    /// Same configuration with different punching behaviour.
+    pub fn with_punch(mut self, punch: PunchConfig) -> Self {
+        self.punch = punch;
+        self
+    }
 }
 
 /// Which TCP punching procedure to run (§4.2 vs §4.5).
@@ -156,7 +273,11 @@ pub enum TcpPunchMode {
 }
 
 /// Configuration for a TCP hole-punching client.
+///
+/// Construct via [`TcpPeerConfig::new`] and customise with the
+/// chainable `with_*` builders.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct TcpPeerConfig {
     /// This client's identity.
     pub id: PeerId,
@@ -210,6 +331,66 @@ impl TcpPeerConfig {
             reconnect_max_delay: Duration::from_secs(30),
         }
     }
+
+    /// Same configuration with a fixed local port (0 = ephemeral).
+    pub fn with_local_port(mut self, port: u16) -> Self {
+        self.local_port = port;
+        self
+    }
+
+    /// Same configuration with address obfuscation on or off.
+    pub fn with_obfuscate(mut self, enabled: bool) -> Self {
+        self.obfuscate = enabled;
+        self
+    }
+
+    /// Same configuration with a different §4.2 step-4 retry delay.
+    pub fn with_retry_delay(mut self, delay: Duration) -> Self {
+        self.retry_delay = delay;
+        self
+    }
+
+    /// Same configuration with a different per-candidate retry budget.
+    pub fn with_max_retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries;
+        self
+    }
+
+    /// Same configuration with a different punch deadline.
+    pub fn with_punch_deadline(mut self, deadline: Duration) -> Self {
+        self.punch_deadline = deadline;
+        self
+    }
+
+    /// Same configuration with private candidates enabled or disabled.
+    pub fn with_private_candidates(mut self, enabled: bool) -> Self {
+        self.use_private_candidates = enabled;
+        self
+    }
+
+    /// Same configuration with a different punching mode (§4.2 / §4.5).
+    pub fn with_mode(mut self, mode: TcpPunchMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Same configuration with relay fallback enabled or disabled.
+    pub fn with_relay_fallback(mut self, enabled: bool) -> Self {
+        self.relay_fallback = enabled;
+        self
+    }
+
+    /// Same configuration with a different reconnect backoff multiplier.
+    pub fn with_reconnect_backoff(mut self, backoff: f64) -> Self {
+        self.reconnect_backoff = backoff;
+        self
+    }
+
+    /// Same configuration with a different reconnect delay ceiling.
+    pub fn with_reconnect_max_delay(mut self, delay: Duration) -> Self {
+        self.reconnect_max_delay = delay;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -241,6 +422,31 @@ mod tests {
         assert_eq!(p.backoff, 1.0, "constant cadence by default");
         assert_eq!(p.backoff_jitter, 0.0, "no extra RNG draws by default");
         assert_eq!(p.relay_probe_interval, None);
+    }
+
+    #[test]
+    fn builders_chain_and_override() {
+        let u = UdpPeerConfig::new(PeerId(1), "18.181.0.31:1234".parse().unwrap())
+            .with_local_port(4000)
+            .with_obfuscate(false)
+            .with_punch(
+                PunchConfig::default()
+                    .with_max_attempts(3)
+                    .with_relay_fallback(false)
+                    .with_strategy(PunchStrategy::Predict { window: 4 }),
+            );
+        assert_eq!(u.local_port, 4000);
+        assert!(!u.obfuscate);
+        assert_eq!(u.punch.max_attempts, 3);
+        assert!(!u.punch.relay_fallback);
+        assert_eq!(u.punch.strategy, PunchStrategy::Predict { window: 4 });
+        let t = TcpPeerConfig::new(PeerId(2), "18.181.0.31:1234".parse().unwrap())
+            .with_retry_delay(Duration::from_millis(250))
+            .with_mode(TcpPunchMode::Sequential {
+                doomed_wait: Duration::from_millis(100),
+            });
+        assert_eq!(t.retry_delay, Duration::from_millis(250));
+        assert!(matches!(t.mode, TcpPunchMode::Sequential { .. }));
     }
 
     #[test]

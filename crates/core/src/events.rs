@@ -27,6 +27,7 @@ pub enum TcpPath {
 
 /// Events from a [`crate::UdpPeer`].
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum UdpPeerEvent {
     /// Registration with S completed; this is our public endpoint.
     Registered {
@@ -75,6 +76,7 @@ pub enum UdpPeerEvent {
 
 /// Events from a [`crate::TcpPeer`].
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum TcpPeerEvent {
     /// Registration with S completed (over the TCP control connection).
     Registered {

@@ -27,12 +27,14 @@ pub mod config;
 pub mod events;
 pub(crate) mod relay;
 pub mod tcp;
+pub mod timeline;
 pub mod udp;
 
 pub use classify::{Classifier, MappingVerdict, NatReport};
 pub use config::{PunchConfig, PunchStrategy, TcpPeerConfig, TcpPunchMode, UdpPeerConfig};
 pub use events::{TcpPath, TcpPeerEvent, UdpPeerEvent, Via};
 pub use tcp::{TcpPeer, TcpPeerStats};
+pub use timeline::PunchTimeline;
 pub use udp::{UdpPeer, UdpPeerStats};
 
 /// Re-export: peer identity used across the rendezvous protocol.

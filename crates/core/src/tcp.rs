@@ -429,6 +429,13 @@ impl TcpPeer {
         }
         session.winner = Some(sock);
         let pending: Vec<Bytes> = session.pending.drain(..).collect();
+        os.metric_inc_labeled(
+            "punch.tcp.established",
+            match path {
+                TcpPath::Connect => "connect",
+                TcpPath::Accept => "accept",
+            },
+        );
         self.events.push_back(TcpPeerEvent::Established {
             peer,
             sock,
@@ -649,9 +656,11 @@ impl TcpPeer {
             return;
         }
         session.failed = true;
+        os.metric_inc("punch.tcp.failed");
         self.events.push_back(TcpPeerEvent::PunchFailed { peer });
         if relay {
             session.relaying = true;
+            os.metric_inc("punch.tcp.relay_fallback");
             let pending: Vec<Bytes> = session.pending.drain(..).collect();
             self.events.push_back(TcpPeerEvent::RelayActive { peer });
             for data in pending {

@@ -14,6 +14,7 @@
 
 use crate::config::{PunchStrategy, UdpPeerConfig};
 use crate::events::{UdpPeerEvent, Via};
+use crate::timeline::PunchTimeline;
 use bytes::{BufMut, Bytes, BytesMut};
 use punch_net::{Endpoint, SimTime};
 use punch_rendezvous::{Message, PeerId};
@@ -52,6 +53,25 @@ struct Session {
     /// suppressed while application traffic keeps the mapping fresh.
     last_sent: SimTime,
     relay_probe_armed: bool,
+    /// Phase stamps for the current punch cycle (reset on re-punch).
+    timeline: PunchTimeline,
+}
+
+impl Session {
+    fn new(nonce: u64) -> Self {
+        Session {
+            nonce,
+            state: SessionState::Punching,
+            candidates: Vec::new(),
+            attempts: 0,
+            pending: VecDeque::new(),
+            keepalive_armed: false,
+            tick_armed: false,
+            last_sent: SimTime::ZERO,
+            relay_probe_armed: false,
+            timeline: PunchTimeline::default(),
+        }
+    }
 }
 
 /// What a timer token means.
@@ -109,6 +129,9 @@ pub struct UdpPeer {
     /// `registered` means S restarted and lost its tables.
     last_server_ack: SimTime,
     server_ka_armed: bool,
+    /// When the current registration with S was first acknowledged;
+    /// copied into each new session's [`PunchTimeline`].
+    registered_at: Option<SimTime>,
 }
 
 impl UdpPeer {
@@ -131,6 +154,7 @@ impl UdpPeer {
             stats: UdpPeerStats::default(),
             last_server_ack: SimTime::ZERO,
             server_ka_armed: false,
+            registered_at: None,
         }
     }
 
@@ -183,6 +207,12 @@ impl UdpPeer {
         self.stats
     }
 
+    /// Phase stamps for the current punch cycle with `peer` (§3.2 steps
+    /// as sim times), if a session exists. See [`PunchTimeline`].
+    pub fn timeline(&self, peer: PeerId) -> Option<PunchTimeline> {
+        self.sessions.get(&peer).map(|s| s.timeline)
+    }
+
     // ------------------------------------------------------------------
     // Public operations (call through `HostDevice::with_app`)
     // ------------------------------------------------------------------
@@ -193,18 +223,11 @@ impl UdpPeer {
             self.pending_connects.push(peer);
             return;
         }
+        let now = os.now();
         let nonce: u64 = os.rng().gen();
-        self.sessions.entry(peer).or_insert_with(|| Session {
-            nonce,
-            state: SessionState::Punching,
-            candidates: Vec::new(),
-            attempts: 0,
-            pending: VecDeque::new(),
-            keepalive_armed: false,
-            tick_armed: false,
-            last_sent: SimTime::ZERO,
-            relay_probe_armed: false,
-        });
+        let session = self.sessions.entry(peer).or_insert_with(|| Session::new(nonce));
+        session.timeline.registered = self.registered_at;
+        session.timeline.requested.get_or_insert(now);
         self.send_server(
             os,
             &Message::ConnectRequest {
@@ -238,6 +261,7 @@ impl UdpPeer {
                 if now.saturating_since(*last_recv) > timeout {
                     // The hole evidently closed; re-run the procedure.
                     session.pending.push_back(data);
+                    os.metric_inc_labeled("punch.session_died", "stale-on-send");
                     self.events.push_back(UdpPeerEvent::SessionDied { peer });
                     self.start_repunch(os, peer);
                     return;
@@ -276,12 +300,19 @@ impl UdpPeer {
     /// peer's public endpoint may have changed, e.g. after a NAT
     /// reboot), and resume spraying.
     fn start_repunch(&mut self, os: &mut Os<'_, '_>, peer: PeerId) {
+        let now = os.now();
+        let registered_at = self.registered_at;
         let Some(session) = self.sessions.get_mut(&peer) else {
             return;
         };
         session.state = SessionState::Punching;
         session.attempts = 0;
+        // A re-punch is a fresh §3.2 cycle; the timeline describes it,
+        // not the original punch.
+        session.timeline = PunchTimeline::start(now);
+        session.timeline.registered = registered_at;
         let nonce = session.nonce;
+        os.metric_inc("punch.repunch");
         self.stats.repunches += 1;
         self.send_server(
             os,
@@ -395,19 +426,15 @@ impl UdpPeer {
             candidates.push(private);
         }
         candidates.push(public);
-        let session = self.sessions.entry(peer).or_insert_with(|| Session {
-            nonce,
-            state: SessionState::Punching,
-            candidates: Vec::new(),
-            attempts: 0,
-            pending: VecDeque::new(),
-            keepalive_armed: false,
-            tick_armed: false,
-            last_sent: SimTime::ZERO,
-            relay_probe_armed: false,
-        });
+        let now = os.now();
+        let registered_at = self.registered_at;
+        let session = self.sessions.entry(peer).or_insert_with(|| Session::new(nonce));
         session.nonce = nonce;
         session.candidates = candidates;
+        if session.timeline.registered.is_none() {
+            session.timeline.registered = registered_at;
+        }
+        session.timeline.introduced.get_or_insert(now);
         // A re-introduction (our periodic re-request under loss) must not
         // reset the volley budget, or a failing punch would retry forever.
         if !matches!(
@@ -452,11 +479,16 @@ impl UdpPeer {
     }
 
     fn spray(&mut self, os: &mut Os<'_, '_>, peer: PeerId) {
-        let Some(session) = self.sessions.get(&peer) else {
+        let now = os.now();
+        let Some(session) = self.sessions.get_mut(&peer) else {
             return;
         };
         let nonce = session.nonce;
         let candidates = session.candidates.clone();
+        if !candidates.is_empty() {
+            session.timeline.first_probe.get_or_insert(now);
+            os.metric_inc_by("punch.probes", candidates.len() as u64);
+        }
         for cand in candidates {
             self.stats.probes_sent += 1;
             self.send_to(
@@ -513,6 +545,13 @@ impl UdpPeer {
                 // just refreshed the mapping. (A pending relay-probe
                 // timer clears its own flag when it finds us upgraded.)
                 session.last_sent = now;
+                session.timeline.hole_punched.get_or_insert(now);
+                session.timeline.established = Some(now);
+                session.timeline.attempts = session.attempts;
+                os.metric_inc("punch.established");
+                if let Some(latency) = session.timeline.punch_latency() {
+                    os.metric_observe("punch.latency", latency);
+                }
             }
         }
         self.events
@@ -568,6 +607,8 @@ impl UdpPeer {
                 self.public = Some(public);
                 self.last_server_ack = now;
                 if first {
+                    self.registered_at = Some(now);
+                    os.metric_inc("punch.registered");
                     self.events.push_back(UdpPeerEvent::Registered { public });
                     if !self.server_ka_armed {
                         self.server_ka_armed = true;
@@ -626,7 +667,7 @@ impl UdpPeer {
                     .map(|(id, _)| *id)
                     .collect();
                 for peer in waiting {
-                    self.fail_punch(os, peer);
+                    self.fail_punch(os, peer, "server-rejected");
                 }
             }
             Message::PeerHello { from: peer, nonce } => {
@@ -678,14 +719,19 @@ impl UdpPeer {
         }
     }
 
-    fn fail_punch(&mut self, os: &mut Os<'_, '_>, peer: PeerId) {
+    fn fail_punch(&mut self, os: &mut Os<'_, '_>, peer: PeerId, reason: &'static str) {
+        let now = os.now();
         let relay = self.cfg.punch.relay_fallback;
         let probe_interval = self.cfg.punch.relay_probe_interval;
         let Some(session) = self.sessions.get_mut(&peer) else {
             return;
         };
+        session.timeline.failure = Some(reason);
+        session.timeline.attempts = session.attempts;
         if relay {
             session.state = SessionState::Relaying;
+            session.timeline.relay_fallback = Some(now);
+            os.metric_inc_labeled("punch.relay_fallback", reason);
             let arm_probe = match probe_interval {
                 Some(_) if !session.relay_probe_armed => {
                     session.relay_probe_armed = true;
@@ -717,6 +763,8 @@ impl UdpPeer {
             }
         } else {
             session.state = SessionState::Failed;
+            session.timeline.failed = Some(now);
+            os.metric_inc_labeled("punch.failed", reason);
             self.events.push_back(UdpPeerEvent::PunchFailed { peer });
         }
     }
@@ -782,6 +830,7 @@ impl App for UdpPeer {
                 if self.registered && now.saturating_since(self.last_server_ack) > lost_after {
                     self.registered = false;
                     self.server_ka_armed = false;
+                    os.metric_inc("punch.server_lost");
                     self.events.push_back(UdpPeerEvent::ServerLost);
                     self.send_server(
                         os,
@@ -815,8 +864,9 @@ impl App for UdpPeer {
                     return; // Established or relaying; volley no longer needed.
                 }
                 session.attempts += 1;
+                session.timeline.attempts = session.attempts;
                 if session.attempts > max {
-                    self.fail_punch(os, peer);
+                    self.fail_punch(os, peer, "max-attempts");
                     return;
                 }
                 let nonce = session.nonce;
@@ -854,6 +904,9 @@ impl App for UdpPeer {
                     if quiet > timeout || missed {
                         session.state = SessionState::Failed;
                         session.keepalive_armed = false;
+                        session.timeline.failed = Some(now);
+                        session.timeline.failure = Some("session-timeout");
+                        os.metric_inc_labeled("punch.session_died", "keepalive-timeout");
                         self.events.push_back(UdpPeerEvent::SessionDied { peer });
                         if auto_repunch {
                             self.start_repunch(os, peer);
@@ -964,20 +1017,9 @@ mod tests {
             PeerId(1),
             "18.181.0.31:1234".parse().unwrap(),
         ));
-        peer.sessions.insert(
-            PeerId(2),
-            Session {
-                nonce: 1,
-                state: SessionState::Punching,
-                candidates: vec!["138.76.29.7:31000".parse().unwrap()],
-                attempts: 0,
-                pending: VecDeque::new(),
-                keepalive_armed: false,
-                tick_armed: false,
-                last_sent: SimTime::ZERO,
-                relay_probe_armed: false,
-            },
-        );
+        let mut session = Session::new(1);
+        session.candidates = vec!["138.76.29.7:31000".parse().unwrap()];
+        peer.sessions.insert(PeerId(2), session);
         let mut payload = vec![138, 76, 29, 7, 2];
         payload.extend_from_slice(&31001u16.to_be_bytes());
         payload.extend_from_slice(&31002u16.to_be_bytes());
@@ -996,20 +1038,7 @@ mod tests {
             PeerId(1),
             "18.181.0.31:1234".parse().unwrap(),
         ));
-        peer.sessions.insert(
-            PeerId(2),
-            Session {
-                nonce: 1,
-                state: SessionState::Punching,
-                candidates: vec![],
-                attempts: 0,
-                pending: VecDeque::new(),
-                keepalive_armed: false,
-                tick_armed: false,
-                last_sent: SimTime::ZERO,
-                relay_probe_armed: false,
-            },
-        );
+        peer.sessions.insert(PeerId(2), Session::new(1));
         peer.handle_control(PeerId(2), &[1, 2, 3]); // too short
         peer.handle_control(PeerId(2), &[1, 2, 3, 4, 9, 0, 1]); // count says 9, data for 1
         assert!(peer.sessions[&PeerId(2)].candidates.is_empty());

@@ -493,13 +493,11 @@ fn punch_config_max_attempts_bounds_probe_volleys() {
     // Unknown peer: the server can never introduce; the punch fails after
     // max_attempts volleys without relaying (relay also can't help).
     let cfg = |id| {
-        let mut c = UdpPeerConfig::new(id, Scenario::server_endpoint());
-        c.punch = PunchConfig {
-            relay_fallback: false,
-            max_attempts: 3,
-            ..PunchConfig::default()
-        };
-        c
+        UdpPeerConfig::new(id, Scenario::server_endpoint()).with_punch(
+            PunchConfig::default()
+                .with_relay_fallback(false)
+                .with_max_attempts(3),
+        )
     };
     let mut sc = fig5(
         16,

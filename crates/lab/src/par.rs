@@ -25,6 +25,7 @@
 //! calling thread — handy for profiling and for the determinism
 //! regression tests in `punch-natcheck`.
 
+use punch_net::MetricsSnapshot;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -110,6 +111,43 @@ where
         .collect()
 }
 
+/// Runs metrics-producing tasks on the default worker pool and merges
+/// their [`MetricsSnapshot`] shards **in task order**.
+///
+/// Each task returns its result plus the snapshot of its own private
+/// `Sim`; because the merge folds shards by task index — never by
+/// completion order — the combined snapshot (and its JSON export) is
+/// byte-identical for any worker count, same as the results vector.
+pub fn run_merge_metrics<T, R, F>(tasks: &[T], f: F) -> (Vec<R>, MetricsSnapshot)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> (R, MetricsSnapshot) + Sync,
+{
+    run_merge_metrics_with_workers(tasks, jobs(), f)
+}
+
+/// [`run_merge_metrics`] with an explicit worker count.
+pub fn run_merge_metrics_with_workers<T, R, F>(
+    tasks: &[T],
+    workers: usize,
+    f: F,
+) -> (Vec<R>, MetricsSnapshot)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> (R, MetricsSnapshot) + Sync,
+{
+    let pairs = run_with_workers(tasks, workers, f);
+    let mut merged = MetricsSnapshot::default();
+    let mut results = Vec::with_capacity(pairs.len());
+    for (r, shard) in pairs {
+        merged.merge(&shard);
+        results.push(r);
+    }
+    (results, merged)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,5 +210,27 @@ mod tests {
     #[test]
     fn jobs_is_at_least_one() {
         assert!(jobs() >= 1);
+    }
+
+    #[test]
+    fn merged_metrics_identical_for_any_worker_count() {
+        use punch_net::{MetricKey, Metrics};
+        use std::time::Duration;
+        let tasks: Vec<u64> = (0..37).collect();
+        let shard = |_i: usize, &t: &u64| {
+            let mut m = Metrics::new();
+            m.inc_by(MetricKey::plain("task.count"), 1);
+            m.inc_by(MetricKey::labeled("task.value", "sum"), t);
+            m.observe(MetricKey::plain("task.work"), Duration::from_millis(t));
+            (t, m.snapshot())
+        };
+        let (seq_results, seq_merged) = run_merge_metrics_with_workers(&tasks, 1, shard);
+        assert_eq!(seq_merged.counter("task.count", ""), 37);
+        for workers in [2, 3, 8] {
+            let (results, merged) = run_merge_metrics_with_workers(&tasks, workers, shard);
+            assert_eq!(results, seq_results, "workers={workers}");
+            assert_eq!(merged, seq_merged, "workers={workers}");
+            assert_eq!(merged.to_json(), seq_merged.to_json(), "workers={workers}");
+        }
     }
 }

@@ -181,6 +181,7 @@ pub struct WorldBuilder {
     nats: Vec<NatSpec>,
     clients: Vec<ClientSpec>,
     faults: Option<FaultPlan>,
+    metrics: bool,
 }
 
 impl WorldBuilder {
@@ -194,7 +195,16 @@ impl WorldBuilder {
             nats: Vec::new(),
             clients: Vec::new(),
             faults: None,
+            metrics: false,
         }
+    }
+
+    /// Enables the simulation's metrics registry (see
+    /// [`punch_net::Sim::enable_metrics`]). Off by default; enabling it
+    /// never changes simulation behaviour, only records it.
+    pub fn metrics(mut self) -> Self {
+        self.metrics = true;
+        self
     }
 
     /// Schedules a fault plan to be applied as soon as the topology is
@@ -310,6 +320,9 @@ impl WorldBuilder {
     /// Materializes the topology.
     pub fn build(self) -> World {
         let mut sim = Sim::new(self.seed);
+        if self.metrics {
+            sim.enable_metrics();
+        }
         let internet = sim.add_node("internet", Box::new(Router::new()));
         let mut routes: Vec<(Cidr, usize)> = Vec::new();
 

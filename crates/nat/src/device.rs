@@ -275,6 +275,7 @@ impl NatDevice {
                 })?;
         if created {
             self.stats.mappings_created += 1;
+            ctx.metric_inc("nat.mapping.created");
         }
         {
             let entry = self.tables.get_mut(id).expect("just created or found");
@@ -289,6 +290,9 @@ impl NatDevice {
             entry.touch_session(pkt.dst, now + ttl);
         }
         self.tables.refresh(id, now, ttl);
+        if ctx.metrics_enabled() {
+            ctx.metric_gauge_max("nat.mapping.live.max", self.tables.len(now) as i64);
+        }
         Some(id)
     }
 
@@ -401,6 +405,7 @@ impl NatDevice {
         pkt.dst = private;
         self.mangle(&mut pkt, public_ip, private.ip);
         self.stats.inbound_passed += 1;
+        ctx.metric_inc("nat.inbound.passed");
         ctx.send(iface, pkt);
     }
 
@@ -408,6 +413,7 @@ impl NatDevice {
     /// packet; `reply_iface` is where any active rejection goes back.
     fn reject_unsolicited(&mut self, ctx: &mut Ctx<'_>, reply_iface: IfaceId, pkt: Packet) {
         self.stats.inbound_blocked += 1;
+        ctx.metric_inc("nat.inbound.blocked");
         let is_tcp_syn = matches!(&pkt.body, Body::Tcp(seg)
             if seg.flags.contains(TcpFlags::SYN) && !seg.flags.contains(TcpFlags::RST));
         if !is_tcp_syn {
@@ -424,6 +430,7 @@ impl NatDevice {
                     seg.seq.wrapping_add(seg.seq_len()),
                 );
                 self.stats.rst_sent += 1;
+                ctx.metric_inc("nat.rst_sent");
                 ctx.send(reply_iface, Packet::tcp(pkt.dst, pkt.src, rst));
             }
             TcpUnsolicited::IcmpError => {
@@ -434,6 +441,7 @@ impl NatDevice {
                     original_dst: pkt.dst,
                 };
                 self.stats.icmp_sent += 1;
+                ctx.metric_inc("nat.icmp_sent");
                 ctx.send(
                     reply_iface,
                     Packet::icmp(Endpoint::new(self.public_ip(), 0), pkt.src, msg),
@@ -471,6 +479,7 @@ impl NatDevice {
         msg.original_src = private;
         let pkt = Packet::icmp(outer_src, Endpoint::new(private.ip, 0), msg);
         self.stats.inbound_passed += 1;
+        ctx.metric_inc("nat.inbound.passed");
         ctx.send(iface, pkt);
     }
 
@@ -519,6 +528,7 @@ impl NatDevice {
         }
         pkt.src = hairpin_src;
         self.stats.hairpinned += 1;
+        ctx.metric_inc("nat.hairpinned");
         self.deliver_inbound(ctx, target, pkt);
     }
 }
@@ -538,14 +548,18 @@ impl Device for NatDevice {
             // (Figure 4's private-endpoint path, and §3.4's stray traffic
             // to a coincidentally-shared private address).
             self.stats.switched_local += 1;
+            ctx.metric_inc("nat.switched_local");
             ctx.send(out, pkt);
         } else {
             self.handle_outbound(ctx, pkt);
         }
     }
 
-    fn on_fault(&mut self, _ctx: &mut Ctx<'_>, fault: u64) {
+    fn on_fault(&mut self, ctx: &mut Ctx<'_>, fault: u64) {
         if fault == FAULT_RESTART {
+            // Mapping-lifecycle accounting: everything live is lost.
+            ctx.metric_inc("nat.reboot");
+            ctx.metric_inc_by("nat.mapping.flushed", self.tables.total_len() as u64);
             self.reboot();
         }
     }

@@ -9,7 +9,7 @@ use punch_lab::{fig5, par, PeerSetup, Scenario};
 use punch_nat::{NatBehavior, VENDORS};
 use punch_natcheck::run_survey_mutated_with_workers;
 use punch_net::seed::derive_seed;
-use punch_net::{Duration, FaultPlan, LinkSpec, SimTime};
+use punch_net::{Duration, FaultPlan, LinkSpec, MetricsSnapshot, SimTime};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::collections::HashSet;
 
@@ -59,6 +59,13 @@ fn resilient_peer(id: u64) -> PeerSetup {
 /// the run: the packet-level trace plus both peers' event streams. The
 /// fingerprint must depend only on `seed`.
 fn faulted_run_fingerprint(seed: u64) -> String {
+    faulted_run(seed, false).0
+}
+
+/// [`faulted_run_fingerprint`] with optional metrics collection; returns
+/// the fingerprint plus the run's metrics snapshot (empty when metrics
+/// are off). Enabling metrics must never change the fingerprint.
+fn faulted_run(seed: u64, metrics: bool) -> (String, MetricsSnapshot) {
     let mut sc = fig5(
         seed,
         NatBehavior::well_behaved(),
@@ -67,6 +74,9 @@ fn faulted_run_fingerprint(seed: u64) -> String {
         resilient_peer(2),
     );
     sc.world.sim.enable_trace(200_000);
+    if metrics {
+        sc.world.sim.enable_metrics();
+    }
 
     let links = [
         sc.world.uplink(sc.server),
@@ -117,7 +127,8 @@ fn faulted_run_fingerprint(seed: u64) -> String {
         let evs = sc.world.with_app::<UdpPeer, _>(node, |p, _| p.take_events());
         fp.push_str(&format!("{evs:?}\n"));
     }
-    fp
+    let snap = sc.world.sim.metrics_snapshot();
+    (fp, snap)
 }
 
 #[test]
@@ -134,6 +145,41 @@ fn faulted_runs_are_identical_across_worker_counts() {
     assert_ne!(runs[0][0], runs[0][1]);
 }
 
+#[test]
+fn metrics_collection_never_changes_the_simulation() {
+    for seed in [0u64, 3, 11] {
+        let (plain, empty) = faulted_run(seed, false);
+        let (observed, snap) = faulted_run(seed, true);
+        assert_eq!(
+            plain, observed,
+            "enabling metrics perturbed the run at seed {seed}"
+        );
+        assert!(empty.is_empty(), "metrics recorded while disabled");
+        assert!(!snap.is_empty(), "metrics missing while enabled");
+    }
+}
+
+#[test]
+fn merged_metrics_exports_identical_across_worker_counts() {
+    let seeds: Vec<u64> = (0..6).collect();
+    let run = |w: usize| par::run_merge_metrics_with_workers(&seeds, w, |_, &s| faulted_run(s, true));
+    let (fps1, merged1) = run(1);
+    for w in [2usize, 8] {
+        let (fps, merged) = run(w);
+        assert_eq!(fps, fps1, "fingerprints differ at {w} workers");
+        assert_eq!(merged, merged1, "merged snapshot differs at {w} workers");
+        assert_eq!(
+            merged.to_json(),
+            merged1.to_json(),
+            "JSON export differs at {w} workers"
+        );
+    }
+    // Same-seed rerun on the same pool: byte-identical export.
+    let (_, merged_again) = run(1);
+    assert_eq!(merged1.to_json(), merged_again.to_json());
+    assert!(!merged1.is_empty());
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
@@ -142,6 +188,20 @@ proptest! {
     #[test]
     fn fault_plans_replay_byte_identically(seed in any::<u64>()) {
         prop_assert_eq!(faulted_run_fingerprint(seed), faulted_run_fingerprint(seed));
+    }
+
+    /// Metrics snapshots (and their JSON export) replay byte-identically
+    /// for the same seed, and collecting them never perturbs the packet
+    /// trace or the peers' event streams.
+    #[test]
+    fn metrics_snapshots_replay_byte_identically(seed in any::<u64>()) {
+        let (fp_a, snap_a) = faulted_run(seed, true);
+        let (fp_b, snap_b) = faulted_run(seed, true);
+        prop_assert_eq!(&fp_a, &fp_b);
+        prop_assert_eq!(&snap_a, &snap_b);
+        prop_assert_eq!(snap_a.to_json(), snap_b.to_json());
+        let (fp_plain, _) = faulted_run(seed, false);
+        prop_assert_eq!(fp_plain, fp_b);
     }
 }
 

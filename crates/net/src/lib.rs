@@ -44,6 +44,7 @@
 pub mod addr;
 pub mod fault;
 pub mod link;
+pub mod metrics;
 pub mod node;
 pub mod packet;
 pub mod router;
@@ -56,6 +57,7 @@ pub mod trace;
 pub use addr::{Cidr, Endpoint};
 pub use fault::{FaultPlan, LinkAction, FAULT_RESTART};
 pub use link::LinkSpec;
+pub use metrics::{Histogram, MetricKey, Metrics, MetricsSnapshot};
 pub use node::{Ctx, Device, IfaceId, NodeId};
 pub use packet::{Body, IcmpKind, IcmpMessage, Packet, Proto, TcpFlags, TcpSegment};
 pub use router::Router;

@@ -6,6 +6,7 @@
 //! [`Device::on_timer`] when a previously armed timer fires. All
 //! interaction with the world goes through the [`Ctx`] handle.
 
+use crate::metrics::MetricKey;
 use crate::packet::Packet;
 use crate::sim::SimCore;
 use crate::time::SimTime;
@@ -136,5 +137,44 @@ impl Ctx<'_> {
     /// packet) in the trace and statistics.
     pub fn note_drop(&mut self, reason: &'static str, pkt: &Packet) {
         self.core.note_device_drop(self.node, reason, pkt);
+    }
+
+    /// Returns true if the simulation's metrics registry is enabled.
+    pub fn metrics_enabled(&self) -> bool {
+        self.core.metrics_enabled()
+    }
+
+    /// Increments an unlabelled metrics counter by one. No-op when
+    /// metrics are disabled (see [`crate::Sim::enable_metrics`]).
+    pub fn metric_inc(&mut self, name: &'static str) {
+        self.core.metric_inc_by(MetricKey::plain(name), 1);
+    }
+
+    /// Adds `by` to an unlabelled metrics counter. No-op when disabled.
+    pub fn metric_inc_by(&mut self, name: &'static str, by: u64) {
+        self.core.metric_inc_by(MetricKey::plain(name), by);
+    }
+
+    /// Increments a labelled metrics counter (e.g. a reason sub-series)
+    /// by one. No-op when disabled.
+    pub fn metric_inc_labeled(&mut self, name: &'static str, label: &'static str) {
+        self.core.metric_inc_by(MetricKey::labeled(name, label), 1);
+    }
+
+    /// Sets a metrics gauge. No-op when disabled.
+    pub fn metric_gauge_set(&mut self, name: &'static str, value: i64) {
+        self.core.metric_gauge_set(MetricKey::plain(name), value);
+    }
+
+    /// Raises a high-water-mark gauge to `value` if it is below it.
+    /// No-op when disabled.
+    pub fn metric_gauge_max(&mut self, name: &'static str, value: i64) {
+        self.core.metric_gauge_max(MetricKey::plain(name), value);
+    }
+
+    /// Records a sim-time observation into a metrics histogram. No-op
+    /// when disabled.
+    pub fn metric_observe(&mut self, name: &'static str, d: Duration) {
+        self.core.metric_observe(MetricKey::plain(name), d);
     }
 }

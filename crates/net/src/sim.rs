@@ -7,6 +7,7 @@
 
 use crate::fault::LinkAction;
 use crate::link::LinkSpec;
+use crate::metrics::{MetricKey, Metrics, MetricsSnapshot};
 use crate::node::{Ctx, Device, IfaceId, NodeId};
 use crate::packet::Packet;
 use crate::seed::mix;
@@ -176,6 +177,7 @@ pub(crate) struct SimCore {
     links: Vec<LinkState>,
     nodes: Vec<NodeMeta>,
     tracer: Option<Tracer>,
+    metrics: Option<Metrics>,
     stats: SimStats,
 }
 
@@ -184,6 +186,13 @@ impl SimCore {
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Scheduled { at, seq, kind });
+        // Queue-depth high-water mark; one branch when metrics are off.
+        if let Some(m) = &mut self.metrics {
+            m.gauge_max(
+                MetricKey::plain("net.queue.depth.max"),
+                self.heap.len() as i64,
+            );
+        }
     }
 
     pub(crate) fn schedule_timer(&mut self, node: NodeId, after: Duration, token: u64) {
@@ -221,8 +230,50 @@ impl SimCore {
         });
     }
 
+    /// Increments a metrics counter by `by`. No-op (one branch, no
+    /// allocation, no RNG) when metrics are disabled.
+    #[inline]
+    pub(crate) fn metric_inc_by(&mut self, key: MetricKey, by: u64) {
+        if let Some(m) = &mut self.metrics {
+            m.inc_by(key, by);
+        }
+    }
+
+    /// Sets a metrics gauge. No-op when metrics are disabled.
+    #[inline]
+    pub(crate) fn metric_gauge_set(&mut self, key: MetricKey, value: i64) {
+        if let Some(m) = &mut self.metrics {
+            m.gauge_set(key, value);
+        }
+    }
+
+    /// Raises a high-water-mark gauge. No-op when metrics are disabled.
+    #[inline]
+    pub(crate) fn metric_gauge_max(&mut self, key: MetricKey, value: i64) {
+        if let Some(m) = &mut self.metrics {
+            m.gauge_max(key, value);
+        }
+    }
+
+    /// Records a sim-time histogram observation. No-op when metrics are
+    /// disabled.
+    #[inline]
+    pub(crate) fn metric_observe(&mut self, key: MetricKey, d: Duration) {
+        if let Some(m) = &mut self.metrics {
+            m.observe(key, d);
+        }
+    }
+
+    #[inline]
+    pub(crate) fn metrics_enabled(&self) -> bool {
+        self.metrics.is_some()
+    }
+
     pub(crate) fn note_device_drop(&mut self, node: NodeId, reason: &'static str, pkt: &Packet) {
         self.stats.device_drops += 1;
+        // Every device drop reason is a `&'static str`, so per-reason
+        // counters come for free whenever metrics are on.
+        self.metric_inc_by(MetricKey::labeled("net.drop.device", reason), 1);
         self.trace(node, 0, TraceDir::DeviceDrop(reason), pkt);
     }
 
@@ -241,6 +292,7 @@ impl SimCore {
         let spec = self.links[link_idx].spec;
         if !self.links[link_idx].up {
             self.stats.link_down_drops += 1;
+            self.metric_inc_by(MetricKey::plain("net.drop.link_down"), 1);
             self.trace(node, iface, TraceDir::LinkDown, &pkt);
             return;
         }
@@ -250,6 +302,7 @@ impl SimCore {
             let roll: f64 = self.nodes[node.index()].rng.gen();
             if roll < spec.loss {
                 self.stats.packets_lost += 1;
+                self.metric_inc_by(MetricKey::plain("net.drop.loss"), 1);
                 self.trace(node, iface, TraceDir::LossDrop, &pkt);
                 return;
             }
@@ -356,6 +409,7 @@ impl Sim {
                 links: Vec::new(),
                 nodes: Vec::new(),
                 tracer: None,
+                metrics: None,
                 stats: SimStats::default(),
             },
             devices: Vec::new(),
@@ -521,6 +575,36 @@ impl Sim {
         if let Some(tr) = &mut self.core.tracer {
             tr.clear();
         }
+    }
+
+    /// Enables the typed metrics registry (see [`crate::metrics`]).
+    ///
+    /// Off by default. Enabling metrics never changes simulated behaviour:
+    /// instrumentation draws no randomness and schedules nothing, so traces
+    /// and stats are byte-identical with metrics on or off.
+    pub fn enable_metrics(&mut self) {
+        if self.core.metrics.is_none() {
+            self.core.metrics = Some(Metrics::new());
+        }
+    }
+
+    /// Returns true if [`Sim::enable_metrics`] was called.
+    pub fn metrics_enabled(&self) -> bool {
+        self.core.metrics.is_some()
+    }
+
+    /// Returns the live metrics registry, if enabled.
+    pub fn metrics(&self) -> Option<&Metrics> {
+        self.core.metrics.as_ref()
+    }
+
+    /// Takes a snapshot of the metrics registry (empty if disabled).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.core
+            .metrics
+            .as_ref()
+            .map(Metrics::snapshot)
+            .unwrap_or_default()
     }
 
     /// Returns a shared reference to the device on `node`, downcast to `T`.

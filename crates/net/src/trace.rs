@@ -12,6 +12,7 @@ use std::sync::Arc;
 
 /// Direction or disposition of a traced packet event.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[non_exhaustive]
 pub enum TraceDir {
     /// Packet transmitted by a device.
     Tx,
@@ -45,18 +46,15 @@ pub struct TraceEvent {
 
 impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let dir = match self.dir {
-            TraceDir::Tx => "tx".to_string(),
-            TraceDir::Rx => "rx".to_string(),
-            TraceDir::LossDrop => "LOST".to_string(),
-            TraceDir::LinkDown => "DOWN".to_string(),
-            TraceDir::DeviceDrop(r) => format!("DROP({r})"),
-        };
-        write!(
-            f,
-            "{} {}[{}].{} {} {}",
-            self.time, self.node_name, self.node, self.iface, dir, self.packet
-        )
+        write!(f, "{} {}[{}].{} ", self.time, self.node_name, self.node, self.iface)?;
+        match self.dir {
+            TraceDir::Tx => f.write_str("tx")?,
+            TraceDir::Rx => f.write_str("rx")?,
+            TraceDir::LossDrop => f.write_str("LOST")?,
+            TraceDir::LinkDown => f.write_str("DOWN")?,
+            TraceDir::DeviceDrop(r) => write!(f, "DROP({r})")?,
+        }
+        write!(f, " {}", self.packet)
     }
 }
 

@@ -14,6 +14,7 @@ use std::collections::HashMap;
 
 /// Rendezvous server configuration.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct ServerConfig {
     /// Well-known port for both UDP and TCP service.
     pub port: u16,
@@ -35,6 +36,26 @@ impl Default for ServerConfig {
             obfuscate: true,
             probe_port: true,
         }
+    }
+}
+
+impl ServerConfig {
+    /// Same configuration with a different well-known port.
+    pub fn with_port(mut self, port: u16) -> Self {
+        self.port = port;
+        self
+    }
+
+    /// Same configuration with endpoint obfuscation on or off.
+    pub fn with_obfuscate(mut self, on: bool) -> Self {
+        self.obfuscate = on;
+        self
+    }
+
+    /// Same configuration with the §5.1 mapping-probe port on or off.
+    pub fn with_probe_port(mut self, on: bool) -> Self {
+        self.probe_port = on;
+        self
     }
 }
 
@@ -155,6 +176,7 @@ impl RendezvousServer {
                     },
                 );
                 self.stats.registrations += 1;
+                os.metric_inc_labeled("rendezvous.register", "udp");
                 self.send_udp(os, from, &Message::RegisterAck { public: from });
             }
             Message::ConnectRequest {
@@ -167,6 +189,7 @@ impl RendezvousServer {
                     self.udp_clients.get(&target).copied(),
                 ) else {
                     self.stats.errors += 1;
+                os.metric_inc("rendezvous.error");
                     self.send_udp(
                         os,
                         from,
@@ -177,6 +200,7 @@ impl RendezvousServer {
                     return;
                 };
                 self.stats.introductions += 1;
+                os.metric_inc_labeled("rendezvous.introduce", "udp");
                 // §3.2 step 2: both sides learn each other's endpoints.
                 self.send_udp(
                     os,
@@ -208,6 +232,7 @@ impl RendezvousServer {
             } => {
                 let Some(tgt) = self.udp_clients.get(&target).copied() else {
                     self.stats.errors += 1;
+                os.metric_inc("rendezvous.error");
                     self.send_udp(
                         os,
                         from,
@@ -219,6 +244,8 @@ impl RendezvousServer {
                 };
                 self.stats.relayed_msgs += 1;
                 self.stats.relayed_bytes += data.len() as u64;
+                os.metric_inc_labeled("rendezvous.relay.msgs", "udp");
+                os.metric_inc_by("rendezvous.relay.bytes", data.len() as u64);
                 self.send_udp(os, tgt.public, &Message::RelayedData { from: sender, data });
             }
             Message::ReversalRequest {
@@ -231,6 +258,7 @@ impl RendezvousServer {
                     self.udp_clients.get(&target).copied(),
                 ) else {
                     self.stats.errors += 1;
+                os.metric_inc("rendezvous.error");
                     self.send_udp(
                         os,
                         from,
@@ -241,6 +269,7 @@ impl RendezvousServer {
                     return;
                 };
                 self.stats.reversals += 1;
+                os.metric_inc("rendezvous.reversal");
                 self.send_udp(
                     os,
                     tgt.public,
@@ -256,6 +285,7 @@ impl RendezvousServer {
             // Peer-to-peer and server-to-client messages are not for us.
             _ => {
                 self.stats.errors += 1;
+                os.metric_inc("rendezvous.error");
             }
         }
     }
@@ -278,6 +308,7 @@ impl RendezvousServer {
                     conn.peer = Some(peer_id);
                 }
                 self.stats.registrations += 1;
+                os.metric_inc_labeled("rendezvous.register", "tcp");
                 self.send_tcp(os, sock, &Message::RegisterAck { public });
             }
             Message::ConnectRequest {
@@ -290,6 +321,7 @@ impl RendezvousServer {
                     self.tcp_clients.get(&target).copied(),
                 ) else {
                     self.stats.errors += 1;
+                os.metric_inc("rendezvous.error");
                     self.send_tcp(
                         os,
                         sock,
@@ -300,6 +332,7 @@ impl RendezvousServer {
                     return;
                 };
                 self.stats.introductions += 1;
+                os.metric_inc_labeled("rendezvous.introduce", "tcp");
                 self.send_tcp(
                     os,
                     req.sock,
@@ -330,6 +363,7 @@ impl RendezvousServer {
             } => {
                 let Some(tgt) = self.tcp_clients.get(&target).copied() else {
                     self.stats.errors += 1;
+                os.metric_inc("rendezvous.error");
                     self.send_tcp(
                         os,
                         sock,
@@ -341,6 +375,8 @@ impl RendezvousServer {
                 };
                 self.stats.relayed_msgs += 1;
                 self.stats.relayed_bytes += data.len() as u64;
+                os.metric_inc_labeled("rendezvous.relay.msgs", "tcp");
+                os.metric_inc_by("rendezvous.relay.bytes", data.len() as u64);
                 self.send_tcp(os, tgt.sock, &Message::RelayedData { from: sender, data });
             }
             Message::ReversalRequest {
@@ -353,6 +389,7 @@ impl RendezvousServer {
                     self.tcp_clients.get(&target).copied(),
                 ) else {
                     self.stats.errors += 1;
+                os.metric_inc("rendezvous.error");
                     self.send_tcp(
                         os,
                         sock,
@@ -363,6 +400,7 @@ impl RendezvousServer {
                     return;
                 };
                 self.stats.reversals += 1;
+                os.metric_inc("rendezvous.reversal");
                 self.send_tcp(
                     os,
                     tgt.sock,
@@ -377,6 +415,7 @@ impl RendezvousServer {
             Message::Ping => self.send_tcp(os, sock, &Message::Pong),
             _ => {
                 self.stats.errors += 1;
+                os.metric_inc("rendezvous.error");
             }
         }
     }
@@ -429,6 +468,7 @@ impl App for RendezvousServer {
             // when their next request goes unanswered or their connection
             // aborts.
             self.stats.restarts += 1;
+            os.metric_inc("rendezvous.restart");
             self.drop_all_clients(os);
         }
     }
@@ -444,7 +484,10 @@ impl App for RendezvousServer {
             }
             SockEvent::UdpReceived { from, data, .. } => match Message::decode(&data) {
                 Ok(msg) => self.handle_udp(os, from, msg),
-                Err(_) => self.stats.errors += 1,
+                Err(_) => {
+                    self.stats.errors += 1;
+                    os.metric_inc("rendezvous.error");
+                }
             },
             SockEvent::TcpIncoming { listener } => {
                 while let Ok(Some((conn, _remote))) = os.tcp_accept(listener) {
@@ -465,6 +508,7 @@ impl App for RendezvousServer {
                         Ok(msg) => self.handle_tcp(os, sock, msg),
                         Err(_) => {
                             self.stats.errors += 1;
+                os.metric_inc("rendezvous.error");
                             let _ = os.tcp_abort(sock);
                             self.drop_conn(sock);
                             break;

@@ -10,7 +10,7 @@ use crate::error::SockResult;
 use crate::event::SockEvent;
 use crate::socket::{SocketId, INTERNAL_TIMER_BIT};
 use crate::stack::{ConnectOpts, HostStack};
-use crate::tcb::TcpState;
+use crate::tcb::{StackStats, TcpState};
 use bytes::Bytes;
 use punch_net::{Ctx, Device, Endpoint, IfaceId, Packet, SimTime};
 use rand::rngs::StdRng;
@@ -117,6 +117,31 @@ impl Os<'_, '_> {
     pub fn tcp_state(&self, sock: SocketId) -> Option<TcpState> {
         self.stack.tcp_state(sock)
     }
+
+    /// Returns true if the simulation's metrics registry is enabled.
+    pub fn metrics_enabled(&self) -> bool {
+        self.ctx.metrics_enabled()
+    }
+
+    /// Increments an unlabelled metrics counter. See [`Ctx::metric_inc`].
+    pub fn metric_inc(&mut self, name: &'static str) {
+        self.ctx.metric_inc(name);
+    }
+
+    /// Adds `by` to an unlabelled metrics counter.
+    pub fn metric_inc_by(&mut self, name: &'static str, by: u64) {
+        self.ctx.metric_inc_by(name, by);
+    }
+
+    /// Increments a labelled metrics counter (e.g. a failure reason).
+    pub fn metric_inc_labeled(&mut self, name: &'static str, label: &'static str) {
+        self.ctx.metric_inc_labeled(name, label);
+    }
+
+    /// Records a sim-time observation into a metrics histogram.
+    pub fn metric_observe(&mut self, name: &'static str, d: Duration) {
+        self.ctx.metric_observe(name, d);
+    }
 }
 
 /// An event-driven application running on a [`HostDevice`].
@@ -156,6 +181,9 @@ pub struct HostDevice {
     stack: HostStack,
     app: Box<dyn App>,
     started: bool,
+    /// Stack counters already published to the metrics registry; the
+    /// device reports deltas after each callback.
+    published: StackStats,
 }
 
 impl HostDevice {
@@ -168,6 +196,7 @@ impl HostDevice {
             stack: HostStack::new(ip, cfg, 0),
             app,
             started: false,
+            published: StackStats::default(),
         }
     }
 
@@ -217,7 +246,28 @@ impl HostDevice {
         };
         let r = f(app, &mut os);
         Self::drive(&mut self.stack, self.app.as_mut(), ctx);
+        self.flush_metrics(ctx);
         r
+    }
+
+    /// Publishes the delta of the stack's transport counters into the
+    /// simulation's metrics registry. No-op when metrics are disabled.
+    fn flush_metrics(&mut self, ctx: &mut Ctx<'_>) {
+        if !ctx.metrics_enabled() {
+            return;
+        }
+        let s = self.stack.stats();
+        let p = self.published;
+        if s.retransmits > p.retransmits {
+            ctx.metric_inc_by("transport.retransmit", s.retransmits - p.retransmits);
+        }
+        if s.rto_fires > p.rto_fires {
+            ctx.metric_inc_by("transport.rto", s.rto_fires - p.rto_fires);
+        }
+        if s.rsts_sent > p.rsts_sent {
+            ctx.metric_inc_by("transport.rst_sent", s.rsts_sent - p.rsts_sent);
+        }
+        self.published = s;
     }
 
     /// Flushes stack side effects and dispatches pending events to the
@@ -263,11 +313,13 @@ impl Device for HostDevice {
         };
         self.app.on_start(&mut os);
         Self::drive(&mut self.stack, self.app.as_mut(), ctx);
+        self.flush_metrics(ctx);
     }
 
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, _iface: IfaceId, pkt: Packet) {
         self.stack.handle_packet(pkt);
         Self::drive(&mut self.stack, self.app.as_mut(), ctx);
+        self.flush_metrics(ctx);
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
@@ -279,6 +331,7 @@ impl Device for HostDevice {
             self.app.on_timer(&mut os, token);
         }
         Self::drive(&mut self.stack, self.app.as_mut(), ctx);
+        self.flush_metrics(ctx);
     }
 
     fn on_fault(&mut self, ctx: &mut Ctx<'_>, fault: u64) {
@@ -288,5 +341,6 @@ impl Device for HostDevice {
         };
         self.app.on_fault(&mut os, fault);
         Self::drive(&mut self.stack, self.app.as_mut(), ctx);
+        self.flush_metrics(ctx);
     }
 }

@@ -11,6 +11,7 @@ use punch_net::Endpoint;
 /// `tcp_connect` returns a [`SocketId`] immediately and later produces
 /// either [`SockEvent::TcpConnected`] or [`SockEvent::TcpConnectFailed`].
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum SockEvent {
     /// A UDP datagram arrived on `sock`.
     UdpReceived {

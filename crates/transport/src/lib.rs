@@ -79,4 +79,4 @@ pub use error::{SockResult, SocketError};
 pub use event::SockEvent;
 pub use socket::SocketId;
 pub use stack::{ConnectOpts, HostStack};
-pub use tcb::TcpState;
+pub use tcb::{StackStats, TcpState};

@@ -11,7 +11,7 @@ use crate::config::{StackConfig, TcpFlavor};
 use crate::error::{SockResult, SocketError};
 use crate::event::SockEvent;
 use crate::socket::{decode_timer, SocketId, TimerKind};
-use crate::tcb::{Tcb, TcbOutcome, TcpIo, TcpState};
+use crate::tcb::{StackStats, Tcb, TcbOutcome, TcpIo, TcpState};
 use bytes::Bytes;
 use punch_net::{Body, Endpoint, IcmpKind, Packet, Proto, TcpFlags, TcpSegment};
 use rand::rngs::StdRng;
@@ -78,6 +78,7 @@ pub struct HostStack {
     out: Vec<Packet>,
     events: Vec<SockEvent>,
     timers: Vec<(Duration, u64)>,
+    stats: StackStats,
 }
 
 impl HostStack {
@@ -96,6 +97,7 @@ impl HostStack {
             out: Vec::new(),
             events: Vec::new(),
             timers: Vec::new(),
+            stats: StackStats::default(),
         }
     }
 
@@ -150,6 +152,11 @@ impl HostStack {
         self.socks.len()
     }
 
+    /// Returns the transport counters (retransmits, RTO fires, RSTs).
+    pub fn stats(&self) -> StackStats {
+        self.stats
+    }
+
     fn alloc_id(&mut self) -> SocketId {
         let id = SocketId(self.next_sock);
         self.next_sock += 1;
@@ -161,12 +168,14 @@ impl HostStack {
         out: &'a mut Vec<Packet>,
         events: &'a mut Vec<SockEvent>,
         timers: &'a mut Vec<(Duration, u64)>,
+        stats: &'a mut StackStats,
     ) -> TcpIo<'a> {
         TcpIo {
             cfg,
             out,
             events,
             timers,
+            stats,
         }
     }
 
@@ -313,7 +322,13 @@ impl HostStack {
         let iss = self.iss_for(local, remote);
         let mut tcb = Tcb::open_active(id, local, remote, iss, opts.reuse, &self.cfg);
         {
-            let mut io = Self::io(&self.cfg, &mut self.out, &mut self.events, &mut self.timers);
+            let mut io = Self::io(
+                &self.cfg,
+                &mut self.out,
+                &mut self.events,
+                &mut self.timers,
+                &mut self.stats,
+            );
             tcb.send_syn(&mut io);
         }
         self.conn_index.insert((local, remote), id);
@@ -351,6 +366,7 @@ impl HostStack {
             out: &mut self.out,
             events: &mut self.events,
             timers: &mut self.timers,
+            stats: &mut self.stats,
         };
         tcb.send(data, &mut io)
     }
@@ -426,6 +442,7 @@ impl HostStack {
                     out: &mut self.out,
                     events: &mut self.events,
                     timers: &mut self.timers,
+                    stats: &mut self.stats,
                 };
                 let delete = tcb.close(&mut io);
                 if delete {
@@ -446,6 +463,7 @@ impl HostStack {
             out: &mut self.out,
             events: &mut self.events,
             timers: &mut self.timers,
+            stats: &mut self.stats,
         };
         tcb.abort(&mut io);
         self.remove_conn(sock);
@@ -558,6 +576,7 @@ impl HostStack {
                             out: &mut self.out,
                             events: &mut self.events,
                             timers: &mut self.timers,
+                            stats: &mut self.stats,
                         };
                         let outcome = tcb.on_icmp_unreachable(&mut io);
                         self.apply_outcome(sock, outcome);
@@ -591,6 +610,7 @@ impl HostStack {
                 out: &mut self.out,
                 events: &mut self.events,
                 timers: &mut self.timers,
+                stats: &mut self.stats,
             };
             let outcome = tcb.on_segment(&seg, &mut io);
             self.apply_outcome_at(sock, outcome, at);
@@ -616,6 +636,7 @@ impl HostStack {
                     seg.seq.wrapping_add(seg.seq_len()),
                 )
             };
+            self.stats.rsts_sent += 1;
             self.out.push(Packet::tcp(dst, src, rst));
         }
     }
@@ -645,6 +666,7 @@ impl HostStack {
                 out: &mut self.out,
                 events: &mut self.events,
                 timers: &mut self.timers,
+                stats: &mut self.stats,
             };
             Tcb::open_passive(id, dst, src, listener, iss, seg, &mut io)
         };
@@ -694,6 +716,7 @@ impl HostStack {
             out: &mut self.out,
             events: &mut self.events,
             timers: &mut self.timers,
+            stats: &mut self.stats,
         };
         let outcome = match kind {
             TimerKind::Rto => tcb.on_rto(&mut io),

@@ -67,6 +67,25 @@ pub struct TcpIo<'a> {
     pub events: &'a mut Vec<SockEvent>,
     /// Timers to arm: `(delay, token)`.
     pub timers: &'a mut Vec<(Duration, u64)>,
+    /// Transport counters, bumped as segments go out.
+    pub stats: &'a mut StackStats,
+}
+
+/// Transport-layer counters kept by the stack itself.
+///
+/// These are plain integers (always on, no allocation); when the
+/// simulation's metrics registry is enabled, `HostDevice` publishes the
+/// deltas after each callback.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StackStats {
+    /// Segments retransmitted (RTO-driven and fast retransmits).
+    pub retransmits: u64,
+    /// Retransmission-timeout firings (including the final one that
+    /// gives up on the connection).
+    pub rto_fires: u64,
+    /// RST segments sent (aborts, refused connections, dead-port
+    /// responses).
+    pub rsts_sent: u64,
 }
 
 /// What the stack should do with the TCB after a callback.
@@ -207,6 +226,7 @@ impl Tcb {
 
     fn emit_rst(&self, io: &mut TcpIo<'_>) {
         let seg = TcpSegment::control(TcpFlags::RST, self.snd_nxt, 0);
+        io.stats.rsts_sent += 1;
         io.out.push(Packet::tcp(self.local, self.remote, seg));
     }
 
@@ -346,6 +366,7 @@ impl Tcb {
 
     /// Handles a retransmission timeout.
     pub fn on_rto(&mut self, io: &mut TcpIo<'_>) -> TcbOutcome {
+        io.stats.rto_fires += 1;
         self.retries += 1;
         let max = match self.state {
             TcpState::SynSent | TcpState::SynReceived => io.cfg.syn_retries,
@@ -369,9 +390,13 @@ impl Tcb {
         match self.state {
             TcpState::SynSent => {
                 let seg = TcpSegment::control(TcpFlags::SYN, self.iss, 0);
+                io.stats.retransmits += 1;
                 io.out.push(Packet::tcp(self.local, self.remote, seg));
             }
-            TcpState::SynReceived => self.emit_synack(io),
+            TcpState::SynReceived => {
+                io.stats.retransmits += 1;
+                self.emit_synack(io);
+            }
             _ => {
                 // Go-back-N: resend the earliest unacknowledged segment.
                 if let Some(front) = self.inflight.front() {
@@ -387,6 +412,7 @@ impl Tcb {
                         window: u16::MAX,
                         payload: front.data.clone(),
                     };
+                    io.stats.retransmits += 1;
                     io.out.push(Packet::tcp(self.local, self.remote, seg));
                 }
             }
@@ -553,6 +579,7 @@ impl Tcb {
                 window: u16::MAX,
                 payload: front.data.clone(),
             };
+            io.stats.retransmits += 1;
             io.out.push(Packet::tcp(self.local, self.remote, seg));
         }
     }
@@ -705,6 +732,7 @@ mod tests {
         out: Vec<Packet>,
         events: Vec<SockEvent>,
         timers: Vec<(Duration, u64)>,
+        stats: StackStats,
     }
 
     impl Harness {
@@ -714,6 +742,7 @@ mod tests {
                 out: Vec::new(),
                 events: Vec::new(),
                 timers: Vec::new(),
+                stats: StackStats::default(),
             }
         }
 
@@ -723,6 +752,7 @@ mod tests {
                 out: &mut self.out,
                 events: &mut self.events,
                 timers: &mut self.timers,
+                stats: &mut self.stats,
             }
         }
 

@@ -14,8 +14,14 @@
 #                                           so they must be excluded rather
 #                                           than linted to their authors'
 #                                           standards
-#   5. chaos smoke test                   — 2 trials per fault class, must
+#   5. cargo doc (-D warnings)            — rustdoc on our crates must be
+#                                           warning-free (vendor/* excluded,
+#                                           as in clippy)
+#   6. chaos smoke test                   — 2 trials per fault class, must
 #                                           report zero failures
+#   7. metrics determinism smoke          — the chaos bin's metrics export
+#                                           is byte-identical for the same
+#                                           seeds at 1 vs 2 workers
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -34,6 +40,10 @@ cargo clippy --workspace \
     --exclude rand --exclude bytes --exclude proptest --exclude criterion \
     --all-targets -- -D warnings
 
+echo "== rustdoc (-D warnings, vendor/* excluded) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --quiet --no-deps --workspace \
+    --exclude rand --exclude bytes --exclude proptest --exclude criterion
+
 echo "== chaos smoke test (2 trials per fault class) =="
 out=$(cargo run --release --quiet -p punch-bench --bin chaos -- --trials 2 --no-write)
 echo "$out"
@@ -42,3 +52,17 @@ if echo "$out" | grep -q "[1-9][0-9]*/2\b"; then
     exit 1
 fi
 echo "OK: all chaos smoke trials recovered"
+
+echo "== metrics determinism smoke (1 vs 2 workers) =="
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+PUNCH_JOBS=1 cargo run --release --quiet -p punch-bench --bin chaos -- \
+    --trials 2 --no-write --metrics-out "$tmpdir/m1.json" > /dev/null
+PUNCH_JOBS=2 cargo run --release --quiet -p punch-bench --bin chaos -- \
+    --trials 2 --no-write --metrics-out "$tmpdir/m2.json" > /dev/null
+if ! cmp -s "$tmpdir/m1.json" "$tmpdir/m2.json"; then
+    echo "FAIL: metrics export differs between 1 and 2 workers" >&2
+    diff "$tmpdir/m1.json" "$tmpdir/m2.json" >&2 || true
+    exit 1
+fi
+echo "OK: metrics export byte-identical across worker counts"

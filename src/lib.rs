@@ -45,6 +45,13 @@
 //!     p.is_established(b_id)
 //! });
 //! assert!(ok, "punched through both NATs");
+//!
+//! // Every session records a punch timeline — sim-time stamps for each
+//! // §3.2 phase (recorded whether or not metrics are enabled).
+//! let tl = sc.world.app::<UdpPeer>(sc.a).timeline(b_id).unwrap();
+//! assert!(tl.requested < tl.introduced);
+//! assert!(tl.introduced < tl.established);
+//! println!("punch took {:?}", tl.punch_latency().unwrap());
 //! ```
 //!
 //! See `examples/` for full programs and `DESIGN.md`/`EXPERIMENTS.md` for
@@ -74,8 +81,8 @@ pub use punch_lab as lab;
 /// Frequently used items, for `use p2p_punch::prelude::*`.
 pub mod prelude {
     pub use holepunch::{
-        PeerId, PunchConfig, PunchStrategy, TcpPath, TcpPeer, TcpPeerConfig, TcpPeerEvent,
-        TcpPunchMode, UdpPeer, UdpPeerConfig, UdpPeerEvent, Via,
+        PeerId, PunchConfig, PunchStrategy, PunchTimeline, TcpPath, TcpPeer, TcpPeerConfig,
+        TcpPeerEvent, TcpPunchMode, UdpPeer, UdpPeerConfig, UdpPeerEvent, Via,
     };
     pub use punch_lab::{addrs, fig4, fig5, fig6, PeerSetup, Scenario, World, WorldBuilder};
     pub use punch_nat::{
@@ -83,7 +90,8 @@ pub mod prelude {
         TcpUnsolicited,
     };
     pub use punch_net::{
-        Duration, Endpoint, FaultPlan, LinkAction, LinkId, LinkSpec, Sim, SimTime, FAULT_RESTART,
+        Duration, Endpoint, FaultPlan, LinkAction, LinkId, LinkSpec, Metrics, MetricsSnapshot,
+        Sim, SimTime, FAULT_RESTART,
     };
     pub use punch_rendezvous::{RendezvousServer, ServerConfig};
     pub use punch_transport::{App, HostDevice, Os, SockEvent, StackConfig, TcpFlavor};

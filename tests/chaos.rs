@@ -29,6 +29,12 @@ fn resilient_peer(id: PeerId) -> PeerSetup {
 /// Figure-5 topology with two resilient peers, run to an established
 /// direct session both ways.
 fn established_pair(seed: u64) -> Scenario {
+    established_pair_opts(seed, false)
+}
+
+/// [`established_pair`], optionally with the metrics registry enabled
+/// before any traffic flows (so baseline counters are captured too).
+fn established_pair_opts(seed: u64, metrics: bool) -> Scenario {
     let mut sc = fig5(
         seed,
         NatBehavior::well_behaved(),
@@ -36,6 +42,9 @@ fn established_pair(seed: u64) -> Scenario {
         resilient_peer(A),
         resilient_peer(B),
     );
+    if metrics {
+        sc.world.sim.enable_metrics();
+    }
     sc.world.sim.run_for(Duration::from_secs(2));
     sc.world.with_app::<UdpPeer, _>(sc.a, |p, os| p.connect(os, B));
     let deadline = sc.world.sim.now() + Duration::from_secs(20);
@@ -117,6 +126,64 @@ fn udp_session_survives_nat_reboot() {
         "the fault actually hit the NAT"
     );
     assert_direct_data(&mut sc, b"after-reboot");
+}
+
+/// The metrics registry attributes every failure to its reason: re-running
+/// fault (a) with metrics enabled must leave the expected counter trail —
+/// the reboot itself, the flushed mappings, the keepalive-timeout session
+/// deaths, the automatic re-punch, and the recovered establishments (which
+/// the punch-latency histogram also observed).
+#[test]
+fn fault_runs_record_failure_reason_counters() {
+    let mut sc = established_pair_opts(7, true);
+    let nat_a = sc.world.nats[0];
+    sc.world.reboot_nat(nat_a);
+
+    let deadline = sc.world.sim.now() + Duration::from_secs(30);
+    assert!(
+        sc.world
+            .run_until_app::<UdpPeer>(sc.b, deadline, |p| !p.is_established(A)),
+        "B should notice the dead session"
+    );
+    assert!(
+        sc.world
+            .run_until_app::<UdpPeer>(sc.b, deadline, |p| p.is_established(A)),
+        "auto re-punch should re-establish the session"
+    );
+    assert!(
+        sc.world
+            .run_until_app::<UdpPeer>(sc.a, deadline, |p| p.is_established(B)),
+        "both sides recover"
+    );
+
+    let snap = sc.world.sim.metrics_snapshot();
+    assert!(snap.counter("nat.reboot", "") >= 1, "reboot not counted");
+    assert!(
+        snap.counter("nat.mapping.flushed", "") >= 1,
+        "the reboot flushed live mappings"
+    );
+    assert!(
+        snap.counter("punch.session_died", "keepalive-timeout") >= 1,
+        "liveness death must carry the keepalive-timeout reason, got {}",
+        snap.to_json()
+    );
+    assert!(snap.counter("punch.repunch", "") >= 1, "no re-punch counted");
+    // The baseline punch establishes both directions; recovery adds more.
+    assert!(
+        snap.counter("punch.established", "") >= 3,
+        "expected baseline + recovery establishments"
+    );
+    let lat = snap.histogram("punch.latency").expect("latency histogram");
+    assert_eq!(
+        lat.count(),
+        snap.counter("punch.established", ""),
+        "every establishment observes the latency histogram"
+    );
+    assert_eq!(
+        snap.counter_family("punch.failed"),
+        0,
+        "no punch gave up outright in this scenario"
+    );
 }
 
 /// (b) The rendezvous server restarts with empty tables while its uplink
