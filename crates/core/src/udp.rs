@@ -43,6 +43,12 @@ enum SessionState {
 #[derive(Debug)]
 struct Session {
     nonce: u64,
+    /// Nonce of the punch cycle whose first authenticated answer locked
+    /// in the current `Established` remote. When a *later* cycle (a
+    /// re-punch after the peer's NAT mapping changed) authenticates from
+    /// a different address, the remote is re-locked to it; duplicate
+    /// answers within one cycle still keep the first winner (§3.3).
+    established_nonce: Option<u64>,
     state: SessionState,
     candidates: Vec<Endpoint>,
     attempts: u32,
@@ -61,6 +67,7 @@ impl Session {
     fn new(nonce: u64) -> Self {
         Session {
             nonce,
+            established_nonce: None,
             state: SessionState::Punching,
             candidates: Vec::new(),
             attempts: 0,
@@ -194,6 +201,17 @@ impl UdpPeer {
         )
     }
 
+    /// True if the session with `peer` has terminally failed (every
+    /// punch attempt and fallback exhausted). A failed session is a
+    /// legitimate terminal outcome for liveness checks: the peer is not
+    /// stuck, it has given up and reported why.
+    pub fn is_failed(&self, peer: PeerId) -> bool {
+        matches!(
+            self.sessions.get(&peer).map(|s| &s.state),
+            Some(SessionState::Failed)
+        )
+    }
+
     /// The locked-in remote endpoint for `peer`, if established.
     pub fn session_remote(&self, peer: PeerId) -> Option<Endpoint> {
         match self.sessions.get(&peer).map(|s| &s.state) {
@@ -302,16 +320,27 @@ impl UdpPeer {
     fn start_repunch(&mut self, os: &mut Os<'_, '_>, peer: PeerId) {
         let now = os.now();
         let registered_at = self.registered_at;
+        // A fresh cycle gets a fresh nonce. Reusing the old one would let
+        // the peer mistake this cycle's hellos for duplicates of the old
+        // cycle and keep its (now dead) locked-in remote instead of
+        // re-locking to the address our re-punch arrives from.
+        let nonce: u64 = os.rng().gen();
         let Some(session) = self.sessions.get_mut(&peer) else {
             return;
         };
         session.state = SessionState::Punching;
         session.attempts = 0;
+        session.nonce = nonce;
+        // The old candidates died with the old path (the peer's public
+        // endpoint may have moved with its NAT's port pool) and the peer
+        // will not answer them until it learns the new nonce anyway, so
+        // drop them; an empty candidate list makes every punch tick
+        // re-request the introduction until S answers with fresh ones.
+        session.candidates.clear();
         // A re-punch is a fresh §3.2 cycle; the timeline describes it,
         // not the original punch.
         session.timeline = PunchTimeline::start(now);
         session.timeline.registered = registered_at;
-        let nonce = session.nonce;
         os.metric_inc("punch.repunch");
         self.stats.repunches += 1;
         self.send_server(
@@ -532,15 +561,35 @@ impl UdpPeer {
             return;
         };
         match &mut session.state {
-            SessionState::Established { last_recv, .. } => {
+            SessionState::Established {
+                remote: current,
+                last_recv,
+            } => {
                 *last_recv = now;
-                return;
+                if session.established_nonce == Some(session.nonce) || *current == remote {
+                    // Same punch cycle (a duplicate answer from another
+                    // candidate — first winner keeps the lock, §3.3), or
+                    // the current path re-confirmed itself under a new
+                    // cycle's nonce.
+                    session.established_nonce = Some(session.nonce);
+                    return;
+                }
+                // A *new* punch cycle authenticated from a different
+                // address: the peer re-punched because the old path died
+                // on its side (its NAT rebooted, §3.6). Keeping the stale
+                // lock would black-hole every datagram it now sends from
+                // the new mapping, so re-lock to the observed source.
+                *current = remote;
+                session.established_nonce = Some(session.nonce);
+                session.last_sent = now;
+                os.metric_inc("punch.relocked");
             }
             _ => {
                 session.state = SessionState::Established {
                     remote,
                     last_recv: now,
                 };
+                session.established_nonce = Some(session.nonce);
                 // The hello/ack volley that produced this establishment
                 // just refreshed the mapping. (A pending relay-probe
                 // timer clears its own flag when it finds us upgraded.)

@@ -17,7 +17,13 @@
 //! The [`par`] module runs fan-outs of independent simulations on a
 //! worker pool while keeping results in task order, so experiment
 //! output stays byte-identical to a sequential run.
+//!
+//! The [`chaos`] module is a seeded chaos-search harness: it samples
+//! random fault schedules against the Figure-5 topology, checks
+//! liveness and replay-determinism invariants, and shrinks failing
+//! schedules to minimal replayable fault plans.
 
+pub mod chaos;
 pub mod par;
 pub mod world;
 

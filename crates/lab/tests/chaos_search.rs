@@ -1,0 +1,107 @@
+//! Chaos-search harness acceptance: the resilient profile survives
+//! sampled schedules, schedules replay deterministically, and an
+//! injected liveness bug is caught and shrunk to a minimal plan.
+
+use punch_lab::chaos::{
+    generate_faults, run_plan, run_schedule, run_trial, shrink, ChaosFault, ChaosLink, ChaosPlan,
+    ChaosProfile,
+};
+
+#[test]
+fn sampled_schedules_are_deterministic() {
+    for seed in [1u64, 7, 42, 1000] {
+        assert_eq!(generate_faults(seed, 5), generate_faults(seed, 5));
+        assert!(!generate_faults(seed, 5).is_empty());
+        assert!(generate_faults(seed, 5).len() <= 5);
+    }
+    // Different seeds explore different schedules.
+    assert_ne!(generate_faults(1, 5), generate_faults(2, 5));
+}
+
+#[test]
+fn resilient_profile_survives_sampled_schedules() {
+    for seed in 1..=6u64 {
+        let report = run_schedule(seed, ChaosProfile::Resilient, 5);
+        assert!(
+            report.violation.is_none(),
+            "seed {seed} violated: {:?}",
+            report.violation.map(|v| v.verdict)
+        );
+    }
+}
+
+/// Regression: these schedules (found by the search itself) once left
+/// the resilient profile in a mutual zombie — A flapping
+/// died/re-established against B's stale public endpoint forever after
+/// a NAT-A reboot, because re-punches reused the old cycle's nonce and
+/// the peer never re-locked its remote. Must stay green.
+#[test]
+fn nat_reboot_under_rapid_sends_recovers() {
+    for (seed, faults) in [
+        (53, vec![ChaosFault::RebootNatA { at_ms: 10_460 }]),
+        (
+            74,
+            vec![
+                ChaosFault::RebootNatA { at_ms: 11_665 },
+                ChaosFault::RebootNatB { at_ms: 7_732 },
+            ],
+        ),
+    ] {
+        let outcome = run_trial(seed, &faults, ChaosProfile::Resilient);
+        assert_eq!(outcome.violation, None, "seed {seed} regressed");
+    }
+}
+
+#[test]
+fn injected_liveness_bug_is_caught_shrunk_and_replayable() {
+    // A schedule with two benign decoys around the killer fault: a NAT
+    // reboot long after the session established. The fragile profile
+    // (liveness detection disabled) leaves a zombie session.
+    let faults = vec![
+        ChaosFault::Lossy {
+            link: ChaosLink::ServerUplink,
+            at_ms: 1_000,
+            dur_ms: 1_000,
+            loss_pct: 20,
+        },
+        ChaosFault::RebootNatA { at_ms: 10_000 },
+        ChaosFault::Corrupt {
+            link: ChaosLink::ClientBAccess,
+            at_ms: 12_000,
+            dur_ms: 1_000,
+            prob_pct: 10,
+        },
+    ];
+    let seed = 99;
+
+    // The hardened profile recovers from the very same schedule.
+    assert_eq!(run_trial(seed, &faults, ChaosProfile::Resilient).violation, None);
+
+    // The fragile profile gets stuck and the verdict says so.
+    let broken = run_trial(seed, &faults, ChaosProfile::Fragile);
+    let verdict = broken.violation.expect("fragile profile must violate liveness");
+    assert!(verdict.contains("liveness violation"), "verdict: {verdict}");
+
+    // Shrinking strips the decoys down to the lone killer fault.
+    let minimized = shrink(seed, &faults, ChaosProfile::Fragile);
+    assert_eq!(minimized, vec![ChaosFault::RebootNatA { at_ms: 10_000 }]);
+
+    // The minimized plan replays byte-identically: same verdict, same
+    // simulator counters, same clock, same metrics snapshot.
+    let plan = ChaosPlan {
+        seed,
+        faults: minimized,
+    };
+    let r1 = run_plan(&plan, ChaosProfile::Fragile);
+    let r2 = run_plan(&plan, ChaosProfile::Fragile);
+    assert!(r1.violation.is_some());
+    assert_eq!(r1.violation, r2.violation);
+    assert_eq!(r1.stats, r2.stats);
+    assert_eq!(r1.end, r2.end);
+    assert_eq!(r1.metrics_json, r2.metrics_json);
+
+    // And the plan serializes with the seed and the surviving fault.
+    let json = plan.to_json();
+    assert!(json.contains("\"seed\": 99"), "json: {json}");
+    assert!(json.contains("\"kind\":\"reboot_nat_a\""), "json: {json}");
+}

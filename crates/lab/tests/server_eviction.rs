@@ -1,0 +1,94 @@
+//! Deterministic eviction of the rendezvous registration table.
+//!
+//! The server caps its per-transport registration tables at
+//! [`ServerConfig::max_clients`]; when a new peer registers into a full
+//! table the oldest registration (lowest sequence stamp, ties broken by
+//! peer id) is evicted. Re-registration refreshes a peer's stamp, so
+//! live clients that keep refreshing are never the victim.
+
+use punch_lab::{PeerSetup, WorldBuilder};
+use punch_net::Endpoint;
+use punch_rendezvous::{Message, PeerId, RendezvousServer, ServerConfig};
+use punch_transport::{App, Os, SockEvent};
+use std::net::Ipv4Addr;
+
+const SERVER_IP: Ipv4Addr = Ipv4Addr::new(18, 181, 0, 31);
+const CLIENT_IP: Ipv4Addr = Ipv4Addr::new(99, 1, 1, 1);
+
+/// Registers a scripted sequence of peer ids from a single socket.
+struct RegFlood {
+    ids: Vec<u64>,
+}
+
+impl App for RegFlood {
+    fn on_start(&mut self, os: &mut Os<'_, '_>) {
+        let sock = os.udp_bind(4000).expect("local UDP port free");
+        let private = os.local_endpoint(sock).expect("socket bound");
+        let server = Endpoint::new(SERVER_IP, 1234);
+        for &id in &self.ids {
+            let msg = Message::Register {
+                peer_id: PeerId(id),
+                private,
+            };
+            os.udp_send(sock, server, msg.encode(false))
+                .expect("datagram sent");
+        }
+    }
+
+    fn on_event(&mut self, _os: &mut Os<'_, '_>, _ev: SockEvent) {}
+}
+
+/// Builds a server with a `cap`-sized table and one public client that
+/// registers `ids` in order; returns the server after the dust settles.
+fn run_flood(cap: usize, ids: Vec<u64>) -> (ServerStatsView, Vec<u64>) {
+    let mut wb = WorldBuilder::new(7);
+    let s = wb.server(
+        SERVER_IP,
+        RendezvousServer::new(ServerConfig::default().with_max_clients(cap)),
+    );
+    wb.public_client(CLIENT_IP, PeerSetup::new(RegFlood { ids: ids.clone() }));
+    let mut world = wb.build();
+    world.sim.run_until_idle();
+    let server = world.app::<RendezvousServer>(world.servers[s]);
+    let mut registered: Vec<u64> = ids
+        .iter()
+        .copied()
+        .filter(|&id| server.udp_registration(PeerId(id)).is_some())
+        .collect();
+    registered.sort_unstable();
+    registered.dedup();
+    (
+        ServerStatsView {
+            evictions: server.stats().evictions,
+        },
+        registered,
+    )
+}
+
+struct ServerStatsView {
+    evictions: u64,
+}
+
+#[test]
+fn oldest_registration_is_evicted_first() {
+    // Five peers into a three-slot table: 1 and 2 (the two oldest) go.
+    let (stats, survivors) = run_flood(3, vec![1, 2, 3, 4, 5]);
+    assert_eq!(stats.evictions, 2);
+    assert_eq!(survivors, vec![3, 4, 5]);
+}
+
+#[test]
+fn re_registration_refreshes_the_eviction_clock() {
+    // Peer 1 re-registers before the table overflows, so the stale
+    // peer 2 — not the refreshed 1 — is the victim when 4 arrives.
+    let (stats, survivors) = run_flood(3, vec![1, 2, 3, 1, 4]);
+    assert_eq!(stats.evictions, 1);
+    assert_eq!(survivors, vec![1, 3, 4]);
+}
+
+#[test]
+fn table_below_the_cap_never_evicts() {
+    let (stats, survivors) = run_flood(8, vec![1, 2, 3, 4, 5]);
+    assert_eq!(stats.evictions, 0);
+    assert_eq!(survivors, vec![1, 2, 3, 4, 5]);
+}

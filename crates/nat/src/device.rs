@@ -311,6 +311,10 @@ impl NatDevice {
         };
         if let Some(body) = rewritten {
             pkt.body = body;
+            // A payload-rewriting NAT acts as an ALG: it fixes the
+            // transport checksum to match the new bytes, so mangled
+            // packets still pass the receiving stack's verification.
+            pkt.refresh_checksum();
             self.stats.payloads_mangled += 1;
         }
     }

@@ -28,4 +28,4 @@ pub use survey::{
     check_nat, check_nat_instrumented, run_survey, run_survey_mutated,
     run_survey_mutated_with_workers, SurveyResult, SurveyRow,
 };
-pub use wire::{CheckFrames, CheckMsg, InboundStatus};
+pub use wire::{CheckFrames, CheckMsg, InboundStatus, MAX_CHECK_BUFFER};

@@ -178,11 +178,13 @@ impl CheckMsg {
         buf.freeze()
     }
 
-    /// Decodes one message; `None` for anything malformed.
+    /// Decodes one message; `None` for anything malformed, including a
+    /// valid message followed by trailing bytes (strict framing — a
+    /// padded datagram is treated as hostile, not trimmed).
     pub fn decode(data: &[u8]) -> Option<CheckMsg> {
         let mut buf = data;
         let tag = get_u8(&mut buf)?;
-        Some(match tag {
+        let msg = match tag {
             T_UDP_PROBE => CheckMsg::UdpProbe {
                 token: get_u64(&mut buf)?,
             },
@@ -220,7 +222,11 @@ impl CheckMsg {
                 token: get_u64(&mut buf)?,
             },
             _ => return None,
-        })
+        };
+        if !buf.is_empty() {
+            return None;
+        }
+        Some(msg)
     }
 
     /// Encodes as a 16-bit-length-prefixed TCP frame.
@@ -233,20 +239,50 @@ impl CheckMsg {
     }
 }
 
+/// Maximum bytes a [`CheckFrames`] reassembler will hold. NAT Check
+/// messages are tiny (≤ 24 bytes), so a handful of frames' worth of
+/// slack is generous; a hostile stream that outruns the cap is
+/// discarded rather than buffered without bound.
+pub const MAX_CHECK_BUFFER: usize = 1024;
+
 /// Incremental reassembler for framed [`CheckMsg`]s on a TCP stream.
+///
+/// Buffering is bounded by [`MAX_CHECK_BUFFER`]: overflowing input
+/// poisons the reassembler, which then drops everything (NAT Check
+/// probes are fire-and-forget, so the peer simply looks unresponsive —
+/// the same outcome §6.3 reports for misbehaving middleboxes).
 #[derive(Debug, Default)]
 pub struct CheckFrames {
     buf: BytesMut,
+    /// Set when the cap was breached; all further input is discarded.
+    overflowed: bool,
 }
 
 impl CheckFrames {
-    /// Appends stream bytes.
+    /// Appends stream bytes. Exceeding [`MAX_CHECK_BUFFER`] poisons the
+    /// reassembler: buffered bytes are dropped and further pushes are
+    /// ignored.
     pub fn push(&mut self, chunk: &[u8]) {
+        if self.overflowed {
+            return;
+        }
+        if self.buf.len() + chunk.len() > MAX_CHECK_BUFFER {
+            self.overflowed = true;
+            self.buf = BytesMut::new();
+            return;
+        }
         self.buf.extend_from_slice(chunk);
     }
 
+    /// Returns true once the stream has overflowed its buffer cap (and
+    /// the reassembler has permanently shut); callers should close the
+    /// connection.
+    pub fn overflowed(&self) -> bool {
+        self.overflowed
+    }
+
     /// Pops the next complete message (malformed frames decode to `None`
-    /// and are skipped).
+    /// and are skipped; a poisoned reassembler yields nothing).
     pub fn next_message(&mut self) -> Option<CheckMsg> {
         loop {
             if self.buf.len() < 2 {
@@ -324,6 +360,55 @@ mod tests {
         }
         assert_eq!(CheckMsg::decode(&[]), None);
         assert_eq!(CheckMsg::decode(&[99]), None);
+    }
+
+    #[test]
+    fn trailing_bytes_now_rejected() {
+        // Regression pin: decode used to accept these padded inputs and
+        // silently drop the tail. Strict framing returns None for every
+        // one of them.
+        for m in all() {
+            let mut padded = m.encode().to_vec();
+            padded.push(0);
+            assert_eq!(CheckMsg::decode(&padded), None, "{m:?} + 1 byte");
+            padded.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef]);
+            assert_eq!(CheckMsg::decode(&padded), None, "{m:?} + 5 bytes");
+        }
+        // Exact-length encodings still decode (strictness must not break
+        // the happy path).
+        for m in all() {
+            assert_eq!(CheckMsg::decode(&m.encode()), Some(m));
+        }
+    }
+
+    #[test]
+    fn overflow_poisons_the_reassembler() {
+        let mut fr = CheckFrames::default();
+        // An incomplete frame that never finishes, streamed past the cap.
+        fr.push(&u16::MAX.to_be_bytes());
+        let junk = vec![0u8; 128];
+        for _ in 0..(MAX_CHECK_BUFFER / junk.len() + 2) {
+            fr.push(&junk);
+        }
+        assert!(fr.overflowed());
+        assert_eq!(fr.next_message(), None);
+        // Later valid frames are ignored: the stream is dead.
+        fr.push(&CheckMsg::UdpProbe { token: 1 }.encode_frame());
+        assert_eq!(fr.next_message(), None);
+    }
+
+    #[test]
+    fn bursts_below_the_cap_reassemble() {
+        let mut fr = CheckFrames::default();
+        let m = CheckMsg::UdpProbe { token: 42 };
+        for _ in 0..20 {
+            fr.push(&m.encode_frame());
+        }
+        assert!(!fr.overflowed());
+        for _ in 0..20 {
+            assert_eq!(fr.next_message(), Some(m.clone()));
+        }
+        assert_eq!(fr.next_message(), None);
     }
 
     #[test]

@@ -16,13 +16,15 @@ use std::time::Duration;
 /// simulation's seeded RNG, and the packet is dropped with probability
 /// `loss` instead of being delivered.
 ///
-/// Two fault knobs model misbehaving paths: with probability
+/// Four fault knobs model misbehaving paths: with probability
 /// `duplicate` a second copy of the packet is delivered shortly after
-/// the first, and with probability `reorder` the packet is exempted
+/// the first, with probability `reorder` the packet is exempted
 /// from the link's FIFO ordering and held for an extra random delay so
-/// later traffic can overtake it. Both default to zero, and a link with
-/// both at zero consumes no extra RNG draws — traces of existing
-/// configurations are unchanged.
+/// later traffic can overtake it, with probability `corrupt` a random
+/// payload bit is flipped in flight, and with probability `truncate`
+/// the payload is cut short at a random offset. All default to zero,
+/// and a link with all four at zero consumes no extra RNG draws —
+/// traces of existing configurations are unchanged.
 ///
 /// # Examples
 ///
@@ -51,6 +53,15 @@ pub struct LinkSpec {
     /// reordered packet skips the FIFO clamp and is held for an extra
     /// uniform delay up to `max(4 * jitter, latency, 1 ms)`.
     pub reorder: f64,
+    /// Independent per-packet corruption probability in `[0, 1]`: a
+    /// corrupted packet has one random payload bit flipped (or, for an
+    /// empty payload, its checksum mangled) and is still delivered —
+    /// receivers must detect the damage themselves.
+    pub corrupt: f64,
+    /// Independent per-packet truncation probability in `[0, 1]`: a
+    /// truncated packet has its payload cut short at a random offset
+    /// without the checksum being recomputed.
+    pub truncate: f64,
     /// Bytes per second, or `None` for infinite bandwidth (no
     /// serialization delay or queueing).
     pub bandwidth: Option<u64>,
@@ -66,6 +77,8 @@ impl LinkSpec {
             loss: 0.0,
             duplicate: 0.0,
             reorder: 0.0,
+            corrupt: 0.0,
+            truncate: 0.0,
             bandwidth: None,
         }
     }
@@ -133,6 +146,34 @@ impl LinkSpec {
         self
     }
 
+    /// Sets the per-packet corruption probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `corrupt` is not within `[0, 1]`.
+    pub fn with_corrupt(mut self, corrupt: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&corrupt),
+            "corrupt probability {corrupt} outside [0,1]"
+        );
+        self.corrupt = corrupt;
+        self
+    }
+
+    /// Sets the per-packet truncation probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `truncate` is not within `[0, 1]`.
+    pub fn with_truncate(mut self, truncate: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&truncate),
+            "truncate probability {truncate} outside [0,1]"
+        );
+        self.truncate = truncate;
+        self
+    }
+
     /// Extra hold window for a reordered packet: wide enough that
     /// in-order traffic behind it actually overtakes.
     pub fn reorder_window(&self) -> Duration {
@@ -183,12 +224,16 @@ mod tests {
             .with_loss(0.5)
             .with_duplicate(0.25)
             .with_reorder(0.125)
+            .with_corrupt(0.0625)
+            .with_truncate(0.03125)
             .with_bandwidth(100);
         assert_eq!(l.latency, Duration::from_millis(5));
         assert_eq!(l.jitter, Duration::from_millis(1));
         assert_eq!(l.loss, 0.5);
         assert_eq!(l.duplicate, 0.25);
         assert_eq!(l.reorder, 0.125);
+        assert_eq!(l.corrupt, 0.0625);
+        assert_eq!(l.truncate, 0.03125);
         assert_eq!(l.bandwidth, Some(100));
     }
 
@@ -197,6 +242,8 @@ mod tests {
         let l = LinkSpec::default();
         assert_eq!(l.duplicate, 0.0);
         assert_eq!(l.reorder, 0.0);
+        assert_eq!(l.corrupt, 0.0);
+        assert_eq!(l.truncate, 0.0);
     }
 
     #[test]
@@ -220,6 +267,18 @@ mod tests {
     #[should_panic(expected = "outside [0,1]")]
     fn reorder_out_of_range_panics() {
         let _ = LinkSpec::lan().with_reorder(2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn corrupt_out_of_range_panics() {
+        let _ = LinkSpec::lan().with_corrupt(1.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn truncate_out_of_range_panics() {
+        let _ = LinkSpec::lan().with_truncate(-0.5);
     }
 
     #[test]

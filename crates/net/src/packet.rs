@@ -208,6 +208,7 @@ pub enum Body {
 /// );
 /// assert_eq!(pkt.proto(), Proto::Udp);
 /// assert_eq!(pkt.wire_size(), 28 + 8);
+/// assert!(pkt.checksum_ok());
 /// ```
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Packet {
@@ -219,10 +220,60 @@ pub struct Packet {
     pub ttl: u8,
     /// Transport body.
     pub body: Body,
+    /// RFC 1071 Internet checksum over the transport body (see
+    /// [`Packet::compute_checksum`]). The constructors fill it in;
+    /// link-level corruption faults damage the body without refreshing
+    /// it, and host stacks verify it on ingest.
+    pub checksum: u16,
 }
 
 /// Default initial TTL for packets originated by hosts.
 pub const DEFAULT_TTL: u8 = 64;
+
+/// RFC 1071 one's-complement accumulator: bytes are summed as big-endian
+/// 16-bit words (odd trailing byte padded with zero), carries folded back
+/// in, and the final sum complemented.
+#[derive(Default)]
+struct InetSum {
+    sum: u32,
+    /// Pending high byte when fed an odd number of bytes so far.
+    pending: Option<u8>,
+}
+
+impl InetSum {
+    fn push(&mut self, bytes: &[u8]) {
+        let mut iter = bytes.iter().copied();
+        if let Some(hi) = self.pending.take() {
+            match iter.next() {
+                Some(lo) => self.sum += u32::from(u16::from_be_bytes([hi, lo])),
+                None => {
+                    self.pending = Some(hi);
+                    return;
+                }
+            }
+        }
+        loop {
+            match (iter.next(), iter.next()) {
+                (Some(hi), Some(lo)) => self.sum += u32::from(u16::from_be_bytes([hi, lo])),
+                (Some(hi), None) => {
+                    self.pending = Some(hi);
+                    break;
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn finish(mut self) -> u16 {
+        if let Some(hi) = self.pending.take() {
+            self.sum += u32::from(u16::from_be_bytes([hi, 0]));
+        }
+        while self.sum > 0xFFFF {
+            self.sum = (self.sum & 0xFFFF) + (self.sum >> 16);
+        }
+        !(self.sum as u16)
+    }
+}
 
 /// Size in bytes of the modelled IPv4 header.
 const IPV4_HEADER: usize = 20;
@@ -236,31 +287,136 @@ const ICMP_SIZE: usize = 36;
 impl Packet {
     /// Creates a UDP packet with the default TTL.
     pub fn udp(src: Endpoint, dst: Endpoint, payload: impl Into<Bytes>) -> Self {
-        Packet {
+        let mut pkt = Packet {
             src,
             dst,
             ttl: DEFAULT_TTL,
             body: Body::Udp(payload.into()),
-        }
+            checksum: 0,
+        };
+        pkt.refresh_checksum();
+        pkt
     }
 
     /// Creates a TCP packet with the default TTL.
     pub fn tcp(src: Endpoint, dst: Endpoint, segment: TcpSegment) -> Self {
-        Packet {
+        let mut pkt = Packet {
             src,
             dst,
             ttl: DEFAULT_TTL,
             body: Body::Tcp(segment),
-        }
+            checksum: 0,
+        };
+        pkt.refresh_checksum();
+        pkt
     }
 
     /// Creates an ICMP error packet with the default TTL.
     pub fn icmp(src: Endpoint, dst: Endpoint, msg: IcmpMessage) -> Self {
-        Packet {
+        let mut pkt = Packet {
             src,
             dst,
             ttl: DEFAULT_TTL,
             body: Body::Icmp(msg),
+            checksum: 0,
+        };
+        pkt.refresh_checksum();
+        pkt
+    }
+
+    /// Computes the RFC 1071 Internet checksum of the transport body:
+    /// the one's-complement of the one's-complement sum of 16-bit words
+    /// over a protocol tag, the payload length, the TCP header fields
+    /// (seq/ack/flags/window) where present, and the payload bytes.
+    ///
+    /// The source and destination endpoints are deliberately *not*
+    /// covered — address-translating middleboxes rewrite them in flight,
+    /// and real NATs incrementally fix up the checksum to match, which
+    /// this model folds into "addresses are outside the sum". A NAT
+    /// that rewrites *payload* bytes (§5.3 mangling) must call
+    /// [`Packet::refresh_checksum`] like a real ALG does.
+    pub fn compute_checksum(&self) -> u16 {
+        let mut sum = InetSum::default();
+        match &self.body {
+            Body::Udp(p) => {
+                sum.push(&[0x11, 0x00]); // protocol tag: UDP
+                sum.push(&(p.len() as u16).to_be_bytes());
+                sum.push(p);
+            }
+            Body::Tcp(seg) => {
+                sum.push(&[0x06, 0x00]); // protocol tag: TCP
+                sum.push(&(seg.payload.len() as u16).to_be_bytes());
+                sum.push(&seg.seq.to_be_bytes());
+                sum.push(&seg.ack.to_be_bytes());
+                sum.push(&[seg.flags.0, 0x00]);
+                sum.push(&seg.window.to_be_bytes());
+                sum.push(&seg.payload);
+            }
+            Body::Icmp(msg) => {
+                sum.push(&[0x01, 0x00]); // protocol tag: ICMP
+                let kind = match msg.kind {
+                    IcmpKind::DestinationUnreachable => 3u8,
+                    IcmpKind::TtlExceeded => 11u8,
+                };
+                let proto = match msg.original_proto {
+                    Proto::Udp => 0x11u8,
+                    Proto::Tcp => 0x06u8,
+                    Proto::Icmp => 0x01u8,
+                };
+                sum.push(&[kind, proto]);
+            }
+        }
+        sum.finish()
+    }
+
+    /// Recomputes and stores the body checksum. Anything that rewrites
+    /// checksummed fields in place (e.g. the §5.3 payload-mangling NAT)
+    /// must call this afterwards or receivers will discard the packet.
+    pub fn refresh_checksum(&mut self) {
+        self.checksum = self.compute_checksum();
+    }
+
+    /// Returns true if the stored checksum matches the body. Host
+    /// stacks verify this on ingest and drop (and count) mismatches,
+    /// so link-level corruption is never delivered to applications.
+    pub fn checksum_ok(&self) -> bool {
+        self.checksum == self.compute_checksum()
+    }
+
+    /// Damages the packet in flight: flips payload bit `bit` (modulo
+    /// the payload size in bits), or mangles the stored checksum when
+    /// the body has no payload bytes to flip. The checksum is *not*
+    /// refreshed — that is the point.
+    pub fn corrupt_bit(&mut self, bit: u64) {
+        let payload = match &mut self.body {
+            Body::Udp(p) => p,
+            Body::Tcp(seg) => &mut seg.payload,
+            Body::Icmp(_) => {
+                self.checksum ^= 1 << (bit % 16);
+                return;
+            }
+        };
+        if payload.is_empty() {
+            self.checksum ^= 1 << (bit % 16);
+            return;
+        }
+        let bit = bit % (payload.len() as u64 * 8);
+        let mut bytes = payload.to_vec();
+        bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
+        *payload = Bytes::from(bytes);
+    }
+
+    /// Truncates the transport payload to `len` bytes (a no-op when the
+    /// payload is already that short), leaving the checksum stale so
+    /// receivers can detect the damage. ICMP bodies are untouched.
+    pub fn truncate_payload(&mut self, len: usize) {
+        let payload = match &mut self.body {
+            Body::Udp(p) => p,
+            Body::Tcp(seg) => &mut seg.payload,
+            Body::Icmp(_) => return,
+        };
+        if len < payload.len() {
+            *payload = payload.slice(..len);
         }
     }
 
@@ -286,6 +442,16 @@ impl Packet {
         match &self.body {
             Body::Udp(p) => Some(p),
             _ => None,
+        }
+    }
+
+    /// Returns the transport payload length in bytes (zero for ICMP,
+    /// whose body carries no mutable payload).
+    pub fn payload_len(&self) -> usize {
+        match &self.body {
+            Body::Udp(p) => p.len(),
+            Body::Tcp(seg) => seg.payload.len(),
+            Body::Icmp(_) => 0,
         }
     }
 
@@ -393,6 +559,111 @@ mod tests {
         assert_eq!(t.proto(), Proto::Tcp);
         assert_eq!(t.tcp_segment().unwrap().seq, 7);
         assert!(t.udp_payload().is_none());
+    }
+
+    #[test]
+    fn constructors_produce_valid_checksums() {
+        let u = Packet::udp(ep("1.1.1.1:1"), ep("2.2.2.2:2"), b"payload".as_ref());
+        assert!(u.checksum_ok());
+        let mut seg = TcpSegment::control(TcpFlags::SYN | TcpFlags::ACK, 42, 7);
+        seg.payload = Bytes::from_static(b"hello");
+        let t = Packet::tcp(ep("1.1.1.1:1"), ep("2.2.2.2:2"), seg);
+        assert!(t.checksum_ok());
+        let i = Packet::icmp(
+            ep("1.1.1.1:1"),
+            ep("2.2.2.2:2"),
+            IcmpMessage {
+                kind: IcmpKind::TtlExceeded,
+                original_proto: Proto::Udp,
+                original_src: ep("2.2.2.2:2"),
+                original_dst: ep("1.1.1.1:1"),
+            },
+        );
+        assert!(i.checksum_ok());
+    }
+
+    #[test]
+    fn checksum_survives_address_rewriting() {
+        // NATs rewrite src/dst without touching the checksum; the sum
+        // must deliberately not cover the endpoints.
+        let mut p = Packet::udp(ep("10.0.0.1:4321"), ep("18.181.0.31:1234"), b"x".as_ref());
+        p.src = ep("155.99.25.11:62000");
+        p.dst = ep("138.76.29.7:31000");
+        assert!(p.checksum_ok());
+    }
+
+    #[test]
+    fn corrupt_bit_is_detected_for_any_bit() {
+        let base = Packet::udp(ep("1.1.1.1:1"), ep("2.2.2.2:2"), vec![0xAAu8; 5]);
+        for bit in 0..(5 * 8 + 3) {
+            let mut p = base.clone();
+            p.corrupt_bit(bit);
+            assert!(!p.checksum_ok(), "bit {bit} flip went undetected");
+        }
+    }
+
+    #[test]
+    fn corrupt_bit_on_empty_payload_mangles_checksum() {
+        let mut p = Packet::udp(ep("1.1.1.1:1"), ep("2.2.2.2:2"), Bytes::new());
+        p.corrupt_bit(9);
+        assert!(!p.checksum_ok());
+        let mut i = Packet::icmp(
+            ep("1.1.1.1:1"),
+            ep("2.2.2.2:2"),
+            IcmpMessage {
+                kind: IcmpKind::DestinationUnreachable,
+                original_proto: Proto::Tcp,
+                original_src: ep("2.2.2.2:2"),
+                original_dst: ep("1.1.1.1:1"),
+            },
+        );
+        i.corrupt_bit(0);
+        assert!(!i.checksum_ok());
+    }
+
+    #[test]
+    fn truncation_is_detected_even_for_zero_payloads() {
+        // The length is inside the sum, so chopping trailing zeros —
+        // invisible to a pure byte sum — still fails verification.
+        let mut p = Packet::udp(ep("1.1.1.1:1"), ep("2.2.2.2:2"), vec![0u8; 8]);
+        p.truncate_payload(3);
+        assert_eq!(p.udp_payload().unwrap().len(), 3);
+        assert!(!p.checksum_ok());
+        // Truncating to the current length or longer is a no-op.
+        let mut q = Packet::udp(ep("1.1.1.1:1"), ep("2.2.2.2:2"), vec![7u8; 4]);
+        q.truncate_payload(4);
+        q.truncate_payload(100);
+        assert!(q.checksum_ok());
+    }
+
+    #[test]
+    fn refresh_checksum_repairs_a_rewritten_body() {
+        let mut p = Packet::udp(ep("1.1.1.1:1"), ep("2.2.2.2:2"), b"10.0.0.1".as_ref());
+        p.body = Body::Udp(Bytes::from_static(b"155.99.25.11"));
+        assert!(!p.checksum_ok());
+        p.refresh_checksum();
+        assert!(p.checksum_ok());
+    }
+
+    #[test]
+    fn tcp_header_fields_are_covered() {
+        let t = Packet::tcp(
+            ep("1.1.1.1:1"),
+            ep("2.2.2.2:2"),
+            TcpSegment::control(TcpFlags::SYN, 7, 0),
+        );
+        let mut seq = t.clone();
+        match &mut seq.body {
+            Body::Tcp(s) => s.seq = 8,
+            _ => unreachable!(),
+        }
+        assert!(!seq.checksum_ok());
+        let mut flags = t.clone();
+        match &mut flags.body {
+            Body::Tcp(s) => s.flags = TcpFlags::RST,
+            _ => unreachable!(),
+        }
+        assert!(!flags.checksum_ok());
     }
 
     #[test]

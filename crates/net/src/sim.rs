@@ -45,6 +45,11 @@ pub struct SimStats {
     pub packets_duplicated: u64,
     /// Packets exempted from FIFO ordering by link reordering faults.
     pub packets_reordered: u64,
+    /// Packets damaged in flight by link corruption faults (delivered
+    /// with a bad checksum, not dropped).
+    pub packets_corrupted: u64,
+    /// Packets whose payload was cut short by link truncation faults.
+    pub packets_truncated: u64,
     /// Scripted fault events (link and device) that have fired.
     pub faults_injected: u64,
     /// Host wall-clock nanoseconds spent inside the run loops
@@ -66,6 +71,8 @@ impl PartialEq for SimStats {
             self.link_down_drops,
             self.packets_duplicated,
             self.packets_reordered,
+            self.packets_corrupted,
+            self.packets_truncated,
             self.faults_injected,
         ) == (
             other.events,
@@ -76,6 +83,8 @@ impl PartialEq for SimStats {
             other.link_down_drops,
             other.packets_duplicated,
             other.packets_reordered,
+            other.packets_corrupted,
+            other.packets_truncated,
             other.faults_injected,
         )
     }
@@ -313,9 +322,9 @@ impl SimCore {
             let bound = spec.jitter.as_nanos() as u64;
             Duration::from_nanos(self.nodes[node.index()].rng.gen_range(0..=bound))
         };
-        // Fault knobs draw only when enabled, in a fixed order (reorder
-        // then duplicate), so links without them keep byte-identical RNG
-        // streams and traces.
+        // Fault knobs draw only when enabled, in a fixed order (reorder,
+        // duplicate, corrupt, truncate), so links without them keep
+        // byte-identical RNG streams and traces.
         let hold = if spec.reorder > 0.0
             && self.nodes[node.index()].rng.gen::<f64>() < spec.reorder
         {
@@ -328,6 +337,34 @@ impl SimCore {
         };
         let duplicated =
             spec.duplicate > 0.0 && self.nodes[node.index()].rng.gen::<f64>() < spec.duplicate;
+        // Damage draws: the bit/length choice is a second raw draw so the
+        // stream shape is independent of the payload size.
+        let corrupt_bit = (spec.corrupt > 0.0
+            && self.nodes[node.index()].rng.gen::<f64>() < spec.corrupt)
+            .then(|| self.nodes[node.index()].rng.gen::<u64>());
+        let truncate_raw = (spec.truncate > 0.0
+            && self.nodes[node.index()].rng.gen::<f64>() < spec.truncate)
+            .then(|| self.nodes[node.index()].rng.gen::<u64>());
+
+        let mut pkt = pkt;
+        if let Some(bit) = corrupt_bit {
+            pkt.corrupt_bit(bit);
+            self.stats.packets_corrupted += 1;
+            self.metric_inc_by(MetricKey::plain("net.corrupt"), 1);
+            self.trace(node, iface, TraceDir::Corrupted, &pkt);
+        }
+        if let Some(raw) = truncate_raw {
+            let len = pkt.payload_len();
+            if len > 0 {
+                // Cut to a strictly shorter length; the stale checksum
+                // (which covers the length) makes even zero-byte tails
+                // detectable.
+                pkt.truncate_payload((raw % len as u64) as usize);
+                self.stats.packets_truncated += 1;
+                self.metric_inc_by(MetricKey::plain("net.truncate"), 1);
+                self.trace(node, iface, TraceDir::Truncated, &pkt);
+            }
+        }
 
         let link = &mut self.links[link_idx];
         let base = if spec.bandwidth.is_some() {
@@ -1094,6 +1131,67 @@ mod tests {
         assert_eq!(sim.device::<SinkDevice>(b).packets.len(), 20);
         assert_eq!(sim.stats().packets_duplicated, 10);
         assert_eq!(sim.stats().packets_sent, 10);
+    }
+
+    #[test]
+    fn corruption_delivers_damaged_but_detectable_packets() {
+        let mut sim = Sim::new(13);
+        let a = sim.add_node("a", Box::new(SinkDevice::default()));
+        let b = sim.add_node("b", Box::new(SinkDevice::default()));
+        sim.connect(a, b, LinkSpec::lan().with_corrupt(1.0));
+        for _ in 0..10 {
+            sim.with_node(a, |_, ctx| ctx.send(0, udp()));
+        }
+        sim.run_until_idle();
+        let sink = sim.device::<SinkDevice>(b);
+        assert_eq!(sink.packets.len(), 10, "corruption must not drop");
+        for (_, p) in &sink.packets {
+            assert!(!p.checksum_ok(), "delivered copy must fail verification");
+        }
+        assert_eq!(sim.stats().packets_corrupted, 10);
+    }
+
+    #[test]
+    fn truncation_shortens_payload_and_keeps_stale_checksum() {
+        let mut sim = Sim::new(17);
+        let a = sim.add_node("a", Box::new(SinkDevice::default()));
+        let b = sim.add_node("b", Box::new(SinkDevice::default()));
+        sim.connect(a, b, LinkSpec::lan().with_truncate(1.0));
+        let big = || Packet::udp(ep("10.0.0.1:1"), ep("10.0.0.2:2"), vec![0x5Au8; 64]);
+        for _ in 0..10 {
+            sim.with_node(a, |_, ctx| ctx.send(0, big()));
+        }
+        sim.run_until_idle();
+        let sink = sim.device::<SinkDevice>(b);
+        assert_eq!(sink.packets.len(), 10);
+        for (_, p) in &sink.packets {
+            assert!(p.udp_payload().unwrap().len() < 64);
+            assert!(!p.checksum_ok());
+        }
+        assert_eq!(sim.stats().packets_truncated, 10);
+    }
+
+    #[test]
+    fn corruption_knobs_off_leave_rng_streams_untouched() {
+        // A lossy+jittery run must be byte-identical whether the corrupt
+        // and truncate fields exist at 0.0 or the spec predates them:
+        // the knobs may not draw when disabled.
+        let run = |spec: LinkSpec| {
+            let mut sim = Sim::new(23);
+            let a = sim.add_node("a", Box::new(SinkDevice::default()));
+            let b = sim.add_node("b", Box::new(SinkDevice::default()));
+            sim.connect(a, b, spec);
+            for _ in 0..50 {
+                sim.with_node(a, |_, ctx| ctx.send(0, udp()));
+            }
+            sim.run_until_idle();
+            let delivered: Vec<Packet> =
+                sim.device::<SinkDevice>(b).packets.iter().map(|(_, p)| p.clone()).collect();
+            (sim.stats(), sim.now(), delivered)
+        };
+        let spec = LinkSpec::access().with_loss(0.3).with_jitter(Duration::from_millis(5));
+        let baseline = run(spec);
+        assert_eq!(run(spec.with_corrupt(0.0).with_truncate(0.0)), baseline);
     }
 
     #[test]

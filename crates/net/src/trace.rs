@@ -24,6 +24,12 @@ pub enum TraceDir {
     LinkDown,
     /// Packet dropped by a device, with a device-supplied reason.
     DeviceDrop(&'static str),
+    /// Packet damaged in flight by the link's corruption fault (still
+    /// delivered; receivers detect it via the checksum).
+    Corrupted,
+    /// Packet payload cut short in flight by the link's truncation
+    /// fault (still delivered with a stale checksum).
+    Truncated,
 }
 
 /// One recorded packet event.
@@ -53,6 +59,8 @@ impl fmt::Display for TraceEvent {
             TraceDir::LossDrop => f.write_str("LOST")?,
             TraceDir::LinkDown => f.write_str("DOWN")?,
             TraceDir::DeviceDrop(r) => write!(f, "DROP({r})")?,
+            TraceDir::Corrupted => f.write_str("CORRUPT")?,
+            TraceDir::Truncated => f.write_str("TRUNC")?,
         }
         write!(f, " {}", self.packet)
     }

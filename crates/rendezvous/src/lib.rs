@@ -17,4 +17,6 @@ pub mod wire;
 
 pub use peer::PeerId;
 pub use server::{RendezvousServer, ServerConfig, ServerStats};
-pub use wire::{encode_frame, FrameBuf, Message, WireError, ERR_UNKNOWN_PEER, MAX_FRAME, VERSION};
+pub use wire::{
+    encode_frame, FrameBuf, Message, WireError, ERR_UNKNOWN_PEER, MAX_BUFFER, MAX_FRAME, VERSION,
+};

@@ -27,6 +27,11 @@ pub struct ServerConfig {
     /// source. Clients use it to measure symmetric NATs' port-allocation
     /// delta for §5.1 port prediction.
     pub probe_port: bool,
+    /// Maximum registrations kept per transport. A registration flood
+    /// past the cap evicts the oldest registration (deterministically —
+    /// by registration sequence number, not map iteration order)
+    /// instead of growing server memory without bound.
+    pub max_clients: usize,
 }
 
 impl Default for ServerConfig {
@@ -35,6 +40,7 @@ impl Default for ServerConfig {
             port: 1234,
             obfuscate: true,
             probe_port: true,
+            max_clients: 4096,
         }
     }
 }
@@ -57,6 +63,18 @@ impl ServerConfig {
         self.probe_port = on;
         self
     }
+
+    /// Same configuration with a different per-transport registration
+    /// cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max` is zero.
+    pub fn with_max_clients(mut self, max: usize) -> Self {
+        assert!(max > 0, "max_clients must be positive");
+        self.max_clients = max;
+        self
+    }
 }
 
 /// Server-side counters (used by the relay-load experiment E12).
@@ -76,12 +94,17 @@ pub struct ServerStats {
     pub errors: u64,
     /// Scripted restarts endured (registrations dropped each time).
     pub restarts: u64,
+    /// Registrations evicted because the table hit
+    /// [`ServerConfig::max_clients`].
+    pub evictions: u64,
 }
 
 #[derive(Clone, Copy, Debug)]
 struct UdpReg {
     public: Endpoint,
     private: Endpoint,
+    /// Registration order stamp; the table evicts the lowest.
+    seq: u64,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -89,6 +112,8 @@ struct TcpReg {
     sock: SocketId,
     public: Endpoint,
     private: Endpoint,
+    /// Registration order stamp; the table evicts the lowest.
+    seq: u64,
 }
 
 #[derive(Default)]
@@ -123,6 +148,10 @@ pub struct RendezvousServer {
     tcp_clients: HashMap<PeerId, TcpReg>,
     conns: HashMap<SocketId, ConnState>,
     stats: ServerStats,
+    /// Monotone registration counter shared by both transports; stamps
+    /// make the eviction victim (unique minimum) independent of
+    /// `HashMap` iteration order.
+    reg_seq: u64,
 }
 
 impl RendezvousServer {
@@ -137,6 +166,7 @@ impl RendezvousServer {
             tcp_clients: HashMap::new(),
             conns: HashMap::new(),
             stats: ServerStats::default(),
+            reg_seq: 0,
         }
     }
 
@@ -155,6 +185,49 @@ impl RendezvousServer {
         self.tcp_clients.get(&peer).map(|r| (r.public, r.private))
     }
 
+    /// Makes room for a new UDP registration when the table is full by
+    /// evicting the oldest entry. The victim is the unique minimum
+    /// `(seq, peer_id)`, so the choice never depends on `HashMap`
+    /// iteration order.
+    fn evict_oldest_udp(&mut self, os: &mut Os<'_, '_>) {
+        if self.udp_clients.len() < self.cfg.max_clients {
+            return;
+        }
+        let victim = self
+            .udp_clients
+            .iter()
+            .min_by_key(|(id, r)| (r.seq, id.0))
+            .map(|(&id, _)| id);
+        if let Some(id) = victim {
+            self.udp_clients.remove(&id);
+            self.stats.evictions += 1;
+            os.metric_inc_labeled("rendezvous.evict", "udp");
+        }
+    }
+
+    /// TCP counterpart of [`Self::evict_oldest_udp`]; the victim's
+    /// connection stays open (it may re-register), only its
+    /// registration slot is reclaimed.
+    fn evict_oldest_tcp(&mut self, os: &mut Os<'_, '_>) {
+        if self.tcp_clients.len() < self.cfg.max_clients {
+            return;
+        }
+        let victim = self
+            .tcp_clients
+            .iter()
+            .min_by_key(|(id, r)| (r.seq, id.0))
+            .map(|(&id, _)| id);
+        if let Some(id) = victim {
+            if let Some(reg) = self.tcp_clients.remove(&id) {
+                if let Some(conn) = self.conns.get_mut(&reg.sock) {
+                    conn.peer = None;
+                }
+            }
+            self.stats.evictions += 1;
+            os.metric_inc_labeled("rendezvous.evict", "tcp");
+        }
+    }
+
     fn send_udp(&self, os: &mut Os<'_, '_>, to: Endpoint, msg: &Message) {
         if let Some(sock) = self.udp_sock {
             let _ = os.udp_send(sock, to, msg.encode(self.cfg.obfuscate));
@@ -168,11 +241,17 @@ impl RendezvousServer {
     fn handle_udp(&mut self, os: &mut Os<'_, '_>, from: Endpoint, msg: Message) {
         match msg {
             Message::Register { peer_id, private } => {
+                if !self.udp_clients.contains_key(&peer_id) {
+                    self.evict_oldest_udp(os);
+                }
+                let seq = self.reg_seq;
+                self.reg_seq += 1;
                 self.udp_clients.insert(
                     peer_id,
                     UdpReg {
                         public: from,
                         private,
+                        seq,
                     },
                 );
                 self.stats.registrations += 1;
@@ -296,12 +375,18 @@ impl RendezvousServer {
                 let Ok(public) = os.remote_endpoint(sock) else {
                     return;
                 };
+                if !self.tcp_clients.contains_key(&peer_id) {
+                    self.evict_oldest_tcp(os);
+                }
+                let seq = self.reg_seq;
+                self.reg_seq += 1;
                 self.tcp_clients.insert(
                     peer_id,
                     TcpReg {
                         sock,
                         public,
                         private,
+                        seq,
                     },
                 );
                 if let Some(conn) = self.conns.get_mut(&sock) {

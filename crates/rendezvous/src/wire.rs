@@ -33,6 +33,13 @@ pub enum WireError {
     BadTag(u8),
     /// A frame length exceeded [`MAX_FRAME`].
     FrameTooLarge(usize),
+    /// The message decoded but left unconsumed trailing bytes — a
+    /// hostile padding trick or framing desync; strict decoders reject
+    /// it rather than silently ignoring the tail.
+    TrailingBytes(usize),
+    /// A reassembly buffer exceeded its cap ([`MAX_BUFFER`]); the
+    /// stream is poisoned and the connection should be torn down.
+    Oversize(usize),
 }
 
 impl fmt::Display for WireError {
@@ -42,6 +49,8 @@ impl fmt::Display for WireError {
             WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
             WireError::BadTag(t) => write!(f, "unknown message tag {t}"),
             WireError::FrameTooLarge(n) => write!(f, "frame of {n} bytes exceeds limit"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+            WireError::Oversize(n) => write!(f, "reassembly buffer overflow at {n} bytes"),
         }
     }
 }
@@ -50,6 +59,11 @@ impl std::error::Error for WireError {}
 
 /// Maximum frame body accepted from a TCP stream.
 pub const MAX_FRAME: usize = 16 * 1024;
+
+/// Maximum bytes a [`FrameBuf`] will hold before declaring the stream
+/// hostile: four maximal frames (with their length prefixes) of
+/// lawfully bursty traffic, but never unbounded growth.
+pub const MAX_BUFFER: usize = 4 * (MAX_FRAME + 2);
 
 /// All protocol messages.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -397,6 +411,12 @@ impl Message {
             },
             other => return Err(WireError::BadTag(other)),
         };
+        if !buf.is_empty() {
+            // Strict: a valid message followed by garbage is not a valid
+            // message. Lenient trailing-byte acceptance would let one
+            // datagram smuggle a second, unparsed payload past the codec.
+            return Err(WireError::TrailingBytes(buf.len()));
+        }
         Ok(msg)
     }
 }
@@ -413,10 +433,18 @@ pub fn encode_frame(msg: &Message, obfuscate: bool) -> Bytes {
 /// Incremental TCP frame reassembler.
 ///
 /// Feed stream chunks with [`FrameBuf::push`], then drain complete
-/// messages with [`FrameBuf::next_message`].
+/// messages with [`FrameBuf::next_message`]. Buffering is bounded by
+/// [`MAX_BUFFER`]: a sender that streams bytes faster than frames
+/// complete poisons the reassembler instead of growing host memory,
+/// and every subsequent [`FrameBuf::next_message`] reports
+/// [`WireError::Oversize`] (framing sync is unrecoverable, so callers
+/// should drop the connection).
 #[derive(Debug, Default)]
 pub struct FrameBuf {
     buf: BytesMut,
+    /// Set when the cap was breached; the buffered bytes are discarded
+    /// and the stream permanently errors.
+    overflowed: bool,
 }
 
 impl FrameBuf {
@@ -425,13 +453,27 @@ impl FrameBuf {
         FrameBuf::default()
     }
 
-    /// Appends stream bytes.
+    /// Appends stream bytes. Exceeding [`MAX_BUFFER`] poisons the
+    /// reassembler: buffered bytes are dropped and further pushes are
+    /// ignored.
     pub fn push(&mut self, chunk: &[u8]) {
+        if self.overflowed {
+            return;
+        }
+        if self.buf.len() + chunk.len() > MAX_BUFFER {
+            self.overflowed = true;
+            self.buf = BytesMut::new();
+            return;
+        }
         self.buf.extend_from_slice(chunk);
     }
 
-    /// Pops the next complete message, if any.
+    /// Pops the next complete message, if any. A poisoned reassembler
+    /// (see [`FrameBuf::push`]) yields [`WireError::Oversize`] forever.
     pub fn next_message(&mut self) -> Option<Result<Message, WireError>> {
+        if self.overflowed {
+            return Some(Err(WireError::Oversize(MAX_BUFFER)));
+        }
         if self.buf.len() < 2 {
             return None;
         }
@@ -568,6 +610,57 @@ mod tests {
             Err(WireError::BadTag(200))
         );
         assert_eq!(Message::decode(&[]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        for msg in all_messages() {
+            for obf in [false, true] {
+                let mut enc = msg.encode(obf).to_vec();
+                enc.push(0x00);
+                assert_eq!(
+                    Message::decode(&enc),
+                    Err(WireError::TrailingBytes(1)),
+                    "{msg:?} obfuscate={obf}"
+                );
+                enc.extend_from_slice(b"junk");
+                assert_eq!(Message::decode(&enc), Err(WireError::TrailingBytes(5)));
+            }
+        }
+    }
+
+    #[test]
+    fn framebuf_overflow_poisons_the_stream() {
+        let mut fb = FrameBuf::new();
+        // Declare a lawful MAX_FRAME frame so the reassembler must
+        // buffer, then keep streaming bytes past the cap.
+        fb.push(&(MAX_FRAME as u16).to_be_bytes());
+        let chunk = vec![0u8; 4096];
+        for _ in 0..(MAX_BUFFER / chunk.len() + 2) {
+            fb.push(&chunk);
+        }
+        assert_eq!(fb.next_message(), Some(Err(WireError::Oversize(MAX_BUFFER))));
+        // Poisoned: further input is ignored, the error persists.
+        fb.push(&encode_frame(&Message::Ping, false));
+        assert_eq!(fb.next_message(), Some(Err(WireError::Oversize(MAX_BUFFER))));
+    }
+
+    #[test]
+    fn framebuf_accepts_bursts_below_the_cap() {
+        // Four maximal frames back to back exactly fill the cap and
+        // decode (body = version + tag + u16 length + data).
+        let big = Message::PeerData {
+            data: Bytes::from(vec![0x42u8; MAX_FRAME - 4]),
+        };
+        let frame = encode_frame(&big, false);
+        let mut fb = FrameBuf::new();
+        for _ in 0..4 {
+            fb.push(&frame);
+        }
+        for _ in 0..4 {
+            assert_eq!(fb.next_message(), Some(Ok(big.clone())));
+        }
+        assert_eq!(fb.next_message(), None);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use bytes::Bytes;
 use proptest::prelude::*;
 use punch_net::Endpoint;
-use punch_rendezvous::{encode_frame, FrameBuf, Message, PeerId};
+use punch_rendezvous::{encode_frame, FrameBuf, Message, PeerId, WireError, MAX_BUFFER};
 
 fn arb_endpoint() -> impl Strategy<Value = Endpoint> {
     (any::<[u8; 4]>(), any::<u16>()).prop_map(|(o, p)| Endpoint::new(o.into(), p))
@@ -122,6 +122,37 @@ proptest! {
                 break;
             }
         }
+    }
+
+    /// Strict framing: any valid message with bytes appended is
+    /// rejected with `TrailingBytes`, never silently trimmed.
+    #[test]
+    fn trailing_bytes_are_rejected(
+        msg in arb_message(),
+        obf in any::<bool>(),
+        pad in proptest::collection::vec(any::<u8>(), 1..16),
+    ) {
+        let mut enc = msg.encode(obf).to_vec();
+        enc.extend_from_slice(&pad);
+        prop_assert_eq!(
+            Message::decode(&enc),
+            Err(WireError::TrailingBytes(pad.len()))
+        );
+    }
+
+    /// Outrunning the reassembly cap poisons the buffer: it reports
+    /// `Oversize` persistently and never yields messages pushed after
+    /// the overflow, rather than buffering without bound.
+    #[test]
+    fn overflow_poisons_the_reassembler(
+        extra in 1usize..64,
+        obf in any::<bool>(),
+    ) {
+        let mut fb = FrameBuf::new();
+        fb.push(&vec![0u8; MAX_BUFFER + extra]);
+        prop_assert!(matches!(fb.next_message(), Some(Err(WireError::Oversize(_)))));
+        fb.push(&encode_frame(&Message::Ping, obf));
+        prop_assert!(matches!(fb.next_message(), Some(Err(WireError::Oversize(_)))));
     }
 
     #[test]

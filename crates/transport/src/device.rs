@@ -267,6 +267,9 @@ impl HostDevice {
         if s.rsts_sent > p.rsts_sent {
             ctx.metric_inc_by("transport.rst_sent", s.rsts_sent - p.rsts_sent);
         }
+        if s.checksum_drops > p.checksum_drops {
+            ctx.metric_inc_by("transport.checksum_drop", s.checksum_drops - p.checksum_drops);
+        }
         self.published = s;
     }
 

@@ -546,6 +546,14 @@ impl HostStack {
             // Not ours; hosts are not routers.
             return;
         }
+        if !pkt.checksum_ok() {
+            // Verify before demux, like a real kernel: corrupted or
+            // truncated segments are counted and discarded, never
+            // delivered. Reliability is the sender's problem (TCP
+            // retransmits; UDP protocols carry their own timers).
+            self.stats.checksum_drops += 1;
+            return;
+        }
         match &pkt.body {
             Body::Udp(payload) => {
                 if let Some(&sock) = self.udp_index.get(&pkt.dst.port) {
@@ -808,6 +816,54 @@ mod tests {
         ));
         assert!(s.take_events().is_empty());
         assert!(s.take_packets().is_empty());
+    }
+
+    #[test]
+    fn corrupted_udp_is_dropped_and_counted() {
+        let mut s = stack([10, 0, 0, 1]);
+        s.udp_bind(5000).unwrap();
+        let mut pkt = Packet::udp(ep("9.9.9.9:53"), ep("10.0.0.1:5000"), b"payload".as_ref());
+        pkt.corrupt_bit(11);
+        s.handle_packet(pkt);
+        assert!(s.take_events().is_empty(), "damaged bytes must not surface");
+        assert_eq!(s.stats().checksum_drops, 1);
+        // A clean packet still flows.
+        s.handle_packet(Packet::udp(
+            ep("9.9.9.9:53"),
+            ep("10.0.0.1:5000"),
+            b"payload".as_ref(),
+        ));
+        assert_eq!(s.take_events().len(), 1);
+        assert_eq!(s.stats().checksum_drops, 1);
+    }
+
+    #[test]
+    fn truncated_udp_is_dropped_and_counted() {
+        let mut s = stack([10, 0, 0, 1]);
+        s.udp_bind(5000).unwrap();
+        let mut pkt = Packet::udp(ep("9.9.9.9:53"), ep("10.0.0.1:5000"), vec![0u8; 16]);
+        pkt.truncate_payload(5);
+        s.handle_packet(pkt);
+        assert!(s.take_events().is_empty());
+        assert_eq!(s.stats().checksum_drops, 1);
+    }
+
+    #[test]
+    fn corrupted_tcp_segment_is_dropped_before_demux() {
+        let mut s = stack([10, 0, 0, 1]);
+        s.tcp_listen(80, false).unwrap();
+        // A corrupted SYN must neither create state nor elicit a reply
+        // (a real stack discards bad-checksum segments silently).
+        let mut syn = Packet::tcp(
+            ep("9.9.9.9:1000"),
+            ep("10.0.0.1:80"),
+            TcpSegment::control(TcpFlags::SYN, 0, 0),
+        );
+        syn.corrupt_bit(3);
+        s.handle_packet(syn);
+        assert!(s.take_packets().is_empty(), "no SYN-ACK, no RST");
+        assert!(s.take_events().is_empty());
+        assert_eq!(s.stats().checksum_drops, 1);
     }
 
     #[test]

@@ -86,6 +86,10 @@ pub struct StackStats {
     /// RST segments sent (aborts, refused connections, dead-port
     /// responses).
     pub rsts_sent: u64,
+    /// Inbound packets discarded because their Internet checksum did
+    /// not verify (link-level corruption or truncation). Dropped before
+    /// demux — damaged bytes never reach sockets or applications.
+    pub checksum_drops: u64,
 }
 
 /// What the stack should do with the TCB after a callback.

@@ -126,6 +126,52 @@ proptest! {
         }
     }
 
+    /// Link-level damage is caught by the checksum before demux:
+    /// corrupted or truncated datagrams and segments never surface as
+    /// events, never elicit a reply, and every one is counted.
+    #[test]
+    fn corrupted_packets_are_never_delivered(
+        packets in proptest::collection::vec(
+            (any::<bool>(), proptest::collection::vec(any::<u8>(), 1..64), any::<u64>(), any::<bool>()),
+            1..32,
+        ),
+    ) {
+        use punch_net::{Packet, TcpFlags, TcpSegment};
+        let mut stack = HostStack::new([5, 5, 5, 5].into(), StackConfig::default(), 1);
+        stack.udp_bind(4000).expect("bind");
+        stack.tcp_listen(80, true).expect("listen");
+        let src = punch_net::Endpoint::new([9, 9, 9, 9].into(), 1000);
+        for (i, (tcp, payload, damage, truncate)) in packets.iter().enumerate() {
+            let mut pkt = if *tcp {
+                let seg = TcpSegment {
+                    flags: TcpFlags::SYN,
+                    seq: i as u32,
+                    ack: 0,
+                    window: 100,
+                    payload: payload.clone().into(),
+                };
+                Packet::tcp(src, punch_net::Endpoint::new([5, 5, 5, 5].into(), 80), seg)
+            } else {
+                Packet::udp(
+                    src,
+                    punch_net::Endpoint::new([5, 5, 5, 5].into(), 4000),
+                    payload.clone(),
+                )
+            };
+            if *truncate && payload.len() > 1 {
+                // Strictly shorter: the checksummed length no longer matches.
+                pkt.truncate_payload(*damage as usize % (payload.len() - 1));
+            } else {
+                pkt.corrupt_bit(*damage);
+            }
+            stack.handle_packet(pkt);
+            prop_assert!(stack.take_events().is_empty(), "damaged bytes surfaced");
+            prop_assert!(stack.take_packets().is_empty(), "damaged packet answered");
+            let _ = stack.take_timers();
+        }
+        prop_assert_eq!(stack.stats().checksum_drops, packets.len() as u64);
+    }
+
     /// Ephemeral allocation honours the configured range and never
     /// double-allocates.
     #[test]

@@ -66,3 +66,28 @@ if ! cmp -s "$tmpdir/m1.json" "$tmpdir/m2.json"; then
     exit 1
 fi
 echo "OK: metrics export byte-identical across worker counts"
+
+echo "== decoder fuzz suites (wire codecs + TCP segment storms) =="
+cargo test -q -p punch-rendezvous --test proptest_wire
+cargo test -q -p punch-natcheck --test proptest_check_wire
+cargo test -q -p punch-transport --test proptest_tcp
+
+echo "== chaos search smoke (sampled schedules, zero violations) =="
+out=$(cargo run --release --quiet -p punch-bench --bin chaos_search -- \
+    --schedules 20 --no-write)
+echo "$out"
+if ! echo "$out" | grep -q "violations: 0"; then
+    echo "FAIL: chaos search found invariant violations" >&2
+    exit 1
+fi
+echo "OK: no invariant violations in sampled schedules"
+
+echo "== pinned chaos results (fault knobs cost nothing when disabled) =="
+cargo run --release --quiet -p punch-bench --bin chaos -- --no-write \
+    > "$tmpdir/chaos_pinned.txt"
+if ! cmp -s results/chaos.txt "$tmpdir/chaos_pinned.txt"; then
+    echo "FAIL: results/chaos.txt drifted from a fresh default run" >&2
+    diff results/chaos.txt "$tmpdir/chaos_pinned.txt" >&2 || true
+    exit 1
+fi
+echo "OK: results/chaos.txt reproduced byte-identically"
