@@ -20,6 +20,7 @@ fn main() {
     // Best-of-3 per mode, rounds interleaved so drift in host load or
     // allocator state doesn't bias one mode.
     let timed = |workers: Option<usize>| {
+        // punch-lint: allow(D001) deliberate host-time measurement; lands in BENCH_survey.json timings, not in pinned tables
         let t = Instant::now();
         let r = run_survey_mutated_with_workers(2005, None, workers, |_, _| {});
         (r, t.elapsed())

@@ -108,7 +108,7 @@ impl Classifier {
                 let msg = if self.servers.contains(target) {
                     Message::Register {
                         peer_id: punch_rendezvous::PeerId(u64::MAX),
-                        private: self.local.expect("bound"),
+                        private: self.local.expect("bound"), // punch-lint: allow(P001) local is set in on_start before any message can arrive
                     }
                 } else {
                     Message::Ping
@@ -120,7 +120,7 @@ impl Classifier {
     }
 
     fn finish(&mut self) {
-        let local = self.local.expect("bound");
+        let local = self.local.expect("bound"); // punch-lint: allow(P001) local is set in on_start before any timer or message fires
         let observations: Vec<(Endpoint, Endpoint)> = self
             .targets
             .iter()
@@ -201,7 +201,7 @@ fn measure_delta(observations: &[(Endpoint, Endpoint)]) -> Option<i32> {
 
 impl App for Classifier {
     fn on_start(&mut self, os: &mut Os<'_, '_>) {
-        let sock = os.udp_bind(0).expect("ephemeral UDP port");
+        let sock = os.udp_bind(0).expect("ephemeral UDP port"); // punch-lint: allow(P001) fresh sim host always has a free ephemeral port
         self.sock = Some(sock);
         self.local = os.local_endpoint(sock).ok();
         self.probe_missing(os);

@@ -18,7 +18,7 @@ use punch_net::{Endpoint, SimTime};
 use punch_rendezvous::{encode_frame, FrameBuf, Message, PeerId};
 use punch_transport::{App, ConnectOpts, Os, SockEvent, SocketError, SocketId};
 use rand::Rng;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Counters exposed for experiments.
 #[derive(Clone, Copy, Debug, Default)]
@@ -38,7 +38,7 @@ struct TcpSession {
     nonce: u64,
     candidates: Vec<Endpoint>,
     winner: Option<SocketId>,
-    retries: HashMap<Endpoint, u32>,
+    retries: BTreeMap<Endpoint, u32>,
     started_at: SimTime,
     pending: VecDeque<Bytes>,
     failed: bool,
@@ -70,19 +70,19 @@ pub struct TcpPeer {
     server_frames: FrameBuf,
     registered: bool,
     public: Option<Endpoint>,
-    sessions: HashMap<PeerId, TcpSession>,
+    sessions: BTreeMap<PeerId, TcpSession>,
     /// Outstanding connect attempts: socket → (peer, candidate).
-    attempts: HashMap<SocketId, (PeerId, Endpoint)>,
+    attempts: BTreeMap<SocketId, (PeerId, Endpoint)>,
     /// Sockets that arrived via `accept()`.
-    accepted: HashSet<SocketId>,
+    accepted: BTreeSet<SocketId>,
     /// Per-socket stream reassembly for peer connections.
-    conn_frames: HashMap<SocketId, FrameBuf>,
+    conn_frames: BTreeMap<SocketId, FrameBuf>,
     /// Authenticated streams: socket → peer.
-    streams: HashMap<SocketId, PeerId>,
+    streams: BTreeMap<SocketId, PeerId>,
     pending_connects: Vec<PeerId>,
     events: VecDeque<TcpPeerEvent>,
     next_token: u64,
-    timers: HashMap<u64, TimerPurpose>,
+    timers: BTreeMap<u64, TimerPurpose>,
     stats: TcpPeerStats,
     /// Consecutive failed reconnections to S; drives the reconnect
     /// backoff and resets once S acknowledges a registration.
@@ -101,15 +101,15 @@ impl TcpPeer {
             server_frames: FrameBuf::new(),
             registered: false,
             public: None,
-            sessions: HashMap::new(),
-            attempts: HashMap::new(),
-            accepted: HashSet::new(),
-            conn_frames: HashMap::new(),
-            streams: HashMap::new(),
+            sessions: BTreeMap::new(),
+            attempts: BTreeMap::new(),
+            accepted: BTreeSet::new(),
+            conn_frames: BTreeMap::new(),
+            streams: BTreeMap::new(),
             pending_connects: Vec::new(),
             events: VecDeque::new(),
             next_token: 1,
-            timers: HashMap::new(),
+            timers: BTreeMap::new(),
             stats: TcpPeerStats::default(),
             reconnect_fails: 0,
         }
@@ -177,7 +177,7 @@ impl TcpPeer {
             nonce,
             candidates: Vec::new(),
             winner: None,
-            retries: HashMap::new(),
+            retries: BTreeMap::new(),
             started_at: now,
             pending: VecDeque::new(),
             failed: false,
@@ -210,7 +210,7 @@ impl TcpPeer {
             nonce,
             candidates: Vec::new(),
             winner: None,
-            retries: HashMap::new(),
+            retries: BTreeMap::new(),
             started_at: now,
             pending: VecDeque::new(),
             failed: false,
@@ -335,7 +335,7 @@ impl TcpPeer {
             nonce,
             candidates: Vec::new(),
             winner: None,
-            retries: HashMap::new(),
+            retries: BTreeMap::new(),
             started_at: now,
             pending: VecDeque::new(),
             failed: false,
@@ -703,8 +703,8 @@ impl App for TcpPeer {
         // (possibly ephemeral), then connect to S from the same port.
         let listener = os
             .tcp_listen(self.cfg.local_port, true)
-            .expect("local TCP port free");
-        self.local_port = os.local_endpoint(listener).expect("listener bound").port;
+            .expect("local TCP port free"); // punch-lint: allow(P001) harness-chosen local port on a fresh host; collision is a setup bug
+        self.local_port = os.local_endpoint(listener).expect("listener bound").port; // punch-lint: allow(P001) listener bound on the previous line
         self.listener = Some(listener);
         self.connect_server(os);
     }
@@ -760,7 +760,7 @@ impl App for TcpPeer {
                 } else if self.conn_frames.contains_key(&sock) {
                     self.conn_frames
                         .get_mut(&sock)
-                        .expect("checked")
+                        .expect("checked") // punch-lint: allow(P001) membership checked by the else-if guard above
                         .push(&data);
                     loop {
                         let next = self

@@ -105,7 +105,7 @@ impl World {
         f: impl FnOnce(&mut T, &mut Os<'_, '_>) -> R,
     ) -> R {
         self.sim.with_node(node, |dev, ctx| {
-            let host = dev.downcast_mut::<HostDevice>().expect("node is a host");
+            let host = dev.downcast_mut::<HostDevice>().expect("node is a host"); // punch-lint: allow(P001) typed-accessor contract: caller names a node it created as a host
             host.with_app::<T, R>(ctx, f)
         })
     }

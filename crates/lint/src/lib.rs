@@ -1,0 +1,208 @@
+//! `punch-lint` — determinism & wire-safety static analysis for the
+//! p2p-punch workspace.
+//!
+//! Every pinned result in `results/` rests on byte-identical
+//! deterministic replay; this crate machine-checks the source-level
+//! hazards that silently break it (wall clocks, unordered map
+//! iteration, truncating wire casts, library panics). The rule catalog
+//! with rationale and the suppression syntax live in `LINTS.md` at the
+//! repo root.
+//!
+//! Run it three ways:
+//!
+//! * `cargo run -p punch-lint` — CLI over the workspace tree
+//!   (`--json` for machine-readable output, exit 1 on violations);
+//! * `cargo test -p punch-lint` — the `clean_tree` integration test
+//!   fails the build if the tree regresses;
+//! * [`lint_tree`] / [`lint_source`] — library API for harnesses.
+//!
+//! Suppress a finding only with an inline annotation carrying a reason:
+//!
+//! ```text
+//! // punch-lint: allow(D002) membership-only set, never iterated
+//! ```
+//!
+//! A bare `allow` without a reason is itself a violation (**A001**).
+
+mod lexer;
+mod rules;
+
+pub use lexer::{lex, Comment, Lexed, TokKind, Token};
+pub use rules::{lint_source, scope_for, FileReport, Violation, RULES, W001_PATHS};
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directories never scanned (vendored stand-ins, build output, VCS,
+/// and the linter's own violation fixtures).
+const EXCLUDED: &[&str] = &[
+    "target",
+    "vendor",
+    ".git",
+    "crates/lint/tests/fixtures",
+];
+
+/// The aggregate result of scanning a tree.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All unsuppressed violations, sorted by (file, line, col, rule).
+    pub violations: Vec<Violation>,
+    /// Count of violations silenced by well-formed allow annotations.
+    pub suppressed: usize,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Per-rule violation counts, in rule order (deterministic).
+    pub fn counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut counts = BTreeMap::new();
+        for v in &self.violations {
+            *counts.entry(v.rule).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Plain-text report: one `file:line:col: RULE: msg` line per
+    /// violation plus a summary line. Byte-identical across runs for
+    /// the same tree.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            out.push_str(&format!(
+                "{}:{}:{}: {}: {}\n",
+                v.file, v.line, v.col, v.rule, v.msg
+            ));
+        }
+        if self.violations.is_empty() {
+            out.push_str(&format!(
+                "punch-lint: clean — 0 violations, {} suppressed, {} files scanned\n",
+                self.suppressed, self.files_scanned
+            ));
+        } else {
+            let counts: Vec<String> = self
+                .counts()
+                .iter()
+                .map(|(r, n)| format!("{r}: {n}"))
+                .collect();
+            out.push_str(&format!(
+                "punch-lint: {} violation(s) ({}), {} suppressed, {} files scanned\n",
+                self.violations.len(),
+                counts.join(", "),
+                self.suppressed,
+                self.files_scanned
+            ));
+        }
+        out
+    }
+
+    /// JSON report (hand-rolled, like the metrics exporter: stable key
+    /// order, no external dependencies).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"violations\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"file\": {}, \"line\": {}, \"col\": {}, \"rule\": {}, \"msg\": {}}}",
+                json_str(&v.file),
+                v.line,
+                v.col,
+                json_str(v.rule),
+                json_str(&v.msg)
+            ));
+        }
+        if !self.violations.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"counts\": {");
+        for (i, (r, n)) in self.counts().iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{}: {}", json_str(r), n));
+        }
+        out.push_str(&format!(
+            "}},\n  \"suppressed\": {},\n  \"files_scanned\": {}\n}}\n",
+            self.suppressed, self.files_scanned
+        ));
+        out
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Collects `.rs` files under `root`, sorted by relative path so the
+/// report order never depends on directory-entry order.
+fn collect_rs_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut stack = vec![root.to_path_buf()];
+    let mut files = Vec::new();
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = fs::read_dir(&dir)?
+            .collect::<io::Result<Vec<_>>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        for path in entries {
+            let rel = rel_str(root, &path);
+            if EXCLUDED.iter().any(|x| rel == *x) {
+                continue;
+            }
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn rel_str(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let mut s = String::new();
+    for (i, comp) in rel.components().enumerate() {
+        if i > 0 {
+            s.push('/');
+        }
+        s.push_str(&comp.as_os_str().to_string_lossy());
+    }
+    s
+}
+
+/// Lints every `.rs` file under `root` (excluding `vendor/`, `target/`
+/// and the linter's own fixtures) and aggregates the results.
+pub fn lint_tree(root: &Path) -> io::Result<Report> {
+    let mut report = Report::default();
+    for path in collect_rs_files(root)? {
+        let src = fs::read_to_string(&path)?;
+        let rel = rel_str(root, &path);
+        let fr = lint_source(&rel, &src);
+        report.violations.extend(fr.violations);
+        report.suppressed += fr.suppressed;
+        report.files_scanned += 1;
+    }
+    report.violations.sort();
+    Ok(report)
+}

@@ -1,0 +1,59 @@
+//! CLI for `punch-lint`. See `LINTS.md` for the rule catalog.
+//!
+//! ```text
+//! punch-lint [--root DIR] [--json]
+//! ```
+//!
+//! Exit status: 0 clean, 1 unsuppressed violations, 2 usage/IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("punch-lint: --root requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "-h" | "--help" => {
+                println!(
+                    "punch-lint [--root DIR] [--json]\n\n\
+                     Determinism & wire-safety static analysis for the p2p-punch\n\
+                     workspace. Rules: {} (catalog in LINTS.md).\n\
+                     Exit: 0 clean, 1 violations, 2 usage/IO error.",
+                    punch_lint::RULES.join(", ")
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("punch-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let report = match punch_lint::lint_tree(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("punch-lint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

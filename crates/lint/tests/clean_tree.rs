@@ -1,0 +1,22 @@
+//! The CI gate in test form: the workspace tree must lint clean.
+//!
+//! Running `cargo test --workspace` therefore fails the build the moment
+//! an unsuppressed determinism or wire-safety hazard lands, without any
+//! extra CI wiring.
+
+use std::path::Path;
+
+#[test]
+fn workspace_tree_has_no_unsuppressed_violations() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint sits two levels below the workspace root");
+    let report = punch_lint::lint_tree(root).expect("workspace tree is readable");
+    assert!(report.files_scanned > 50, "scan looks truncated: {} files", report.files_scanned);
+    assert!(
+        report.violations.is_empty(),
+        "punch-lint violations in the tree:\n{}",
+        report.render_text()
+    );
+}

@@ -1,0 +1,14 @@
+//! Fixture: malformed suppressions. A bare `allow` with no reason must
+//! not silence the finding — it raises A001 *and* the original violation
+//! stands. An allow naming an unknown rule is also A001.
+//! Linted by `tests/fixtures.rs` under a library-source path; never compiled.
+
+pub fn bare_allow(v: Option<u32>) -> u32 {
+    // punch-lint: allow(P001)
+    v.unwrap()
+}
+
+pub fn unknown_rule(v: Option<u32>) -> u32 {
+    // punch-lint: allow(X999) not a rule we have
+    v.unwrap()
+}

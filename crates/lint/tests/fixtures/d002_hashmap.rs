@@ -1,0 +1,13 @@
+//! Fixture: D002 unordered-map violations in output-feeding code.
+//! Linted by `tests/fixtures.rs` under a library-source path; never compiled.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Registry {
+    by_name: HashMap<String, u32>,
+    seen: HashSet<u32>,
+}
+
+pub fn dump(reg: &Registry) -> Vec<String> {
+    reg.by_name.keys().cloned().collect()
+}

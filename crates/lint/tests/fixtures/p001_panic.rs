@@ -1,0 +1,23 @@
+//! Fixture: P001 panic-path violations in library code, plus the
+//! test-region carve-out the rule must honor.
+//! Linted by `tests/fixtures.rs` under a library-source path; never compiled.
+
+pub fn bad_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn bad_expect(v: Option<u32>) -> u32 {
+    v.expect("present")
+}
+
+pub fn bad_panic() {
+    panic!("boom");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(Some(1).unwrap(), 1);
+    }
+}

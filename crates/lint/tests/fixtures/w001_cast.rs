@@ -1,0 +1,14 @@
+//! Fixture: W001 truncating casts in wire/codec code.
+//! Linted by `tests/fixtures.rs` under a wire-module path; never compiled.
+
+pub fn encode_len(body: &[u8]) -> [u8; 2] {
+    (body.len() as u16).to_be_bytes()
+}
+
+pub fn fold(x: u64) -> u32 {
+    x as u32
+}
+
+pub fn tag(x: u16) -> u8 {
+    x as u8
+}

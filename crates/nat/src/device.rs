@@ -17,7 +17,7 @@ use punch_net::{
 };
 use rand::rngs::StdRng;
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 use std::time::Duration;
 
@@ -61,9 +61,9 @@ pub struct NatDevice {
     behavior: NatBehavior,
     public_ips: Vec<Ipv4Addr>,
     tables: NatTables,
-    private_iface: HashMap<Ipv4Addr, IfaceId>,
+    private_iface: BTreeMap<Ipv4Addr, IfaceId>,
     /// Basic NAT: private IP → pool IP assignment.
-    basic_assign: HashMap<Ipv4Addr, Ipv4Addr>,
+    basic_assign: BTreeMap<Ipv4Addr, Ipv4Addr>,
     next_seq_port: u16,
     stats: NatStats,
 }
@@ -82,8 +82,8 @@ impl NatDevice {
             behavior,
             public_ips,
             tables: NatTables::new(),
-            private_iface: HashMap::new(),
-            basic_assign: HashMap::new(),
+            private_iface: BTreeMap::new(),
+            basic_assign: BTreeMap::new(),
             next_seq_port,
             stats: NatStats::default(),
         }
@@ -176,7 +176,7 @@ impl NatDevice {
     fn alloc_public(
         behavior: &NatBehavior,
         public_ips: &[Ipv4Addr],
-        basic_assign: &mut HashMap<Ipv4Addr, Ipv4Addr>,
+        basic_assign: &mut BTreeMap<Ipv4Addr, Ipv4Addr>,
         next_seq_port: &mut u16,
         rng: &mut StdRng,
         tables: &NatTables,
@@ -278,7 +278,7 @@ impl NatDevice {
             ctx.metric_inc("nat.mapping.created");
         }
         {
-            let entry = self.tables.get_mut(id).expect("just created or found");
+            let entry = self.tables.get_mut(id).expect("just created or found"); // punch-lint: allow(P001) id was inserted or found by the lookup just above
             if let Body::Tcp(seg) = &pkt.body {
                 entry.tcp.out_syn |= seg.flags.contains(TcpFlags::SYN);
                 entry.tcp.out_fin |= seg.flags.contains(TcpFlags::FIN);
@@ -332,7 +332,7 @@ impl NatDevice {
             ctx.note_drop("nat-ports-exhausted", &pkt);
             return;
         };
-        let entry = self.tables.get(id).expect("live mapping");
+        let entry = self.tables.get(id).expect("live mapping"); // punch-lint: allow(P001) id comes from the live-mapping lookup just above; sweeps run between packets
         let (private_ip, public) = (entry.private.ip, entry.public);
         pkt.ttl -= 1;
         pkt.src = public;
@@ -351,7 +351,7 @@ impl NatDevice {
             return;
         };
         let allowed = {
-            let entry = self.tables.get(id).expect("live mapping");
+            let entry = self.tables.get(id).expect("live mapping"); // punch-lint: allow(P001) id comes from the live-mapping lookup just above; sweeps run between packets
             entry.filter_allows(
                 self.behavior.filtering,
                 pkt.src,
@@ -371,7 +371,7 @@ impl NatDevice {
     fn deliver_inbound(&mut self, ctx: &mut Ctx<'_>, id: MapId, mut pkt: Packet) {
         let now = ctx.now();
         {
-            let entry = self.tables.get_mut(id).expect("live mapping");
+            let entry = self.tables.get_mut(id).expect("live mapping"); // punch-lint: allow(P001) id comes from the live-mapping lookup just above; sweeps run between packets
             if let Body::Tcp(seg) = &pkt.body {
                 entry.tcp.in_syn |= seg.flags.contains(TcpFlags::SYN);
                 entry.tcp.in_fin |= seg.flags.contains(TcpFlags::FIN);
@@ -384,7 +384,7 @@ impl NatDevice {
         {
             let proto = pkt.proto();
             let policy = self.behavior.mapping_for_tcp(proto == Proto::Tcp);
-            let entry_private = self.tables.get(id).expect("live mapping").private;
+            let entry_private = self.tables.get(id).expect("live mapping").private; // punch-lint: allow(P001) id comes from the live-mapping lookup just above; sweeps run between packets
             self.tables
                 .bind_reverse(policy, proto, entry_private, pkt.src, id);
         }
@@ -395,7 +395,7 @@ impl NatDevice {
             }
             self.tables.refresh(id, now, ttl);
         }
-        let entry = self.tables.get(id).expect("live mapping");
+        let entry = self.tables.get(id).expect("live mapping"); // punch-lint: allow(P001) id comes from the live-mapping lookup just above; sweeps run between packets
         let (private, public_ip) = (entry.private, entry.public.ip);
         let Some(&iface) = self.private_iface.get(&private.ip) else {
             ctx.note_drop("nat-unknown-private-host", &pkt);
@@ -427,7 +427,7 @@ impl NatDevice {
         match self.behavior.tcp_unsolicited {
             TcpUnsolicited::Drop => ctx.note_drop("nat-unsolicited-syn", &pkt),
             TcpUnsolicited::Rst => {
-                let seg = pkt.tcp_segment().expect("checked tcp");
+                let seg = pkt.tcp_segment().expect("checked tcp"); // punch-lint: allow(P001) proto matched as TCP by the surrounding dispatch
                 let rst = punch_net::TcpSegment::control(
                     TcpFlags::RST | TcpFlags::ACK,
                     0,
@@ -475,7 +475,7 @@ impl NatDevice {
             );
             return;
         };
-        let entry = self.tables.get(id).expect("live mapping");
+        let entry = self.tables.get(id).expect("live mapping"); // punch-lint: allow(P001) id comes from the live-mapping lookup just above; sweeps run between packets
         let private = entry.private;
         let Some(&iface) = self.private_iface.get(&private.ip) else {
             return;
@@ -512,14 +512,14 @@ impl NatDevice {
                     ctx.note_drop("nat-ports-exhausted", &pkt);
                     return;
                 };
-                self.tables.get(sender).expect("live mapping").public
+                self.tables.get(sender).expect("live mapping").public // punch-lint: allow(P001) sender id comes from the live-mapping lookup just above
             }
             Hairpin::NoSourceRewrite => pkt.src,
             Hairpin::None => unreachable!("handled above"),
         };
         if self.behavior.hairpin_filters {
             // The §6.3 caveat: treat hairpinned traffic as untrusted.
-            let entry = self.tables.get(target).expect("live mapping");
+            let entry = self.tables.get(target).expect("live mapping"); // punch-lint: allow(P001) target id comes from the live-mapping lookup just above
             if !entry.filter_allows(
                 self.behavior.filtering,
                 hairpin_src,

@@ -5,7 +5,8 @@
 
 use crate::behavior::{FilteringPolicy, MappingPolicy};
 use punch_net::{Endpoint, Proto, SimTime};
-use std::collections::HashMap;
+// punch-lint: allow(D002) HashMap retained only for the per-packet lookup indexes below; every use is annotated order-insensitive
+use std::collections::{BTreeMap, HashMap};
 use std::net::Ipv4Addr;
 use std::time::Duration;
 
@@ -54,6 +55,7 @@ pub struct MapEntry {
     /// Remote endpoints this private endpoint has exchanged traffic with
     /// (the filter's "holes"), each with its own session expiry (§3.6:
     /// many NATs time out individual sessions, not whole mappings).
+    // punch-lint: allow(D002) hot-path membership filter; only iterated via order-insensitive any()
     pub allowed: HashMap<Endpoint, SimTime>,
     /// Absolute expiry time; refreshed by traffic.
     pub expires_at: SimTime,
@@ -133,8 +135,12 @@ fn out_key(policy: MappingPolicy, proto: Proto, private: Endpoint, remote: Endpo
 #[derive(Debug, Default)]
 pub struct NatTables {
     next_id: MapId,
-    entries: HashMap<MapId, MapEntry>,
+    /// Ordered so [`NatTables::iter`], [`NatTables::sweep`] and
+    /// [`NatTables::len`] walk entries in id (creation) order.
+    entries: BTreeMap<MapId, MapEntry>,
+    // punch-lint: allow(D002) per-packet translation lookup; only iterated via retain(), an order-insensitive removal
     out_index: HashMap<OutKey, MapId>,
+    // punch-lint: allow(D002) per-packet demux lookup; never iterated
     pub_index: HashMap<(Proto, Endpoint), MapId>,
 }
 
@@ -219,6 +225,7 @@ impl NatTables {
             proto,
             private,
             public,
+            // punch-lint: allow(D002) see MapEntry::allowed — membership filter, order-insensitive
             allowed: HashMap::new(),
             expires_at: now, // caller refreshes immediately
             tcp: TcpTrack::default(),

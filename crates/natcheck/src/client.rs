@@ -6,7 +6,7 @@ use crate::wire::{CheckFrames, CheckMsg};
 use punch_net::{Endpoint, SimTime};
 use punch_transport::{App, ConnectOpts, Os, SockEvent, SocketId};
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 use std::time::Duration;
 
@@ -97,7 +97,7 @@ pub struct NatCheckClient {
     local_tcp_port: u16,
     conn1: Option<SocketId>,
     conn2: Option<SocketId>,
-    frames: HashMap<SocketId, CheckFrames>,
+    frames: BTreeMap<SocketId, CheckFrames>,
     tcp_obs1: Option<Endpoint>,
     tcp_obs2: Option<Endpoint>,
     inbound_from_s3: bool,
@@ -132,7 +132,7 @@ impl NatCheckClient {
             local_tcp_port: 0,
             conn1: None,
             conn2: None,
-            frames: HashMap::new(),
+            frames: BTreeMap::new(),
             tcp_obs1: None,
             tcp_obs2: None,
             inbound_from_s3: false,
@@ -163,7 +163,7 @@ impl NatCheckClient {
     }
 
     fn send_udp_probes(&mut self, os: &mut Os<'_, '_>) {
-        let sock = self.sock1.expect("bound");
+        let sock = self.sock1.expect("bound"); // punch-lint: allow(P001) sock1 is bound in on_start before any probe timer fires
         if self.udp_obs1.is_none() {
             let _ = os.udp_send(
                 sock,
@@ -205,8 +205,8 @@ impl NatCheckClient {
     }
 
     fn start_tcp(&mut self, os: &mut Os<'_, '_>) {
-        let listener = os.tcp_listen(0, true).expect("ephemeral tcp port");
-        self.local_tcp_port = os.local_endpoint(listener).expect("bound").port;
+        let listener = os.tcp_listen(0, true).expect("ephemeral tcp port"); // punch-lint: allow(P001) fresh sim host always has a free ephemeral port
+        self.local_tcp_port = os.local_endpoint(listener).expect("bound").port; // punch-lint: allow(P001) listener bound on the previous line
         self.listener = Some(listener);
         let opts = ConnectOpts {
             local_port: Some(self.local_tcp_port),
@@ -280,8 +280,8 @@ impl NatCheckClient {
 impl App for NatCheckClient {
     fn on_start(&mut self, os: &mut Os<'_, '_>) {
         self.token = os.rng().gen();
-        self.sock1 = Some(os.udp_bind(self.udp_port).expect("udp port"));
-        self.sock2 = Some(os.udp_bind(0).expect("udp port"));
+        self.sock1 = Some(os.udp_bind(self.udp_port).expect("udp port")); // punch-lint: allow(P001) harness-chosen port on a fresh host; collision is a setup bug
+        self.sock2 = Some(os.udp_bind(0).expect("udp port")); // punch-lint: allow(P001) fresh sim host always has a free ephemeral port
         self.phase = Phase::UdpProbing { started: os.now() };
         self.send_udp_probes(os);
         os.set_timer(TICK_EVERY, TICK);

@@ -53,14 +53,14 @@ pub fn check_nat_pair(behavior: NatBehavior, seed: u64) -> PairReport {
     wb.server(S1, CheckServer::new(ServerRole::One));
     wb.server(S2, CheckServer::new(ServerRole::Two { s3: S3 }));
     wb.server(S3, CheckServer::new(ServerRole::Three));
-    let nat = wb.nat(behavior, "155.99.25.11".parse().expect("addr"));
+    let nat = wb.nat(behavior, "155.99.25.11".parse().expect("addr")); // punch-lint: allow(P001) hard-coded literal address; parse cannot fail
     let c1 = wb.client(
-        "10.0.0.1".parse().expect("addr"),
+        "10.0.0.1".parse().expect("addr"), // punch-lint: allow(P001) hard-coded literal address; parse cannot fail
         nat,
         PeerSetup::new(NatCheckClient::new(S1, S2, S3).with_udp_port(SHARED_PORT)),
     );
     let c2 = wb.client(
-        "10.0.0.2".parse().expect("addr"),
+        "10.0.0.2".parse().expect("addr"), // punch-lint: allow(P001) hard-coded literal address; parse cannot fail
         nat,
         PeerSetup::new(NatCheckClient::new(S1, S2, S3).with_udp_port(SHARED_PORT)),
     );

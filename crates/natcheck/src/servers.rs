@@ -10,7 +10,7 @@
 use crate::wire::{CheckFrames, CheckMsg, InboundStatus};
 use punch_net::Endpoint;
 use punch_transport::{App, ConnectOpts, Os, SockEvent, SocketError, SocketId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 use std::time::Duration;
 
@@ -51,13 +51,13 @@ pub struct CheckServer {
     role: ServerRole,
     udp: Option<SocketId>,
     listener: Option<SocketId>,
-    conns: HashMap<SocketId, CheckFrames>,
+    conns: BTreeMap<SocketId, CheckFrames>,
     /// Server 2: replies deferred until server 3's go-ahead, by token.
-    pending: HashMap<u64, PendingReply>,
+    pending: BTreeMap<u64, PendingReply>,
     /// Server 3: inbound attempts by token.
-    attempts: HashMap<u64, InboundAttempt>,
+    attempts: BTreeMap<u64, InboundAttempt>,
     next_timer: u64,
-    timer_tokens: HashMap<u64, u64>,
+    timer_tokens: BTreeMap<u64, u64>,
 }
 
 impl CheckServer {
@@ -67,11 +67,11 @@ impl CheckServer {
             role,
             udp: None,
             listener: None,
-            conns: HashMap::new(),
-            pending: HashMap::new(),
-            attempts: HashMap::new(),
+            conns: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            attempts: BTreeMap::new(),
             next_timer: 1,
-            timer_tokens: HashMap::new(),
+            timer_tokens: BTreeMap::new(),
         }
     }
 
@@ -206,8 +206,8 @@ impl CheckServer {
 
 impl App for CheckServer {
     fn on_start(&mut self, os: &mut Os<'_, '_>) {
-        self.udp = Some(os.udp_bind(CHECK_PORT).expect("check port free"));
-        self.listener = Some(os.tcp_listen(CHECK_PORT, false).expect("check port free"));
+        self.udp = Some(os.udp_bind(CHECK_PORT).expect("check port free")); // punch-lint: allow(P001) well-known check port on a fresh server host
+        self.listener = Some(os.tcp_listen(CHECK_PORT, false).expect("check port free")); // punch-lint: allow(P001) well-known check port on a fresh server host
     }
 
     fn on_event(&mut self, os: &mut Os<'_, '_>, ev: SockEvent) {

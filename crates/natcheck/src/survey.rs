@@ -32,9 +32,9 @@ pub fn check_nat_instrumented(behavior: NatBehavior, seed: u64) -> (NatCheckRepo
     wb.server(S1, CheckServer::new(ServerRole::One));
     wb.server(S2, CheckServer::new(ServerRole::Two { s3: S3 }));
     wb.server(S3, CheckServer::new(ServerRole::Three));
-    let nat = wb.nat(behavior, "155.99.25.11".parse().expect("addr"));
+    let nat = wb.nat(behavior, "155.99.25.11".parse().expect("addr")); // punch-lint: allow(P001) hard-coded literal address; parse cannot fail
     wb.client(
-        "10.0.0.1".parse().expect("addr"),
+        "10.0.0.1".parse().expect("addr"), // punch-lint: allow(P001) hard-coded literal address; parse cannot fail
         nat,
         punch_lab::PeerSetup::new(NatCheckClient::new(S1, S2, S3)),
     );

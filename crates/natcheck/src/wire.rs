@@ -233,7 +233,8 @@ impl CheckMsg {
     pub fn encode_frame(&self) -> Bytes {
         let body = self.encode();
         let mut buf = BytesMut::with_capacity(body.len() + 2);
-        buf.put_u16(body.len() as u16);
+        // punch-lint: allow(P001) encoder-controlled bodies are <= 24 bytes; checked so oversize can never truncate on the wire
+        buf.put_u16(u16::try_from(body.len()).expect("CheckMsg body exceeds u16 frame length"));
         buf.put_slice(&body);
         buf.freeze()
     }

@@ -289,7 +289,7 @@ impl SimCore {
     pub(crate) fn transmit(&mut self, node: NodeId, iface: IfaceId, pkt: Packet) {
         let meta = &self.nodes[node.index()];
         let lref = meta.ifaces.get(iface).unwrap_or_else(|| {
-            panic!(
+            panic!( // punch-lint: allow(P001) sim API contract: naming a missing iface is a harness bug, reported loudly
                 "node {} ({}) sent on unconnected iface {iface}",
                 node, meta.name
             )
@@ -472,7 +472,7 @@ impl Sim {
     /// Adds a node running `device`; its `on_start` runs when the
     /// simulation next executes.
     pub fn add_node(&mut self, name: impl Into<Arc<str>>, device: Box<dyn Device>) -> NodeId {
-        let id = NodeId(u32::try_from(self.devices.len()).expect("too many nodes"));
+        let id = NodeId(u32::try_from(self.devices.len()).expect("too many nodes")); // punch-lint: allow(P001) node count is harness-bounded, nowhere near 2^32
         let rng = StdRng::seed_from_u64(mix(self.seed ^ mix(id.0 as u64 + 1)));
         self.core.nodes.push(NodeMeta {
             name: name.into(),
@@ -534,7 +534,7 @@ impl Sim {
         self.core.nodes[node.index()]
             .ifaces
             .get(iface)
-            .unwrap_or_else(|| panic!("node {node} has no iface {iface}"))
+            .unwrap_or_else(|| panic!("node {node} has no iface {iface}")) // punch-lint: allow(P001) sim API contract: naming a missing iface is a harness bug, reported loudly
             .link
     }
 
@@ -652,9 +652,9 @@ impl Sim {
     pub fn device<T: Device>(&self, node: NodeId) -> &T {
         self.devices[node.index()]
             .as_deref()
-            .expect("device re-entered")
+            .expect("device re-entered") // punch-lint: allow(P001) re-entrancy guard: with_node never nests on the same node
             .downcast_ref::<T>()
-            .unwrap_or_else(|| panic!("node {node} is not a {}", std::any::type_name::<T>()))
+            .unwrap_or_else(|| panic!("node {node} is not a {}", std::any::type_name::<T>())) // punch-lint: allow(P001) typed-accessor contract: caller names the device type it installed
     }
 
     /// Returns a mutable reference to the device on `node`, downcast to `T`.
@@ -668,9 +668,9 @@ impl Sim {
     pub fn device_mut<T: Device>(&mut self, node: NodeId) -> &mut T {
         self.devices[node.index()]
             .as_deref_mut()
-            .expect("device re-entered")
+            .expect("device re-entered") // punch-lint: allow(P001) re-entrancy guard: with_node never nests on the same node
             .downcast_mut::<T>()
-            .unwrap_or_else(|| panic!("node {node} is not a {}", std::any::type_name::<T>()))
+            .unwrap_or_else(|| panic!("node {node} is not a {}", std::any::type_name::<T>())) // punch-lint: allow(P001) typed-accessor contract: caller names the device type it installed
     }
 
     /// Runs `f` with the device on `node` and a live [`Ctx`], so harness
@@ -683,7 +683,7 @@ impl Sim {
     ) -> R {
         let mut dev = self.devices[node.index()]
             .take()
-            .expect("device re-entered");
+            .expect("device re-entered"); // punch-lint: allow(P001) re-entrancy guard: with_node never nests on the same node
         let mut ctx = Ctx {
             core: &mut self.core,
             node,
@@ -733,7 +733,7 @@ impl Sim {
     fn dispatch(&mut self, node: NodeId, f: impl FnOnce(&mut Box<dyn Device>, &mut Ctx<'_>)) {
         let mut dev = self.devices[node.index()]
             .take()
-            .expect("device re-entered");
+            .expect("device re-entered"); // punch-lint: allow(P001) re-entrancy guard: with_node never nests on the same node
         let mut ctx = Ctx {
             core: &mut self.core,
             node,
@@ -746,6 +746,7 @@ impl Sim {
     /// `deadline` are processed. The clock ends at `deadline` even if the
     /// queue drains early.
     pub fn run_until(&mut self, deadline: SimTime) {
+        // punch-lint: allow(D001) wall-clock perf counter (SimStats::busy_nanos); never feeds sim behavior or pinned output
         let started = Instant::now();
         while let Some(next) = self.core.heap.peek() {
             if next.at > deadline {
@@ -773,6 +774,7 @@ impl Sim {
     /// Panics after 50 million events, which indicates a device re-arming
     /// timers unboundedly; use [`Sim::run_until`] for such workloads.
     pub fn run_until_idle(&mut self) -> u64 {
+        // punch-lint: allow(D001) wall-clock perf counter (SimStats::busy_nanos); never feeds sim behavior or pinned output
         let started = Instant::now();
         let mut n = 0u64;
         while self.step() {
@@ -792,6 +794,7 @@ impl Sim {
         if pred(self) {
             return true;
         }
+        // punch-lint: allow(D001) wall-clock perf counter (SimStats::busy_nanos); never feeds sim behavior or pinned output
         let started = Instant::now();
         while let Some(next) = self.core.heap.peek() {
             if next.at > deadline {

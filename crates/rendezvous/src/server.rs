@@ -10,7 +10,7 @@ use crate::peer::PeerId;
 use crate::wire::{encode_frame, FrameBuf, Message, ERR_UNKNOWN_PEER};
 use punch_net::Endpoint;
 use punch_transport::{App, Os, SockEvent, SocketId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Rendezvous server configuration.
 #[derive(Clone, Debug)]
@@ -144,13 +144,13 @@ pub struct RendezvousServer {
     udp_sock: Option<SocketId>,
     probe_sock: Option<SocketId>,
     listener: Option<SocketId>,
-    udp_clients: HashMap<PeerId, UdpReg>,
-    tcp_clients: HashMap<PeerId, TcpReg>,
-    conns: HashMap<SocketId, ConnState>,
+    udp_clients: BTreeMap<PeerId, UdpReg>,
+    tcp_clients: BTreeMap<PeerId, TcpReg>,
+    conns: BTreeMap<SocketId, ConnState>,
     stats: ServerStats,
     /// Monotone registration counter shared by both transports; stamps
     /// make the eviction victim (unique minimum) independent of
-    /// `HashMap` iteration order.
+    /// `BTreeMap` iteration order.
     reg_seq: u64,
 }
 
@@ -162,9 +162,9 @@ impl RendezvousServer {
             udp_sock: None,
             probe_sock: None,
             listener: None,
-            udp_clients: HashMap::new(),
-            tcp_clients: HashMap::new(),
-            conns: HashMap::new(),
+            udp_clients: BTreeMap::new(),
+            tcp_clients: BTreeMap::new(),
+            conns: BTreeMap::new(),
             stats: ServerStats::default(),
             reg_seq: 0,
         }
@@ -187,7 +187,7 @@ impl RendezvousServer {
 
     /// Makes room for a new UDP registration when the table is full by
     /// evicting the oldest entry. The victim is the unique minimum
-    /// `(seq, peer_id)`, so the choice never depends on `HashMap`
+    /// `(seq, peer_id)`, so the choice never depends on `BTreeMap`
     /// iteration order.
     fn evict_oldest_udp(&mut self, os: &mut Os<'_, '_>) {
         if self.udp_clients.len() < self.cfg.max_clients {
@@ -533,16 +533,16 @@ impl RendezvousServer {
 
 impl App for RendezvousServer {
     fn on_start(&mut self, os: &mut Os<'_, '_>) {
-        self.udp_sock = Some(os.udp_bind(self.cfg.port).expect("server UDP port free"));
+        self.udp_sock = Some(os.udp_bind(self.cfg.port).expect("server UDP port free")); // punch-lint: allow(P001) configured server port on a fresh host; collision is a setup bug
         if self.cfg.probe_port {
             self.probe_sock = Some(
                 os.udp_bind(self.cfg.port + 1)
-                    .expect("server probe port free"),
+                    .expect("server probe port free"), // punch-lint: allow(P001) configured probe port on a fresh host; collision is a setup bug
             );
         }
         self.listener = Some(
             os.tcp_listen(self.cfg.port, false)
-                .expect("server TCP port free"),
+                .expect("server TCP port free"), // punch-lint: allow(P001) configured server port on a fresh host; collision is a setup bug
         );
     }
 

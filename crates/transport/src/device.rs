@@ -208,7 +208,7 @@ impl HostDevice {
     pub fn app<T: App>(&self) -> &T {
         self.app
             .downcast_ref::<T>()
-            .unwrap_or_else(|| panic!("app is not a {}", std::any::type_name::<T>()))
+            .unwrap_or_else(|| panic!("app is not a {}", std::any::type_name::<T>())) // punch-lint: allow(P001) typed-accessor contract: caller names the app type it installed
     }
 
     /// Mutable access to the application, downcast to `T`.
@@ -219,7 +219,7 @@ impl HostDevice {
     pub fn app_mut<T: App>(&mut self) -> &mut T {
         self.app
             .downcast_mut::<T>()
-            .unwrap_or_else(|| panic!("app is not a {}", std::any::type_name::<T>()))
+            .unwrap_or_else(|| panic!("app is not a {}", std::any::type_name::<T>())) // punch-lint: allow(P001) typed-accessor contract: caller names the app type it installed
     }
 
     /// Read-only access to the host stack.
@@ -239,7 +239,7 @@ impl HostDevice {
         let app = self
             .app
             .downcast_mut::<T>()
-            .unwrap_or_else(|| panic!("app is not a {}", std::any::type_name::<T>()));
+            .unwrap_or_else(|| panic!("app is not a {}", std::any::type_name::<T>())); // punch-lint: allow(P001) typed-accessor contract: caller names the app type it installed
         let mut os = Os {
             stack: &mut self.stack,
             ctx,

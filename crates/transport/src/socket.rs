@@ -65,7 +65,9 @@ pub(crate) fn decode_timer(token: u64) -> Option<(TimerKind, SocketId, u32)> {
         2 => TimerKind::TimeWait,
         _ => return None,
     };
+    // punch-lint: allow(W001) masked to 32 bits on this line; lossless unpack of the packed token
     let sock = SocketId(((token >> 24) & 0xffff_ffff) as u32);
+    // punch-lint: allow(W001) masked to 24 bits on this line; lossless unpack of the packed token
     let gen = (token & 0xff_ffff) as u32;
     Some((kind, sock, gen))
 }

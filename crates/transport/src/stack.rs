@@ -16,7 +16,7 @@ use bytes::Bytes;
 use punch_net::{Body, Endpoint, IcmpKind, Packet, Proto, TcpFlags, TcpSegment};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::net::Ipv4Addr;
 use std::time::Duration;
 
@@ -68,13 +68,13 @@ pub struct HostStack {
     /// Secret for RFC 6528-style ISS generation.
     iss_secret: u64,
     next_sock: u32,
-    socks: HashMap<SocketId, Socket>,
+    socks: BTreeMap<SocketId, Socket>,
     /// TCP connections by (local, remote).
-    conn_index: HashMap<(Endpoint, Endpoint), SocketId>,
+    conn_index: BTreeMap<(Endpoint, Endpoint), SocketId>,
     /// TCP listeners by local port.
-    listeners: HashMap<u16, SocketId>,
+    listeners: BTreeMap<u16, SocketId>,
     /// UDP sockets by local port.
-    udp_index: HashMap<u16, SocketId>,
+    udp_index: BTreeMap<u16, SocketId>,
     out: Vec<Packet>,
     events: Vec<SockEvent>,
     timers: Vec<(Duration, u64)>,
@@ -90,10 +90,10 @@ impl HostStack {
             rng: StdRng::seed_from_u64(seed),
             iss_secret: seed ^ 0x1505_1505_1505_1505,
             next_sock: 1,
-            socks: HashMap::new(),
-            conn_index: HashMap::new(),
-            listeners: HashMap::new(),
-            udp_index: HashMap::new(),
+            socks: BTreeMap::new(),
+            conn_index: BTreeMap::new(),
+            listeners: BTreeMap::new(),
+            udp_index: BTreeMap::new(),
             out: Vec::new(),
             events: Vec::new(),
             timers: Vec::new(),
@@ -124,6 +124,7 @@ impl HostStack {
             ^ ((local.port as u64) << 16 | remote.port as u64).wrapping_mul(0x9e37_79b9);
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        // punch-lint: allow(W001) deliberate truncation of a 64-bit hash into the 32-bit ISS space
         (z ^ (z >> 31)) as u32
     }
 
@@ -197,8 +198,9 @@ impl HostStack {
 
     fn alloc_ephemeral(&mut self, proto: Proto) -> SockResult<u16> {
         let (lo, hi) = self.cfg.ephemeral_ports;
-        let span = (hi - lo) as u32 + 1;
+        let span = u32::from(hi - lo) + 1;
         for _ in 0..span.min(4096) {
+            // punch-lint: allow(W001) the draw is < span <= 0x1_0000, so it fits u16 by construction
             let port = lo + (self.rng.gen::<u32>() % span) as u16;
             let busy = match proto {
                 Proto::Udp => self.udp_port_in_use(port),
@@ -689,7 +691,7 @@ impl HostStack {
         let listener = *self
             .listeners
             .get(&dst.port)
-            .expect("caller checked listener");
+            .expect("caller checked listener"); // punch-lint: allow(P001) caller verified the listener exists before dispatching here
         if self.backlog_full(listener) {
             return;
         }

@@ -42,6 +42,16 @@ pub enum TcpState {
     TimeWait,
 }
 
+/// Widens an in-flight byte count into 32-bit sequence space.
+///
+/// Payload and window sizes are MTU/window-bounded, orders of magnitude
+/// below `u32::MAX`, so the conversion is checked rather than truncating
+/// (punch-lint W001).
+fn seq_width(n: usize) -> u32 {
+    // punch-lint: allow(P001) byte counts are MTU/window-bounded, far below 2^32
+    u32::try_from(n).expect("byte count exceeds 32-bit sequence space")
+}
+
 /// A retransmittable in-flight item: a data segment or the FIN.
 #[derive(Debug)]
 struct Inflight {
@@ -52,7 +62,7 @@ struct Inflight {
 
 impl Inflight {
     fn seq_len(&self) -> u32 {
-        self.data.len() as u32 + u32::from(self.fin)
+        seq_width(self.data.len()) + u32::from(self.fin)
     }
 }
 
@@ -174,7 +184,7 @@ impl Tcb {
             snd_nxt: iss.wrapping_add(1),
             irs: 0,
             rcv_nxt: 0,
-            peer_wnd: u16::MAX as u32,
+            peer_wnd: u32::from(u16::MAX),
             send_q: VecDeque::new(),
             inflight: VecDeque::new(),
             fin_queued: false,
@@ -203,7 +213,7 @@ impl Tcb {
         tcb.state = TcpState::SynReceived;
         tcb.irs = syn.seq;
         tcb.rcv_nxt = syn.seq.wrapping_add(1);
-        tcb.peer_wnd = syn.window as u32;
+        tcb.peer_wnd = u32::from(syn.window);
         tcb.emit_synack(io);
         tcb.arm_rto(io);
         tcb
@@ -290,14 +300,14 @@ impl Tcb {
         ) {
             return;
         }
-        let budget = (io.cfg.send_window as u32).min(self.peer_wnd.max(1));
+        let budget = seq_width(io.cfg.send_window).min(self.peer_wnd.max(1));
         let mut sent_any = false;
         while !self.send_q.is_empty() && self.flight_size() < budget {
             let room = (budget - self.flight_size()) as usize;
             let n = self.send_q.len().min(io.cfg.mss).min(room);
             let mut buf = BytesMut::with_capacity(n);
             for _ in 0..n {
-                buf.extend_from_slice(&[self.send_q.pop_front().expect("checked non-empty")]);
+                buf.extend_from_slice(&[self.send_q.pop_front().expect("checked non-empty")]); // punch-lint: allow(P001) loop condition guarantees send_q holds at least n bytes
             }
             let data = buf.freeze();
             let seg = TcpSegment {
@@ -313,7 +323,7 @@ impl Tcb {
                 data,
                 fin: false,
             });
-            self.snd_nxt = self.snd_nxt.wrapping_add(n as u32);
+            self.snd_nxt = self.snd_nxt.wrapping_add(seq_width(n));
             sent_any = true;
         }
         if self.send_q.is_empty()
@@ -478,7 +488,7 @@ impl Tcb {
         if seg.flags.contains(TcpFlags::SYN) {
             self.irs = seg.seq;
             self.rcv_nxt = seg.seq.wrapping_add(1);
-            self.peer_wnd = seg.window as u32;
+            self.peer_wnd = u32::from(seg.window);
             if ack_ok {
                 // Normal three-way handshake completion.
                 self.snd_una = seg.ack;
@@ -515,7 +525,7 @@ impl Tcb {
         if seg.flags.contains(TcpFlags::ACK) {
             if seg.ack == self.iss.wrapping_add(1) {
                 self.snd_una = seg.ack;
-                self.peer_wnd = seg.window as u32;
+                self.peer_wnd = u32::from(seg.window);
                 self.state = TcpState::Established;
                 self.cancel_timer();
                 // A SYN-ACK here means both sides replayed (simultaneous
@@ -594,7 +604,7 @@ impl Tcb {
             self.emit_ack(io);
             return;
         }
-        self.peer_wnd = window as u32;
+        self.peer_wnd = u32::from(window);
         if ack == self.snd_una && !self.inflight.is_empty() {
             // Duplicate ACK; the third triggers fast retransmit
             // (RFC 5681-style, sans congestion window bookkeeping).
@@ -657,7 +667,7 @@ impl Tcb {
     }
 
     fn process_payload(&mut self, seg: &TcpSegment, io: &mut TcpIo<'_>, _outcome: &mut TcbOutcome) {
-        let payload_len = seg.payload.len() as u32;
+        let payload_len = seq_width(seg.payload.len());
         let has_fin = seg.flags.contains(TcpFlags::FIN);
         if payload_len == 0 && !has_fin {
             return;
@@ -674,7 +684,7 @@ impl Tcb {
             }
             let skip_bytes = (skip as usize).min(data.len());
             data = data.slice(skip_bytes..);
-            seq_start = seq_start.wrapping_add(skip_bytes as u32);
+            seq_start = seq_start.wrapping_add(seq_width(skip_bytes));
         }
         if seq_start != self.rcv_nxt {
             // Out of order (future): we keep no reassembly queue; a
@@ -683,7 +693,7 @@ impl Tcb {
             return;
         }
         if !data.is_empty() {
-            self.rcv_nxt = self.rcv_nxt.wrapping_add(data.len() as u32);
+            self.rcv_nxt = self.rcv_nxt.wrapping_add(seq_width(data.len()));
             io.events.push(SockEvent::TcpReceived {
                 sock: self.id,
                 data,

@@ -17,14 +17,23 @@
 #   5. cargo doc (-D warnings)            — rustdoc on our crates must be
 #                                           warning-free (vendor/* excluded,
 #                                           as in clippy)
-#   6. chaos smoke test                   — 2 trials per fault class, must
+#   6. punch-lint                         — the workspace's own determinism
+#                                           & wire-safety analyzer (LINTS.md)
+#                                           must report zero violations, its
+#                                           report must be byte-identical
+#                                           across runs, and a seeded
+#                                           violation must make it fail
+#   7. chaos smoke test                   — 2 trials per fault class, must
 #                                           report zero failures
-#   7. metrics determinism smoke          — the chaos bin's metrics export
+#   8. metrics determinism smoke          — the chaos bin's metrics export
 #                                           is byte-identical for the same
 #                                           seeds at 1 vs 2 workers
 set -eu
 
 cd "$(dirname "$0")/.."
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
 
 echo "== build (release) =="
 cargo build --release --quiet
@@ -44,6 +53,34 @@ echo "== rustdoc (-D warnings, vendor/* excluded) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --quiet --no-deps --workspace \
     --exclude rand --exclude bytes --exclude proptest --exclude criterion
 
+echo "== punch-lint (determinism & wire-safety, LINTS.md) =="
+cargo run --release --quiet -p punch-lint | tee "$tmpdir/lint1.txt"
+cargo run --release --quiet -p punch-lint > "$tmpdir/lint2.txt"
+if ! cmp -s "$tmpdir/lint1.txt" "$tmpdir/lint2.txt"; then
+    echo "FAIL: punch-lint report is not byte-identical across runs" >&2
+    diff "$tmpdir/lint1.txt" "$tmpdir/lint2.txt" >&2 || true
+    exit 1
+fi
+cargo run --release --quiet -p punch-lint -- --json > "$tmpdir/lint.json"
+python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$tmpdir/lint.json"
+echo "OK: tree is clean, report deterministic, --json well-formed"
+
+echo "== punch-lint seeded-violation smoke (the gate actually gates) =="
+mkdir -p "$tmpdir/seeded/src"
+cp crates/lint/tests/fixtures/p001_panic.rs "$tmpdir/seeded/src/lib.rs"
+if cargo run --release --quiet -p punch-lint -- --root "$tmpdir/seeded" \
+    > "$tmpdir/seeded.txt" 2>&1; then
+    echo "FAIL: punch-lint exited 0 on a tree with seeded violations" >&2
+    cat "$tmpdir/seeded.txt" >&2
+    exit 1
+fi
+if ! grep -q "P001" "$tmpdir/seeded.txt"; then
+    echo "FAIL: seeded P001 violation not reported" >&2
+    cat "$tmpdir/seeded.txt" >&2
+    exit 1
+fi
+echo "OK: seeded violation detected and exit status is nonzero"
+
 echo "== chaos smoke test (2 trials per fault class) =="
 out=$(cargo run --release --quiet -p punch-bench --bin chaos -- --trials 2 --no-write)
 echo "$out"
@@ -54,8 +91,6 @@ fi
 echo "OK: all chaos smoke trials recovered"
 
 echo "== metrics determinism smoke (1 vs 2 workers) =="
-tmpdir=$(mktemp -d)
-trap 'rm -rf "$tmpdir"' EXIT
 PUNCH_JOBS=1 cargo run --release --quiet -p punch-bench --bin chaos -- \
     --trials 2 --no-write --metrics-out "$tmpdir/m1.json" > /dev/null
 PUNCH_JOBS=2 cargo run --release --quiet -p punch-bench --bin chaos -- \
