@@ -51,30 +51,52 @@ fn main() {
     println!("Paper:      UDP 310/380 (82%)   hairpin 80/335 (24%)   TCP 184/286 (64%)   tcp-hairpin 37/286 (13%)*");
     println!("* the paper's own per-vendor TCP-hairpin cells sum to 40/284; see EXPERIMENTS.md.");
 
-    let speedup = seq_elapsed.as_secs_f64() / par_elapsed.as_secs_f64().max(f64::MIN_POSITIVE);
+    // A "speedup" over the sequential run only means anything when the
+    // pool actually had more than one worker; on a single-core host (or
+    // under PUNCH_JOBS=1) both runs are sequential and the ratio is
+    // pure scheduling noise, so it is recorded as null and flagged.
+    let detected_cores = par::detected_cores();
+    let speedup = (workers > 1)
+        .then(|| seq_elapsed.as_secs_f64() / par_elapsed.as_secs_f64().max(f64::MIN_POSITIVE));
     let events_per_sec = result.sim_events as f64 * 1e9 / result.sim_busy_nanos.max(1) as f64;
+    let speedup_note = match speedup {
+        Some(s) => format!("= {s:.1}x"),
+        None => "(single worker; speedup not meaningful)".to_string(),
+    };
     println!(
-        "\n({} simulated NAT Check runs; sequential {:?}, {} workers {:?} = {:.1}x; \
+        "\n({} simulated NAT Check runs; sequential {:?}, {} of {} detected cores {:?} {}; \
          {:.2}M engine events at {:.1}M events/sec/core)",
         result.devices,
         seq_elapsed,
         workers,
+        detected_cores,
         par_elapsed,
-        speedup,
+        speedup_note,
         result.sim_events as f64 / 1e6,
         events_per_sec / 1e6,
     );
 
+    let speedup_json = match speedup {
+        Some(s) => format!("{s:.2}"),
+        None => "null".to_string(),
+    };
     let json = format!(
         "{{\n  \"experiment\": \"table1_survey\",\n  \"seed\": 2005,\n  \"devices\": {},\n  \
-         \"workers\": {},\n  \"sequential_wall_ms\": {:.3},\n  \"parallel_wall_ms\": {:.3},\n  \
-         \"speedup\": {:.2},\n  \"sim_events\": {},\n  \"sim_busy_ms\": {:.3},\n  \
+         \"detected_cores\": {},\n  \"workers\": {},\n  \"sequential_wall_ms\": {:.3},\n  \
+         \"parallel_wall_ms\": {:.3},\n  \"speedup\": {},\n  \"speedup_note\": \"{}\",\n  \
+         \"sim_events\": {},\n  \"sim_busy_ms\": {:.3},\n  \
          \"events_per_sec_per_core\": {:.0},\n  \"outputs_byte_identical\": true\n}}\n",
         result.devices,
+        detected_cores,
         workers,
         seq_elapsed.as_secs_f64() * 1e3,
         par_elapsed.as_secs_f64() * 1e3,
-        speedup,
+        speedup_json,
+        if workers > 1 {
+            "wall-clock ratio of the 1-worker run to the full-pool run"
+        } else {
+            "single worker ran; both timings are sequential, no speedup to report"
+        },
         result.sim_events,
         result.sim_busy_nanos as f64 / 1e6,
         events_per_sec,

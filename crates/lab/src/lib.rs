@@ -22,12 +22,18 @@
 //! random fault schedules against the Figure-5 topology, checks
 //! liveness and replay-determinism invariants, and shrinks failing
 //! schedules to minimal replayable fault plans.
+//!
+//! The [`shard`] module scales the Figure-5 scenario to populations of
+//! 10^5–10^6 endpoints by partitioning sessions across per-shard sims
+//! advanced in parallel, with deterministic epoch-boundary handoff.
 
 pub mod chaos;
 pub mod par;
+pub mod shard;
 pub mod world;
 
 #[cfg(test)]
 mod tests;
 
+pub use shard::{OutcomeCounts, SessionOutcome, ShardConfig, ShardedWorld};
 pub use world::{addrs, fig4, fig5, fig6, PeerSetup, Scenario, World, WorldBuilder};

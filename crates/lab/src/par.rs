@@ -35,6 +35,13 @@ pub fn jobs() -> usize {
     parse_jobs(std::env::var("PUNCH_JOBS").ok().as_deref()).unwrap_or_else(default_jobs)
 }
 
+/// Returns the machine's detected parallelism, ignoring `PUNCH_JOBS`.
+/// Benchmarks record this next to the effective worker count so a
+/// "speedup" measured on a single-core host is recognizable as such.
+pub fn detected_cores() -> usize {
+    default_jobs()
+}
+
 fn default_jobs() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())

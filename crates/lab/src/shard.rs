@@ -1,0 +1,516 @@
+//! Sharded million-endpoint worlds.
+//!
+//! A [`ShardedWorld`] partitions a large population of hole-punching
+//! sessions (each one a Figure-5 topology: two clients behind two NATs,
+//! plus a rendezvous server) across many independent per-shard [`Sim`]s,
+//! so the population can be advanced by a worker pool while keeping the
+//! determinism contract the rest of the repo is built on:
+//!
+//! - **Layout invariance.** Every shard sim is created with the *same*
+//!   seed and [`Sim::use_named_rng_streams`], and every node carries a
+//!   globally unique name (`m17.a`, `m17.na`, ...). A node's randomness
+//!   therefore depends only on `(seed, name)` — not on which shard it
+//!   landed in — and per-session outcomes are byte-identical whether the
+//!   world runs as 1 shard or 64.
+//! - **Worker invariance.** Shards only interact at epoch boundaries:
+//!   each epoch runs every shard to the same sim-time deadline in
+//!   parallel (the [`crate::par`] pool), then polls outcomes and releases
+//!   connect waves *sequentially in shard order*. No result ever depends
+//!   on which worker advanced which shard, so `PUNCH_JOBS=1` and
+//!   `PUNCH_JOBS=16` produce identical reports.
+//!
+//! Cross-session coupling inside a shard is limited to the shared
+//! rendezvous server, which reacts to each datagram independently and at
+//! the instant it arrives; all links are jitter-free, so arrival times
+//! never depend on unrelated traffic. That is what makes the per-session
+//! outcome stream independent of the shard layout.
+
+use crate::par;
+use crate::world::addrs;
+use holepunch::{PeerId, UdpPeer, UdpPeerConfig};
+use punch_nat::{NatBehavior, NatDevice};
+use punch_net::{
+    Cidr, Duration, Endpoint, LinkSpec, MetricsSnapshot, NodeId, QueueStats, Router, Sim, SimStats,
+    SimTime,
+};
+use punch_rendezvous::{RendezvousServer, ServerConfig};
+use punch_transport::{HostDevice, Os, StackConfig};
+use std::net::Ipv4Addr;
+use std::sync::Mutex;
+
+/// Configuration for a [`ShardedWorld`].
+#[derive(Clone, Debug)]
+pub struct ShardConfig {
+    /// Master seed; shared by every shard (names disambiguate streams).
+    pub seed: u64,
+    /// Total number of punch sessions (2 clients + 2 NATs each).
+    pub sessions: usize,
+    /// Number of per-shard sims. Session `i` lands in shard `i % shards`.
+    pub shards: usize,
+    /// Sim-time length of one epoch (the cross-shard synchronization
+    /// quantum: outcome polling and wave release happen on this grid).
+    pub epoch: Duration,
+    /// Sim time at which the first connect wave is released (clients
+    /// need to have registered with their shard's server by then).
+    pub connect_at: Duration,
+    /// Give-up horizon (sim time past `connect_at`); sessions still
+    /// unresolved at the deadline stay [`SessionOutcome::Pending`].
+    pub deadline: Duration,
+    /// Number of connect waves. Wave `w+1` is released once 90% of the
+    /// already-released sessions have resolved — a deterministic
+    /// cross-shard feedback loop evaluated at epoch boundaries.
+    pub waves: usize,
+    /// Every `symmetric_every`-th session runs both NATs as symmetric
+    /// (harder to punch); 0 disables.
+    pub symmetric_every: usize,
+    /// Enable the per-shard metrics registries (merged on demand).
+    pub metrics: bool,
+    /// Worker-pool size override; `None` uses [`par::jobs`] (the
+    /// `PUNCH_JOBS` environment variable, then detected parallelism).
+    pub workers: Option<usize>,
+}
+
+impl ShardConfig {
+    /// A config with the defaults used by the million-endpoint bench.
+    pub fn new(seed: u64, sessions: usize) -> Self {
+        ShardConfig {
+            seed,
+            sessions,
+            shards: 8,
+            epoch: Duration::from_millis(250),
+            connect_at: Duration::from_secs(2),
+            deadline: Duration::from_secs(60),
+            waves: 1,
+            symmetric_every: 10,
+            metrics: false,
+            workers: None,
+        }
+    }
+}
+
+/// How one session ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionOutcome {
+    /// Not yet resolved (or never released before the deadline).
+    Pending,
+    /// Direct (hole-punched) connectivity.
+    Direct,
+    /// Fell back to relaying through the shard's server.
+    Relay,
+    /// No connectivity at all.
+    Failed,
+}
+
+impl SessionOutcome {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            SessionOutcome::Pending => "pending",
+            SessionOutcome::Direct => "direct",
+            SessionOutcome::Relay => "relay",
+            SessionOutcome::Failed => "failed",
+        }
+    }
+}
+
+/// Resolved/released totals, by outcome.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OutcomeCounts {
+    /// Sessions that established a direct path.
+    pub direct: usize,
+    /// Sessions that fell back to the relay.
+    pub relay: usize,
+    /// Sessions that failed outright.
+    pub failed: usize,
+    /// Sessions still unresolved (deadline hit, or never released).
+    pub pending: usize,
+}
+
+/// One punch session inside a shard.
+struct Session {
+    /// Global session index (stable across shard layouts).
+    global: usize,
+    /// Client A's node in the shard sim.
+    a: NodeId,
+    /// Peer id of client B (A connects to B).
+    peer_b: PeerId,
+    released: bool,
+    outcome: SessionOutcome,
+    resolved_at: Option<SimTime>,
+}
+
+/// One shard: an independent sim plus its resident sessions.
+struct Shard {
+    sim: Sim,
+    sessions: Vec<Session>,
+}
+
+/// A population of punch sessions partitioned across per-shard sims.
+///
+/// # Examples
+///
+/// ```
+/// use punch_lab::shard::{ShardConfig, ShardedWorld};
+///
+/// let mut cfg = ShardConfig::new(7, 8);
+/// cfg.shards = 2;
+/// let mut world = ShardedWorld::build(&cfg);
+/// world.run();
+/// let counts = world.outcome_counts();
+/// assert_eq!(counts.pending, 0);
+/// ```
+pub struct ShardedWorld {
+    cfg: ShardConfig,
+    shards: Vec<Mutex<Shard>>,
+    released: usize,
+    resolved: usize,
+    next_wave: usize,
+    epochs: u64,
+    now: SimTime,
+    nodes: usize,
+}
+
+impl ShardedWorld {
+    /// Builds all shard sims and their resident sessions. Heavy for
+    /// large populations (four nodes and three links per session).
+    pub fn build(cfg: &ShardConfig) -> Self {
+        let shard_count = cfg.shards.max(1);
+        let per_shard = cfg.sessions.div_ceil(shard_count.max(1)).max(1);
+        let server_ep = Endpoint::new(addrs::SERVER, 1234);
+        let lan = LinkSpec::new(Duration::from_micros(200));
+        let nat_wan = LinkSpec::new(Duration::from_millis(10));
+        let server_wan = LinkSpec::new(Duration::from_millis(5));
+
+        let mut shards = Vec::with_capacity(shard_count);
+        let mut nodes = 0usize;
+        for s in 0..shard_count {
+            // Same seed everywhere: named streams make node randomness a
+            // function of the global node name, not the shard layout.
+            let mut sim = Sim::new(cfg.seed);
+            sim.use_named_rng_streams();
+            if cfg.metrics {
+                sim.enable_metrics();
+            }
+
+            let internet = sim.add_node("internet", Box::new(Router::new()));
+            let server_cfg = ServerConfig::default().with_max_clients(2 * per_shard + 16);
+            let server = sim.add_node(
+                "server",
+                Box::new(HostDevice::new(
+                    addrs::SERVER,
+                    StackConfig::default(),
+                    Box::new(RendezvousServer::new(server_cfg)),
+                )),
+            );
+            let (r_srv, _) = sim.connect(internet, server, server_wan);
+            let mut routes: Vec<(Cidr, usize)> = vec![(Cidr::host(addrs::SERVER), r_srv)];
+
+            let mut sessions = Vec::with_capacity(per_shard);
+            for i in (s..cfg.sessions).step_by(shard_count) {
+                let symmetric = cfg.symmetric_every > 0
+                    && i % cfg.symmetric_every == cfg.symmetric_every - 1;
+                let behavior = if symmetric {
+                    NatBehavior::symmetric()
+                } else {
+                    NatBehavior::port_restricted_cone()
+                };
+                // Globally unique public addresses: 30.x for A-side NATs,
+                // 31.x for B-side (realm-private client addresses repeat).
+                let nat_a_ip = Ipv4Addr::from(0x1E00_0000u32 + i as u32);
+                let nat_b_ip = Ipv4Addr::from(0x1F00_0000u32 + i as u32);
+                let peer_a = PeerId(2 * i as u64 + 1);
+                let peer_b = PeerId(2 * i as u64 + 2);
+
+                let mut side = |tag: &str, nat_ip: Ipv4Addr, client_ip: Ipv4Addr, id: PeerId| {
+                    let nat = sim.add_node(
+                        format!("m{i}.n{tag}"),
+                        Box::new(NatDevice::new(behavior.clone(), vec![nat_ip])),
+                    );
+                    // NAT iface 0 must face the WAN, so connect it first.
+                    let (_, r_iface) = sim.connect(nat, internet, nat_wan);
+                    routes.push((Cidr::host(nat_ip), r_iface));
+                    let client = sim.add_node(
+                        format!("m{i}.{tag}"),
+                        Box::new(HostDevice::new(
+                            client_ip,
+                            StackConfig::fast(),
+                            Box::new(UdpPeer::new(UdpPeerConfig::new(id, server_ep))),
+                        )),
+                    );
+                    sim.connect(nat, client, lan);
+                    client
+                };
+                let a = side("a", nat_a_ip, addrs::CLIENT_A, peer_a);
+                let _b = side("b", nat_b_ip, addrs::CLIENT_B, peer_b);
+
+                sessions.push(Session {
+                    global: i,
+                    a,
+                    peer_b,
+                    released: false,
+                    outcome: SessionOutcome::Pending,
+                    resolved_at: None,
+                });
+            }
+
+            let router = sim.device_mut::<Router>(internet);
+            for (prefix, iface) in routes {
+                router.add_route(prefix, iface);
+            }
+            nodes += sim.node_count();
+            shards.push(Mutex::new(Shard { sim, sessions }));
+        }
+
+        ShardedWorld {
+            cfg: cfg.clone(),
+            shards,
+            released: 0,
+            resolved: 0,
+            next_wave: 0,
+            epochs: 0,
+            now: SimTime::ZERO,
+            nodes,
+        }
+    }
+
+    /// Runs the population to completion (all sessions resolved) or to
+    /// the configured deadline, whichever comes first.
+    ///
+    /// Each epoch: advance every shard to the epoch boundary in parallel,
+    /// then — sequentially, in shard order — poll outcomes and release
+    /// any wave that has come due. Both sequential phases see every shard
+    /// at exactly the boundary time, so their effects are identical
+    /// under any worker count or shard layout.
+    pub fn run(&mut self) {
+        if self.cfg.sessions == 0 {
+            return;
+        }
+        let waves = self.cfg.waves.max(1);
+        let workers = self.cfg.workers.unwrap_or_else(par::jobs);
+        let hard_deadline = SimTime::ZERO + self.cfg.connect_at + self.cfg.deadline;
+        let mut boundary = SimTime::ZERO + self.cfg.connect_at;
+        loop {
+            par::run_with_workers(&self.shards, workers, |_, m| {
+                lock(m).sim.run_until(boundary);
+            });
+            self.now = boundary;
+            self.epochs += 1;
+
+            // Poll released-but-unresolved sessions, in shard order.
+            let mut newly = 0usize;
+            for m in &self.shards {
+                let shard = &mut *lock(m);
+                for sess in &mut shard.sessions {
+                    if !sess.released || sess.outcome != SessionOutcome::Pending {
+                        continue;
+                    }
+                    let app = shard.sim.device::<HostDevice>(sess.a).app::<UdpPeer>();
+                    let outcome = if app.is_established(sess.peer_b) {
+                        SessionOutcome::Direct
+                    } else if app.is_relaying(sess.peer_b) {
+                        SessionOutcome::Relay
+                    } else if app.is_failed(sess.peer_b) {
+                        SessionOutcome::Failed
+                    } else {
+                        continue;
+                    };
+                    sess.outcome = outcome;
+                    sess.resolved_at = Some(boundary);
+                    newly += 1;
+                }
+            }
+            self.resolved += newly;
+
+            // Release the next wave once 90% of released sessions have
+            // resolved (wave 0 goes out unconditionally at connect_at).
+            while self.next_wave < waves
+                && (self.next_wave == 0 || self.resolved * 10 >= self.released * 9)
+            {
+                let w = self.next_wave;
+                let lo = w * self.cfg.sessions / waves;
+                let hi = (w + 1) * self.cfg.sessions / waves;
+                for i in lo..hi {
+                    let m = &self.shards[i % self.shards.len()];
+                    let shard = &mut *lock(m);
+                    let sess = &mut shard.sessions[i / self.shards.len()];
+                    debug_assert_eq!(sess.global, i);
+                    let (a, peer_b) = (sess.a, sess.peer_b);
+                    with_peer(&mut shard.sim, a, |app, os| app.connect(os, peer_b));
+                    sess.released = true;
+                }
+                self.released += hi - lo;
+                self.next_wave += 1;
+            }
+
+            if (self.released == self.cfg.sessions && self.resolved == self.released)
+                || boundary >= hard_deadline
+            {
+                break;
+            }
+            boundary += self.cfg.epoch;
+        }
+    }
+
+    /// Total nodes across all shards (routers and servers included).
+    pub fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Epoch boundaries crossed so far.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// The common sim time all shards have reached.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Outcome totals across the population.
+    pub fn outcome_counts(&self) -> OutcomeCounts {
+        let mut c = OutcomeCounts::default();
+        for m in &self.shards {
+            for sess in &lock(m).sessions {
+                match sess.outcome {
+                    SessionOutcome::Pending => c.pending += 1,
+                    SessionOutcome::Direct => c.direct += 1,
+                    SessionOutcome::Relay => c.relay += 1,
+                    SessionOutcome::Failed => c.failed += 1,
+                }
+            }
+        }
+        c
+    }
+
+    /// Engine counters summed across shards.
+    pub fn merged_stats(&self) -> SimStats {
+        let mut total = SimStats::default();
+        for m in &self.shards {
+            let s = lock(m).sim.stats();
+            total.events += s.events;
+            total.packets_sent += s.packets_sent;
+            total.packets_delivered += s.packets_delivered;
+            total.packets_lost += s.packets_lost;
+            total.device_drops += s.device_drops;
+            total.link_down_drops += s.link_down_drops;
+            total.packets_duplicated += s.packets_duplicated;
+            total.packets_reordered += s.packets_reordered;
+            total.packets_corrupted += s.packets_corrupted;
+            total.packets_truncated += s.packets_truncated;
+            total.faults_injected += s.faults_injected;
+            total.busy_nanos += s.busy_nanos;
+        }
+        total
+    }
+
+    /// Event-queue/pool counters across shards: high-water marks take the
+    /// max, volume counters sum.
+    pub fn merged_queue_stats(&self) -> QueueStats {
+        let mut total = QueueStats::default();
+        for m in &self.shards {
+            let q = lock(m).sim.queue_stats();
+            total.depth_high_water = total.depth_high_water.max(q.depth_high_water);
+            total.pool_slots += q.pool_slots;
+            total.pool_recycled += q.pool_recycled;
+            total.batches_coalesced += q.batches_coalesced;
+        }
+        total
+    }
+
+    /// Metrics registries merged in shard order (empty when metrics were
+    /// not enabled in the config).
+    pub fn merged_metrics(&self) -> MetricsSnapshot {
+        let mut total = MetricsSnapshot::default();
+        for m in &self.shards {
+            total.merge(&lock(m).sim.metrics_snapshot());
+        }
+        total
+    }
+
+    /// One line per session in global order — the byte-identity artifact
+    /// for determinism checks across shard layouts and worker counts.
+    pub fn report(&self) -> String {
+        let mut lines: Vec<(usize, String)> = Vec::with_capacity(self.cfg.sessions);
+        for m in &self.shards {
+            for sess in &lock(m).sessions {
+                let when = match sess.resolved_at {
+                    Some(at) => format!("{at}"),
+                    None => "-".to_string(),
+                };
+                lines.push((
+                    sess.global,
+                    format!("m{} {} @{}", sess.global, sess.outcome.label(), when),
+                ));
+            }
+        }
+        lines.sort_by_key(|&(g, _)| g);
+        let mut out = String::new();
+        for (_, line) in lines {
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Locks a shard, treating poisoning (a prior worker panic) as fatal.
+fn lock(m: &Mutex<Shard>) -> std::sync::MutexGuard<'_, Shard> {
+    m.lock().expect("shard worker panicked") // punch-lint: allow(P001) poisoned lock only follows a worker panic, which is already fatal
+}
+
+/// Runs `f` against a client node's [`UdpPeer`] with a live [`Os`].
+fn with_peer<R>(sim: &mut Sim, node: NodeId, f: impl FnOnce(&mut UdpPeer, &mut Os<'_, '_>) -> R) -> R {
+    sim.with_node(node, |dev, ctx| {
+        let host = dev.downcast_mut::<HostDevice>().expect("node is a host"); // punch-lint: allow(P001) typed-accessor contract: shard builder created the node as a host
+        host.with_app::<UdpPeer, R>(ctx, f)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_world(sessions: usize, shards: usize) -> ShardedWorld {
+        let mut cfg = ShardConfig::new(42, sessions);
+        cfg.shards = shards;
+        let mut w = ShardedWorld::build(&cfg);
+        w.run();
+        w
+    }
+
+    #[test]
+    fn small_population_resolves_with_expected_mix() {
+        let w = run_world(10, 2);
+        let c = w.outcome_counts();
+        assert_eq!(c.pending, 0);
+        assert_eq!(c.direct + c.relay + c.failed, 10);
+        // Nine port-restricted pairs punch directly; whatever the tenth
+        // (symmetric) pair does, it must resolve somehow.
+        assert!(c.direct >= 9, "direct={c:?}");
+    }
+
+    #[test]
+    fn report_is_identical_across_shard_layouts() {
+        let one = run_world(12, 1);
+        let four = run_world(12, 4);
+        assert_eq!(one.report(), four.report());
+        assert_eq!(one.outcome_counts(), four.outcome_counts());
+    }
+
+    #[test]
+    fn waves_release_everyone() {
+        let mut cfg = ShardConfig::new(7, 9);
+        cfg.shards = 3;
+        cfg.waves = 3;
+        let mut w = ShardedWorld::build(&cfg);
+        w.run();
+        let c = w.outcome_counts();
+        assert_eq!(c.pending, 0);
+        assert_eq!(c.direct + c.relay + c.failed, 9);
+    }
+}

@@ -1,0 +1,56 @@
+//! Determinism contract for the sharded world: per-session outcomes are
+//! byte-identical whether a population runs unsharded or split across
+//! shards, and whether the shard pool uses one worker or many.
+
+use punch_lab::{ShardConfig, ShardedWorld};
+
+fn run(sessions: usize, shards: usize, workers: usize, metrics: bool) -> ShardedWorld {
+    let mut cfg = ShardConfig::new(1234, sessions);
+    cfg.shards = shards;
+    cfg.workers = Some(workers);
+    cfg.metrics = metrics;
+    cfg.waves = 2;
+    let mut w = ShardedWorld::build(&cfg);
+    w.run();
+    w
+}
+
+#[test]
+fn sharded_matches_unsharded_at_any_worker_count() {
+    let base = run(24, 1, 1, false);
+    let baseline = base.report();
+    assert!(baseline.contains("direct"), "baseline:\n{baseline}");
+
+    for (shards, workers) in [(4, 1), (4, 4), (3, 2)] {
+        let w = run(24, shards, workers, false);
+        assert_eq!(
+            w.report(),
+            baseline,
+            "outcome drift at shards={shards} workers={workers}"
+        );
+        assert_eq!(w.outcome_counts(), base.outcome_counts());
+    }
+}
+
+#[test]
+fn worker_count_does_not_change_merged_counters() {
+    // Same layout at different pool sizes: everything merged must match,
+    // including engine counters and the metrics registry (busy_nanos is
+    // wall-clock and excluded by comparing field-by-field).
+    let a = run(16, 4, 1, true);
+    let b = run(16, 4, 4, true);
+    assert_eq!(a.report(), b.report());
+
+    let (sa, sb) = (a.merged_stats(), b.merged_stats());
+    assert_eq!(sa.events, sb.events);
+    assert_eq!(sa.packets_sent, sb.packets_sent);
+    assert_eq!(sa.packets_delivered, sb.packets_delivered);
+    assert_eq!(sa.packets_lost, sb.packets_lost);
+    assert_eq!(sa.device_drops, sb.device_drops);
+
+    assert_eq!(a.merged_queue_stats(), b.merged_queue_stats());
+    assert_eq!(
+        format!("{:?}", a.merged_metrics()),
+        format!("{:?}", b.merged_metrics())
+    );
+}

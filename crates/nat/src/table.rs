@@ -137,7 +137,11 @@ pub struct NatTables {
     next_id: MapId,
     /// Ordered so [`NatTables::iter`], [`NatTables::sweep`] and
     /// [`NatTables::len`] walk entries in id (creation) order.
-    entries: BTreeMap<MapId, MapEntry>,
+    /// Boxed so the `BTreeMap`'s 11-entry nodes stay pointer-sized per
+    /// slot: an inline `MapEntry` (~90 bytes) makes every NAT with a
+    /// single mapping allocate a ~1 KB node, which dominates NAT-table
+    /// RSS in population-scale simulations.
+    entries: BTreeMap<MapId, Box<MapEntry>>,
     // punch-lint: allow(D002) per-packet translation lookup; only iterated via retain(), an order-insensitive removal
     out_index: HashMap<OutKey, MapId>,
     // punch-lint: allow(D002) per-packet demux lookup; never iterated
@@ -180,7 +184,7 @@ impl NatTables {
         let key = out_key(policy, proto, private, remote);
         let id = *self.out_index.get(&key)?;
         let e = self.entries.get(&id)?;
-        (e.expires_at > now).then_some(e)
+        (e.expires_at > now).then_some(e.as_ref())
     }
 
     /// Finds or creates the mapping for an outbound packet. `alloc`
@@ -230,7 +234,7 @@ impl NatTables {
             expires_at: now, // caller refreshes immediately
             tcp: TcpTrack::default(),
         };
-        self.entries.insert(id, entry);
+        self.entries.insert(id, Box::new(entry));
         self.out_index.insert(key, id);
         self.pub_index.insert((proto, public), id);
         Some((id, true))
@@ -265,12 +269,12 @@ impl NatTables {
 
     /// Returns a live entry by id.
     pub fn get(&self, id: MapId) -> Option<&MapEntry> {
-        self.entries.get(&id)
+        self.entries.get(&id).map(Box::as_ref)
     }
 
     /// Returns a mutable live entry by id.
     pub fn get_mut(&mut self, id: MapId) -> Option<&mut MapEntry> {
-        self.entries.get_mut(&id)
+        self.entries.get_mut(&id).map(Box::as_mut)
     }
 
     /// Returns true if `public` is currently allocated for `proto`.
@@ -314,7 +318,7 @@ impl NatTables {
 
     /// Iterates over all entries (diagnostics).
     pub fn iter(&self) -> impl Iterator<Item = &MapEntry> {
-        self.entries.values()
+        self.entries.values().map(Box::as_ref)
     }
 }
 

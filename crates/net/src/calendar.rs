@@ -1,0 +1,608 @@
+//! A calendar (bucket) priority queue for simulation events.
+//!
+//! The engine dispatches events in strict `(time, sequence)` order. A
+//! binary heap gives that order in `O(log n)` per operation with poor
+//! cache behaviour: every push and pop shuffles entries across the whole
+//! array. A calendar queue exploits what a heap cannot — simulated time
+//! only moves forward, and most events are scheduled a short, bounded
+//! distance into the future — to make both operations amortized `O(1)`:
+//!
+//! - Time is divided into fixed-width *days* of `2^DAY_SHIFT` nanoseconds.
+//! - A power-of-two ring of buckets (the *wheel*) holds every event whose
+//!   day falls inside the current horizon; push is a `Vec::push` into
+//!   `bucket[day & mask]`.
+//! - Events beyond the horizon go to an *overflow* binary heap and
+//!   migrate into the wheel as the horizon advances past them, each
+//!   exactly once.
+//! - Popping drains the earliest occupied day into a working set sorted
+//!   descending by `(at, seq)` (unique keys, so unstable sorting is
+//!   deterministic) and serves from its tail.
+//!
+//! The pop order is **exactly** the `(at, seq)` order a `BinaryHeap` with
+//! the same reversed comparator would produce — the property the pinned
+//! result artifacts rest on — verified against a heap model over
+//! arbitrary schedules in `tests/proptest_calendar.rs`.
+//!
+//! The wheel starts small and grows in two ways: explicitly via
+//! [`CalendarQueue::ensure_capacity_for`] (the engine derives a target
+//! from the node count as the world is built) and adaptively when the
+//! overflow tier comes under pressure, so a million-endpoint world and a
+//! three-node unit test both get a right-sized ring.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Width of one bucket ("day") as a power of two: `2^16` ns ≈ 65.5 µs,
+/// comfortably below the shortest stock link latency (200 µs LAN), so a
+/// forwarding chain almost never lands in the bucket it is draining.
+const DAY_SHIFT: u32 = 16;
+
+/// Smallest wheel: 256 buckets ≈ a 16.8 ms horizon.
+const MIN_BUCKETS: usize = 256;
+
+/// Largest wheel: 65 536 buckets ≈ a 4.3 s horizon, enough to keep punch
+/// round-trips and spray timers out of the overflow tier at million-node
+/// scale while costing ~1.5 MiB of bucket headers.
+const MAX_BUCKETS: usize = 1 << 16;
+
+/// Cap for the *derived* pre-size (536 ms horizon): large worlds keep
+/// their dense near-future traffic in the wheel, while long-period
+/// timers (keepalives, give-up deadlines) ride the overflow tier, which
+/// handles sparse far-future entries in `O(log n)` without paying cold
+/// bucket allocations across a huge ring. Sustained overflow pressure
+/// still grows the wheel adaptively up to [`MAX_BUCKETS`].
+const PRESIZE_MAX_BUCKETS: usize = 1 << 13;
+
+/// One queued item, keyed by `(at, seq)`.
+///
+/// `seq` values must be unique across all live entries (the engine uses
+/// a monotone insertion counter); ties on `at` pop in `seq` order.
+#[derive(Debug)]
+pub struct Entry<T> {
+    /// Scheduled simulation time.
+    pub at: SimTime,
+    /// Insertion sequence number, the tie-break within one instant.
+    pub seq: u64,
+    /// The payload.
+    pub item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    /// Reversed on `(at, seq)`: the overflow `BinaryHeap` (a max-heap)
+    /// pops earliest-first, and an ascending sort under this order lays a
+    /// working set out descending, with the earliest entry at the tail.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A monotone-time priority queue; see the [module docs](self).
+pub struct CalendarQueue<T> {
+    /// The wheel. `buckets.len()` is a power of two.
+    buckets: Vec<Vec<Entry<T>>>,
+    /// One bit per bucket, set iff the bucket is non-empty, so a scan
+    /// for the next occupied day is a word-at-a-time bit search instead
+    /// of probing empty `Vec`s one simulated day at a time.
+    occupied: Vec<u64>,
+    /// `buckets.len() - 1`, for day-to-index masking.
+    mask: u64,
+    /// Entries currently stored in the wheel.
+    wheel_len: usize,
+    /// Next day to scan; every wheel/overflow entry has `day >= cursor`.
+    cursor: u64,
+    /// Wheel horizon: pushes at `day < migrated_until` go to the wheel,
+    /// later ones to the overflow heap. Advancing past it triggers a
+    /// migration. May exceed `cursor + buckets.len()` after a cursor
+    /// rewind; day-filtered draining makes the aliasing harmless.
+    migrated_until: u64,
+    /// Drained working set, sorted descending by `(at, seq)`; the front
+    /// of the queue is its tail.
+    current: Vec<Entry<T>>,
+    /// Fast-path flag: true while the working set's tail is known to be
+    /// the global minimum, letting `front`/`pop_front` skip `prepare`.
+    /// Invalidated by any operation that could put an earlier entry in
+    /// storage (a push at or before the tail's day, or a pop exposing a
+    /// tail from a later day).
+    ready: bool,
+    /// Events beyond the wheel horizon, earliest on top.
+    overflow: BinaryHeap<Entry<T>>,
+    /// Total entries across wheel, overflow, and working set.
+    len: usize,
+}
+
+impl<T> Default for CalendarQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> CalendarQueue<T> {
+    /// Creates an empty queue with the minimum wheel size.
+    pub fn new() -> Self {
+        CalendarQueue {
+            buckets: (0..MIN_BUCKETS).map(|_| Vec::new()).collect(),
+            occupied: vec![0; MIN_BUCKETS / 64],
+            mask: MIN_BUCKETS as u64 - 1,
+            wheel_len: 0,
+            cursor: 0,
+            migrated_until: MIN_BUCKETS as u64,
+            current: Vec::new(),
+            ready: false,
+            overflow: BinaryHeap::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of queued entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns true if no entries are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current wheel size in buckets (a power of two).
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    #[inline]
+    fn day(at: SimTime) -> u64 {
+        at.as_nanos() >> DAY_SHIFT
+    }
+
+    #[inline]
+    fn mark_occupied(&mut self, idx: usize) {
+        self.occupied[idx >> 6] |= 1u64 << (idx & 63);
+    }
+
+    #[inline]
+    fn mark_empty(&mut self, idx: usize) {
+        self.occupied[idx >> 6] &= !(1u64 << (idx & 63));
+    }
+
+    #[inline]
+    fn is_occupied(&self, idx: usize) -> bool {
+        self.occupied[idx >> 6] & (1u64 << (idx & 63)) != 0
+    }
+
+    /// Ring distance (in buckets, `1..=len`) from `idx` to the next
+    /// occupied bucket, or `None` if the whole wheel is empty. A set bit
+    /// may belong to a bucket holding only entries of a *later* rotation
+    /// (day aliasing), so callers treat the result as a skip distance
+    /// over definitely-empty buckets, not a guarantee of a hit.
+    fn next_occupied_distance(&self, idx: usize) -> Option<usize> {
+        let n = self.buckets.len();
+        let nwords = self.occupied.len();
+        let start = (idx + 1) & (n - 1);
+        let mut w = start >> 6;
+        let mut word = self.occupied[w] & (u64::MAX << (start & 63));
+        let mut scanned = 0;
+        loop {
+            if word != 0 {
+                let bit = (w << 6) | word.trailing_zeros() as usize;
+                let dist = (bit + n - idx) & (n - 1);
+                return Some(if dist == 0 { n } else { dist });
+            }
+            scanned += 1;
+            if scanned > nwords {
+                return None;
+            }
+            w += 1;
+            if w == nwords {
+                w = 0;
+            }
+            word = self.occupied[w];
+        }
+    }
+
+    /// Grows the wheel (it never shrinks) so that a population of
+    /// `actors` concurrently-scheduling entities keeps its working set
+    /// inside the horizon. The engine calls this as nodes are added,
+    /// replacing any fixed pre-size with one derived from world size.
+    pub fn ensure_capacity_for(&mut self, actors: usize) {
+        self.grow_to(actors.saturating_mul(4).clamp(MIN_BUCKETS, PRESIZE_MAX_BUCKETS));
+    }
+
+    /// Inserts an entry. `seq` must be unique among live entries.
+    pub fn push(&mut self, at: SimTime, seq: u64, item: T) {
+        self.len += 1;
+        let d = Self::day(at);
+        // An entry on or before the working set's front day may belong
+        // ahead of it; drop the fast path and let `prepare` re-merge.
+        // (Later days can never precede the tail, so the flag survives
+        // the common push-ahead pattern.)
+        match self.current.last() {
+            Some(tail) if d > Self::day(tail.at) => {}
+            _ => self.ready = false,
+        }
+        if self.len == 1 {
+            // The queue was empty, so the window can re-anchor on this
+            // event for free; a long-idle queue then never scans the
+            // empty days in between.
+            self.cursor = d;
+            self.migrated_until = d + self.buckets.len() as u64;
+        } else if d < self.cursor {
+            // A push may land before a day an earlier scan already
+            // passed (e.g. a timer armed right after `run_until` peeked
+            // beyond its deadline). Rewinding is sound: scans only skip
+            // days that were empty when scanned.
+            self.cursor = d;
+        }
+        if d < self.migrated_until {
+            let idx = (d & self.mask) as usize;
+            self.buckets[idx].push(Entry { at, seq, item });
+            self.mark_occupied(idx);
+            self.wheel_len += 1;
+        } else {
+            self.overflow.push(Entry { at, seq, item });
+            // Sustained far-future load means the horizon is too short
+            // for this workload; double the wheel rather than churning
+            // entries through the heap.
+            if self.overflow.len() > self.buckets.len() * 4 && self.buckets.len() < MAX_BUCKETS {
+                let target = self.buckets.len() * 2;
+                self.grow_to(target);
+            }
+        }
+    }
+
+    /// The earliest entry, if any, without removing it.
+    pub fn front(&mut self) -> Option<&Entry<T>> {
+        if self.len == 0 {
+            return None;
+        }
+        if !self.ready || self.current.is_empty() {
+            self.prepare();
+            self.ready = true;
+        }
+        self.current.last()
+    }
+
+    /// The earliest entry's scheduled time, if any.
+    pub fn next_at(&mut self) -> Option<SimTime> {
+        self.front().map(|e| e.at)
+    }
+
+    /// Removes and returns the earliest entry.
+    pub fn pop_front(&mut self) -> Option<Entry<T>> {
+        if self.len == 0 {
+            return None;
+        }
+        if !self.ready || self.current.is_empty() {
+            self.prepare();
+            self.ready = true;
+        }
+        let e = self.current.pop();
+        debug_assert!(e.is_some(), "prepare left an empty working set");
+        if let Some(popped) = &e {
+            self.len -= 1;
+            // A new tail from a later day may be preceded by wheel or
+            // overflow entries in the gap; only a same-day tail is still
+            // known-minimal (its whole day was drained together).
+            match self.current.last() {
+                Some(tail) if Self::day(tail.at) == Self::day(popped.at) => {}
+                _ => self.ready = false,
+            }
+        }
+        e
+    }
+
+    /// Establishes: the working set's tail is the global minimum. Only
+    /// called with `len > 0`, and guarantees `current` is non-empty on
+    /// return.
+    fn prepare(&mut self) {
+        loop {
+            let limit = self.current.last().map(|e| Self::day(e.at));
+            if let Some(l) = limit {
+                if self.cursor >= l {
+                    // Nothing in storage can precede the working set's
+                    // front; merge same-day arrivals (if any) and serve.
+                    if self.wheel_len > 0 {
+                        self.drain_bucket_day(l);
+                    }
+                    return;
+                }
+            }
+            if self.wheel_len == 0 {
+                let overflow_day = self.overflow.peek().map(|e| Self::day(e.at));
+                match (limit, overflow_day) {
+                    // Only the working set remains (non-empty: len > 0).
+                    (_, None) => return,
+                    // Overflow is strictly later than the working set's
+                    // front: fast-forward and serve.
+                    (Some(l), Some(o)) if o > l => {
+                        self.cursor = l;
+                    }
+                    // Jump the window to the overflow's first day.
+                    (_, Some(o)) => {
+                        self.cursor = o;
+                        if self.migrated_until < o {
+                            self.migrated_until = o;
+                        }
+                        self.migrate();
+                    }
+                }
+                continue;
+            }
+            // The wheel has entries: scan forward for the next occupied
+            // day, stopping once the working set's front day is reached.
+            loop {
+                if limit.is_some_and(|l| self.cursor >= l) {
+                    break;
+                }
+                if self.cursor >= self.migrated_until {
+                    self.migrate();
+                }
+                let idx = (self.cursor & self.mask) as usize;
+                if self.is_occupied(idx) {
+                    if self.drain_bucket_day(self.cursor) > 0 {
+                        break;
+                    }
+                    // The bucket held only later-rotation entries; step
+                    // past it.
+                    self.cursor += 1;
+                } else {
+                    // Skip straight over definitely-empty buckets, but
+                    // never past the migration horizon (overflow entries
+                    // inside the skipped range must migrate first) or
+                    // the working set's front day.
+                    let mut jump = self
+                        .next_occupied_distance(idx)
+                        .map_or(u64::MAX, |d| d as u64)
+                        .min(self.migrated_until - self.cursor);
+                    if let Some(l) = limit {
+                        jump = jump.min(l - self.cursor);
+                    }
+                    self.cursor += jump;
+                }
+                if self.wheel_len == 0 {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Extends the horizon to at least `cursor + buckets.len()` and moves
+    /// every overflow entry now inside it into the wheel.
+    fn migrate(&mut self) {
+        let horizon = self.cursor + self.buckets.len() as u64;
+        if self.migrated_until < horizon {
+            self.migrated_until = horizon;
+        }
+        while let Some(top) = self.overflow.peek() {
+            if Self::day(top.at) >= self.migrated_until {
+                break;
+            }
+            if let Some(e) = self.overflow.pop() {
+                let d = Self::day(e.at);
+                let idx = (d & self.mask) as usize;
+                self.buckets[idx].push(e);
+                self.mark_occupied(idx);
+                self.wheel_len += 1;
+            }
+        }
+    }
+
+    /// Moves the entries of day `d` from its bucket into the working set
+    /// and re-sorts; entries aliased from other rotations stay behind.
+    /// Returns how many entries moved.
+    fn drain_bucket_day(&mut self, d: u64) -> usize {
+        let idx = (d & self.mask) as usize;
+        let bucket = &mut self.buckets[idx];
+        if bucket.is_empty() {
+            return 0;
+        }
+        let moved;
+        if bucket.iter().all(|e| Self::day(e.at) == d) {
+            // Overwhelmingly the common case: the bucket holds only this
+            // rotation, so the whole Vec moves and keeps its capacity.
+            moved = bucket.len();
+            self.current.append(bucket);
+            self.mark_empty(idx);
+        } else {
+            let before = bucket.len();
+            let mut i = 0;
+            while i < bucket.len() {
+                if Self::day(bucket[i].at) == d {
+                    self.current.push(bucket.swap_remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+            moved = before - bucket.len();
+            if moved == 0 {
+                return 0;
+            }
+        }
+        self.wheel_len -= moved;
+        // Ascending under the reversed `Ord` = descending by `(at, seq)`;
+        // keys are unique, so the unstable sort is deterministic.
+        self.current.sort_unstable();
+        moved
+    }
+
+    fn grow_to(&mut self, target: usize) {
+        let target = target.next_power_of_two().min(MAX_BUCKETS);
+        if target <= self.buckets.len() {
+            return;
+        }
+        let mut moved: Vec<Entry<T>> = Vec::with_capacity(self.wheel_len);
+        for b in &mut self.buckets {
+            moved.append(b);
+        }
+        self.buckets.resize_with(target, Vec::new);
+        self.occupied = vec![0; target / 64];
+        self.mask = target as u64 - 1;
+        // Keep any horizon already promised (a rewind can leave
+        // `migrated_until` far ahead of the cursor); never shrink it, or
+        // wheel entries would violate the overflow invariant.
+        let horizon = self.cursor + target as u64;
+        if self.migrated_until < horizon {
+            self.migrated_until = horizon;
+        }
+        self.wheel_len = 0;
+        for e in moved {
+            let d = Self::day(e.at);
+            let idx = (d & self.mask) as usize;
+            self.buckets[idx].push(e);
+            self.mark_occupied(idx);
+            self.wheel_len += 1;
+        }
+        self.migrate();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn t(nanos: u64) -> SimTime {
+        SimTime::ZERO + Duration::from_nanos(nanos)
+    }
+
+    fn drain(q: &mut CalendarQueue<u32>) -> Vec<(u64, u64, u32)> {
+        let mut out = Vec::new();
+        while let Some(e) = q.pop_front() {
+            out.push((e.at.as_nanos(), e.seq, e.item));
+        }
+        out
+    }
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut q = CalendarQueue::new();
+        q.push(t(500), 0, 10);
+        q.push(t(100), 1, 11);
+        q.push(t(100), 2, 12);
+        q.push(t(300), 3, 13);
+        assert_eq!(q.len(), 4);
+        assert_eq!(
+            drain(&mut q),
+            vec![(100, 1, 11), (100, 2, 12), (300, 3, 13), (500, 0, 10)]
+        );
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn far_future_entries_go_through_overflow_and_back() {
+        let mut q = CalendarQueue::new();
+        // Far beyond the minimum wheel horizon (256 days ≈ 16.8 ms).
+        q.push(t(3_600_000_000_000), 0, 1); // 1 hour
+        q.push(t(10), 1, 2);
+        q.push(t(60_000_000_000), 2, 3); // 1 minute
+        assert_eq!(
+            drain(&mut q),
+            vec![
+                (10, 1, 2),
+                (60_000_000_000, 2, 3),
+                (3_600_000_000_000, 0, 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn interleaved_push_and_pop_keeps_order() {
+        let mut q = CalendarQueue::new();
+        q.push(t(1_000_000), 0, 0);
+        q.push(t(2_000_000), 1, 1);
+        assert_eq!(q.pop_front().map(|e| e.item), Some(0));
+        // Same-day and earlier-day pushes after a pop.
+        q.push(t(1_500_000), 2, 2);
+        q.push(t(2_000_001), 3, 3);
+        assert_eq!(q.pop_front().map(|e| e.item), Some(2));
+        assert_eq!(q.pop_front().map(|e| e.item), Some(1));
+        assert_eq!(q.pop_front().map(|e| e.item), Some(3));
+        assert!(q.pop_front().is_none());
+    }
+
+    #[test]
+    fn push_below_a_peeked_day_still_pops_first() {
+        // Peeking scans the cursor forward; a later push below that day
+        // (legal: the clock has not reached the peeked event) must still
+        // pop before it.
+        let mut q = CalendarQueue::new();
+        q.push(t(500_000_000), 0, 0); // day ≈ 7629
+        assert_eq!(q.next_at(), Some(t(500_000_000)));
+        q.push(t(1_000_000), 1, 1); // well below the scanned day
+        assert_eq!(q.pop_front().map(|e| e.item), Some(1));
+        assert_eq!(q.pop_front().map(|e| e.item), Some(0));
+    }
+
+    #[test]
+    fn same_instant_preserves_insertion_order_across_tiers() {
+        let mut q = CalendarQueue::new();
+        for seq in 0..100 {
+            q.push(t(42), seq, seq as u32);
+        }
+        let popped: Vec<u32> = std::iter::from_fn(|| q.pop_front().map(|e| e.item)).collect();
+        assert_eq!(popped, (0..100).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn growth_preserves_contents_and_order() {
+        let mut q = CalendarQueue::new();
+        // Spread entries over ~20 s so most sit in overflow, then force
+        // growth and check nothing is lost or reordered.
+        let mut expect = Vec::new();
+        for seq in 0..3_000u64 {
+            let at = (seq * 7_919_111) % 20_000_000_000;
+            q.push(t(at), seq, seq as u32);
+            expect.push((at, seq));
+        }
+        q.ensure_capacity_for(100_000);
+        assert!(q.bucket_count() > MIN_BUCKETS);
+        expect.sort_unstable();
+        let got: Vec<(u64, u64)> = drain(&mut q)
+            .into_iter()
+            .map(|(at, s, _)| (at, s))
+            .collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn adaptive_growth_relieves_overflow_pressure() {
+        let mut q = CalendarQueue::new();
+        let before = q.bucket_count();
+        // Anchor the window at time zero, then park many entries far
+        // beyond its horizon.
+        q.push(t(0), 0, 0u32);
+        for seq in 1..(MIN_BUCKETS as u64 * 4 + 3) {
+            q.push(t(1_000_000_000 + seq), seq, 0u32);
+        }
+        assert!(q.bucket_count() > before, "wheel should have grown");
+        assert_eq!(q.len(), MIN_BUCKETS * 4 + 3);
+    }
+
+    #[test]
+    fn len_tracks_all_tiers() {
+        let mut q = CalendarQueue::new();
+        assert!(q.is_empty());
+        q.push(t(5), 0, 0);
+        q.push(t(50_000_000_000), 1, 0); // overflow
+        assert_eq!(q.len(), 2);
+        let _ = q.front();
+        assert_eq!(q.len(), 2, "peeking must not consume");
+        let _ = q.pop_front();
+        assert_eq!(q.len(), 1);
+        let _ = q.pop_front();
+        assert!(q.is_empty());
+    }
+}

@@ -42,11 +42,13 @@
 //! ```
 
 pub mod addr;
+pub mod calendar;
 pub mod fault;
 pub mod link;
 pub mod metrics;
 pub mod node;
 pub mod packet;
+mod pool;
 pub mod router;
 pub mod seed;
 pub mod sim;
@@ -61,7 +63,7 @@ pub use metrics::{Histogram, MetricKey, Metrics, MetricsSnapshot};
 pub use node::{Ctx, Device, IfaceId, NodeId};
 pub use packet::{Body, IcmpKind, IcmpMessage, Packet, Proto, TcpFlags, TcpSegment};
 pub use router::Router;
-pub use sim::{LinkId, Sim, SimStats};
+pub use sim::{LinkId, QueueStats, Sim, SimStats};
 pub use time::SimTime;
 pub use trace::{TraceDir, TraceEvent, Tracer};
 

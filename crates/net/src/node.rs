@@ -48,8 +48,10 @@ pub type IfaceId = usize;
 /// timers, and draw deterministic randomness through the [`Ctx`].
 ///
 /// The trait requires [`Any`] so harness code can downcast a node back to
-/// its concrete device type via [`crate::Sim::device`].
-pub trait Device: Any {
+/// its concrete device type via [`crate::Sim::device`], and [`Send`] so a
+/// whole [`crate::Sim`] can be handed to a worker thread (sharded worlds
+/// advance many independent sims from a thread pool).
+pub trait Device: Any + Send {
     /// Called once, when the simulation first runs after the node is added.
     fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
 

@@ -8,6 +8,7 @@
 use crate::addr::Cidr;
 use crate::node::{Ctx, Device, IfaceId};
 use crate::packet::{IcmpKind, IcmpMessage, Packet};
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 /// A static-routing IPv4 router.
@@ -30,7 +31,14 @@ use std::net::Ipv4Addr;
 /// sim.device_mut::<Router>(r).add_route("10.0.0.0/8".parse().unwrap(), r_iface);
 /// ```
 pub struct Router {
-    routes: Vec<(Cidr, IfaceId)>,
+    /// `/32` host routes, split out of the linear table: a sharded-world
+    /// router carries two host routes per punch session (one per NAT
+    /// public address), so the common exact-match case must not pay a
+    /// scan over the whole table.
+    host: BTreeMap<Ipv4Addr, IfaceId>,
+    /// All shorter-than-`/32` prefixes, matched linearly (such tables
+    /// stay small — a handful of realm prefixes — even at scale).
+    prefixes: Vec<(Cidr, IfaceId)>,
     /// Whether to send ICMP TTL-exceeded on expiry (default true).
     pub icmp_ttl_exceeded: bool,
     /// Address used as the source of ICMP errors this router originates.
@@ -47,7 +55,8 @@ impl Router {
     /// Creates a router with no routes.
     pub fn new() -> Self {
         Router {
-            routes: Vec::new(),
+            host: BTreeMap::new(),
+            prefixes: Vec::new(),
             icmp_ttl_exceeded: true,
             router_addr: Ipv4Addr::UNSPECIFIED,
         }
@@ -56,13 +65,24 @@ impl Router {
     /// Installs a route: packets whose destination matches `prefix` are
     /// forwarded out `iface`.
     pub fn add_route(&mut self, prefix: Cidr, iface: IfaceId) -> &mut Self {
-        self.routes.push((prefix, iface));
+        if prefix.prefix_len() == 32 {
+            // Last insert wins on duplicates, matching what the linear
+            // table's longest-prefix tie-break (last maximum) did.
+            self.host.insert(prefix.network(), iface);
+        } else {
+            self.prefixes.push((prefix, iface));
+        }
         self
     }
 
     /// Looks up the output interface for `dst` (longest prefix wins).
     pub fn lookup(&self, dst: Ipv4Addr) -> Option<IfaceId> {
-        self.routes
+        // A `/32` is the longest possible match, and only one host route
+        // can cover `dst`, so a hit here is always the answer.
+        if let Some(&iface) = self.host.get(&dst) {
+            return Some(iface);
+        }
+        self.prefixes
             .iter()
             .filter(|(p, _)| p.contains(dst))
             .max_by_key(|(p, _)| p.prefix_len())
@@ -151,6 +171,23 @@ mod tests {
         router2.add_route("10.2.0.0/16".parse().unwrap(), 1);
         router2.add_route("10.0.0.0/8".parse().unwrap(), 0);
         assert_eq!(router2.lookup("10.2.3.4".parse().unwrap()), Some(1));
+    }
+
+    #[test]
+    fn host_routes_beat_prefixes_and_last_duplicate_wins() {
+        let mut router = Router::new();
+        router.add_route("10.0.0.0/8".parse().unwrap(), 0);
+        router.add_route("10.2.3.4/32".parse().unwrap(), 1);
+        assert_eq!(router.lookup("10.2.3.4".parse().unwrap()), Some(1));
+        assert_eq!(router.lookup("10.2.3.5".parse().unwrap()), Some(0));
+        // Re-installing a host route replaces it, exactly as the linear
+        // table's tie-break (last of the equal-length matches) behaved.
+        router.add_route("10.2.3.4/32".parse().unwrap(), 2);
+        assert_eq!(router.lookup("10.2.3.4".parse().unwrap()), Some(2));
+        // And a host route with no covering prefix still resolves.
+        router.add_route("99.9.9.9/32".parse().unwrap(), 3);
+        assert_eq!(router.lookup("99.9.9.9".parse().unwrap()), Some(3));
+        assert_eq!(router.lookup("99.9.9.8".parse().unwrap()), None);
     }
 
     #[test]

@@ -145,7 +145,10 @@ impl Os<'_, '_> {
 }
 
 /// An event-driven application running on a [`HostDevice`].
-pub trait App: Any {
+///
+/// `Send` is required (as on [`punch_net::Device`]) so sims hosting apps
+/// can be advanced from worker threads in sharded worlds.
+pub trait App: Any + Send {
     /// Called once when the host starts.
     fn on_start(&mut self, _os: &mut Os<'_, '_>) {}
 
@@ -184,6 +187,16 @@ pub struct HostDevice {
     /// Stack counters already published to the metrics registry; the
     /// device reports deltas after each callback.
     published: StackStats,
+    /// Reusable drain buffers for [`Self::drive`]; retained across
+    /// callbacks so the per-packet dispatch loop never allocates.
+    scratch: DriveScratch,
+}
+
+#[derive(Default)]
+struct DriveScratch {
+    packets: Vec<Packet>,
+    events: Vec<SockEvent>,
+    timers: Vec<(Duration, u64)>,
 }
 
 impl HostDevice {
@@ -197,6 +210,7 @@ impl HostDevice {
             app,
             started: false,
             published: StackStats::default(),
+            scratch: DriveScratch::default(),
         }
     }
 
@@ -245,7 +259,7 @@ impl HostDevice {
             ctx,
         };
         let r = f(app, &mut os);
-        Self::drive(&mut self.stack, self.app.as_mut(), ctx);
+        Self::drive(&mut self.stack, self.app.as_mut(), &mut self.scratch, ctx);
         self.flush_metrics(ctx);
         r
     }
@@ -275,27 +289,36 @@ impl HostDevice {
 
     /// Flushes stack side effects and dispatches pending events to the
     /// app, repeating until quiescent (app callbacks may generate more).
-    fn drive(stack: &mut HostStack, app: &mut dyn App, ctx: &mut Ctx<'_>) {
+    fn drive(
+        stack: &mut HostStack,
+        app: &mut dyn App,
+        scratch: &mut DriveScratch,
+        ctx: &mut Ctx<'_>,
+    ) {
         loop {
-            for pkt in stack.take_packets() {
+            stack.drain_packets_into(&mut scratch.packets);
+            for pkt in scratch.packets.drain(..) {
                 ctx.send(0, pkt);
             }
-            for (after, token) in stack.take_timers() {
+            stack.drain_timers_into(&mut scratch.timers);
+            for (after, token) in scratch.timers.drain(..) {
                 ctx.set_timer(after, token);
             }
-            let events = stack.take_events();
-            if events.is_empty() {
+            stack.drain_events_into(&mut scratch.events);
+            if scratch.events.is_empty() {
                 // One more flush in case the last app callback queued
                 // packets but no events.
-                for pkt in stack.take_packets() {
+                stack.drain_packets_into(&mut scratch.packets);
+                for pkt in scratch.packets.drain(..) {
                     ctx.send(0, pkt);
                 }
-                for (after, token) in stack.take_timers() {
+                stack.drain_timers_into(&mut scratch.timers);
+                for (after, token) in scratch.timers.drain(..) {
                     ctx.set_timer(after, token);
                 }
                 return;
             }
-            for ev in events {
+            for ev in scratch.events.drain(..) {
                 let mut os = Os { stack, ctx };
                 app.on_event(&mut os, ev);
             }
@@ -315,13 +338,13 @@ impl Device for HostDevice {
             ctx,
         };
         self.app.on_start(&mut os);
-        Self::drive(&mut self.stack, self.app.as_mut(), ctx);
+        Self::drive(&mut self.stack, self.app.as_mut(), &mut self.scratch, ctx);
         self.flush_metrics(ctx);
     }
 
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, _iface: IfaceId, pkt: Packet) {
         self.stack.handle_packet(pkt);
-        Self::drive(&mut self.stack, self.app.as_mut(), ctx);
+        Self::drive(&mut self.stack, self.app.as_mut(), &mut self.scratch, ctx);
         self.flush_metrics(ctx);
     }
 
@@ -333,7 +356,7 @@ impl Device for HostDevice {
             };
             self.app.on_timer(&mut os, token);
         }
-        Self::drive(&mut self.stack, self.app.as_mut(), ctx);
+        Self::drive(&mut self.stack, self.app.as_mut(), &mut self.scratch, ctx);
         self.flush_metrics(ctx);
     }
 
@@ -343,7 +366,7 @@ impl Device for HostDevice {
             ctx,
         };
         self.app.on_fault(&mut os, fault);
-        Self::drive(&mut self.stack, self.app.as_mut(), ctx);
+        Self::drive(&mut self.stack, self.app.as_mut(), &mut self.scratch, ctx);
         self.flush_metrics(ctx);
     }
 }

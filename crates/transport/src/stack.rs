@@ -148,6 +148,28 @@ impl HostStack {
         std::mem::take(&mut self.timers)
     }
 
+    /// Appends queued transmissions to `buf`, leaving the internal
+    /// queue empty but with its capacity intact. The `take_*` variants
+    /// surrender the backing allocation, so a stack driven once per
+    /// packet pays a malloc/free per delivery; the `drain_*_into`
+    /// family exists so a long-lived driver can recycle one scratch
+    /// buffer instead.
+    pub fn drain_packets_into(&mut self, buf: &mut Vec<Packet>) {
+        buf.append(&mut self.out);
+    }
+
+    /// Appends pending application events to `buf`; see
+    /// [`Self::drain_packets_into`] for why this exists.
+    pub fn drain_events_into(&mut self, buf: &mut Vec<SockEvent>) {
+        buf.append(&mut self.events);
+    }
+
+    /// Appends pending timer requests to `buf`; see
+    /// [`Self::drain_packets_into`] for why this exists.
+    pub fn drain_timers_into(&mut self, buf: &mut Vec<(Duration, u64)>) {
+        buf.append(&mut self.timers);
+    }
+
     /// Returns the number of live sockets (tests/diagnostics).
     pub fn socket_count(&self) -> usize {
         self.socks.len()

@@ -28,6 +28,12 @@
 #   8. metrics determinism smoke          — the chaos bin's metrics export
 #                                           is byte-identical for the same
 #                                           seeds at 1 vs 2 workers
+#   9. million-scale shard smoke          — a capped ShardedWorld run's
+#                                           per-session outcome report is
+#                                           byte-identical at 1 vs 2
+#                                           workers, every session
+#                                           resolves, and events/sec gets
+#                                           a soft (warn-only) floor
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -101,6 +107,32 @@ if ! cmp -s "$tmpdir/m1.json" "$tmpdir/m2.json"; then
     exit 1
 fi
 echo "OK: metrics export byte-identical across worker counts"
+
+echo "== million-scale shard smoke (sharded-world determinism, 1 vs 2 workers) =="
+PUNCH_JOBS=1 cargo run --release --quiet -p punch-bench --bin million -- \
+    --sessions 400 --shards 4 --out "$tmpdir/million.json" \
+    --report-out "$tmpdir/shard1.txt" > /dev/null
+PUNCH_JOBS=2 cargo run --release --quiet -p punch-bench --bin million -- \
+    --sessions 400 --shards 4 --no-write \
+    --report-out "$tmpdir/shard2.txt" > /dev/null
+if ! cmp -s "$tmpdir/shard1.txt" "$tmpdir/shard2.txt"; then
+    echo "FAIL: sharded-world per-session outcomes differ between 1 and 2 workers" >&2
+    diff "$tmpdir/shard1.txt" "$tmpdir/shard2.txt" >&2 || true
+    exit 1
+fi
+python3 - "$tmpdir/million.json" <<'PYEOF'
+import json, sys
+j = json.load(open(sys.argv[1]))
+if j["pending"] or j["failed"]:
+    sys.exit(f"FAIL: shard smoke left sessions unresolved: {j['failed']} failed, {j['pending']} pending")
+# Soft floor only: the tracked metric lives in results/BENCH_million.json;
+# this guards against order-of-magnitude regressions without flaking on
+# noisy or slow CI hosts.
+rate = j["events_per_sec_per_core"]
+if rate < 100_000:
+    print(f"WARN: events/sec/core {rate} below the 100k soft floor", file=sys.stderr)
+PYEOF
+echo "OK: shard outcomes byte-identical across worker counts, all sessions resolved"
 
 echo "== decoder fuzz suites (wire codecs + TCP segment storms) =="
 cargo test -q -p punch-rendezvous --test proptest_wire

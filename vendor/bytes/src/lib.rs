@@ -1,13 +1,18 @@
 //! Offline stand-in for the [`bytes`](https://crates.io/crates/bytes)
 //! crate, providing the subset of its API this workspace uses.
 //!
-//! [`Bytes`] is an immutable, cheaply-cloneable byte buffer backed by an
-//! `Arc<[u8]>` plus a `(start, end)` window — `clone` and `slice` are
-//! O(1) and never copy. [`BytesMut`] is a growable buffer over `Vec<u8>`
-//! with a read cursor, so the codec pattern `extend_from_slice` /
-//! `advance` / `split_to` / `freeze` works as upstream. The [`Buf`] and
-//! [`BufMut`] traits carry the big-endian integer accessors the wire
-//! codecs rely on.
+//! [`Bytes`] is an immutable, cheaply-cloneable byte buffer with a
+//! small-buffer optimization: content up to 64 bytes is stored inline
+//! (clone/slice are a struct copy, no heap), while larger content sits
+//! behind an `Arc<Vec<u8>>` plus a `(start, end)` window — `clone` and
+//! `slice` are O(1) and never copy the payload, and freezing a `Vec`
+//! moves it behind the `Arc` without copying. [`BytesMut`] is the
+//! growable counterpart with a read cursor (inline until it outgrows
+//! the inline space), so the codec pattern `extend_from_slice` /
+//! `advance` / `split_to` / `freeze` works as upstream and encoding a
+//! small wire message allocates nothing. The [`Buf`] and [`BufMut`]
+//! traits carry the big-endian integer accessors the wire codecs rely
+//! on.
 
 #![warn(missing_docs)]
 
@@ -17,12 +22,49 @@ use std::hash::{Hash, Hasher};
 use std::ops::{Bound, Deref, DerefMut, RangeBounds};
 use std::sync::Arc;
 
-/// An immutable, reference-counted byte buffer; `clone` is O(1).
-#[derive(Clone, Default)]
+/// Buffers at or below this length are stored inline (no heap); above
+/// it they live behind an `Arc<Vec<u8>>`. 64 bytes covers every control
+/// message in this workspace's wire protocols, so the hot
+/// encode-freeze-deliver path allocates nothing.
+const INLINE_CAP: usize = 64;
+
+#[derive(Clone)]
+enum Repr {
+    /// Small-buffer form: the window `buf[start..end]`, owned inline.
+    Inline {
+        buf: [u8; INLINE_CAP],
+        start: u8,
+        end: u8,
+    },
+    /// Shared form: the window `data[start..end]` of a refcounted heap
+    /// buffer; `clone`/`slice` bump the refcount instead of copying.
+    Shared {
+        data: Arc<Vec<u8>>,
+        start: usize,
+        end: usize,
+    },
+}
+
+/// An immutable, cheaply-cloneable byte buffer.
+///
+/// Buffers up to [`INLINE_CAP`] bytes are stored inline — clone and
+/// slice are a memcpy of the struct, never a heap operation. Larger
+/// buffers are reference-counted; `clone` is O(1).
+#[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
-    start: usize,
-    end: usize,
+    repr: Repr,
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes {
+            repr: Repr::Inline {
+                buf: [0; INLINE_CAP],
+                start: 0,
+                end: 0,
+            },
+        }
+    }
 }
 
 impl Bytes {
@@ -41,29 +83,50 @@ impl Bytes {
 
     /// Creates a buffer holding a copy of `data`.
     pub fn copy_from_slice(data: &[u8]) -> Self {
+        if data.len() <= INLINE_CAP {
+            let mut buf = [0; INLINE_CAP];
+            buf[..data.len()].copy_from_slice(data);
+            return Bytes {
+                repr: Repr::Inline {
+                    buf,
+                    start: 0,
+                    end: data.len() as u8,
+                },
+            };
+        }
         Bytes {
-            data: Arc::from(data),
-            start: 0,
-            end: data.len(),
+            repr: Repr::Shared {
+                data: Arc::new(data.to_vec()),
+                start: 0,
+                end: data.len(),
+            },
         }
     }
 
     /// Returns the number of bytes in the buffer.
     pub fn len(&self) -> usize {
-        self.end - self.start
+        match &self.repr {
+            Repr::Inline { start, end, .. } => (end - start) as usize,
+            Repr::Shared { start, end, .. } => end - start,
+        }
     }
 
     /// Returns `true` if the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.start == self.end
+        self.len() == 0
     }
 
     /// Returns the bytes as a slice.
     pub fn as_slice(&self) -> &[u8] {
-        &self.data[self.start..self.end]
+        match &self.repr {
+            Repr::Inline { buf, start, end } => &buf[*start as usize..*end as usize],
+            Repr::Shared { data, start, end } => &data[*start..*end],
+        }
     }
 
-    /// Returns a sub-window of this buffer without copying.
+    /// Returns a sub-window of this buffer without copying the payload
+    /// to the heap (inline buffers are copied inline; shared buffers
+    /// share storage).
     ///
     /// # Panics
     ///
@@ -81,10 +144,21 @@ impl Bytes {
             Bound::Unbounded => len,
         };
         assert!(begin <= end && end <= len, "slice out of bounds");
-        Bytes {
-            data: Arc::clone(&self.data),
-            start: self.start + begin,
-            end: self.start + end,
+        match &self.repr {
+            Repr::Inline { buf, start, .. } => Bytes {
+                repr: Repr::Inline {
+                    buf: *buf,
+                    start: start + begin as u8,
+                    end: start + end as u8,
+                },
+            },
+            Repr::Shared { data, start, .. } => Bytes {
+                repr: Repr::Shared {
+                    data: Arc::clone(data),
+                    start: start + begin,
+                    end: start + end,
+                },
+            },
         }
     }
 
@@ -95,13 +169,20 @@ impl Bytes {
     /// Panics if `at > len`.
     pub fn split_to(&mut self, at: usize) -> Bytes {
         assert!(at <= self.len(), "split_to out of bounds");
-        let head = Bytes {
-            data: Arc::clone(&self.data),
-            start: self.start,
-            end: self.start + at,
-        };
-        self.start += at;
+        let head = self.slice(..at);
+        match &mut self.repr {
+            Repr::Inline { start, .. } => *start += at as u8,
+            Repr::Shared { start, .. } => *start += at,
+        }
         head
+    }
+
+    #[cfg(test)]
+    fn shared_arc(&self) -> Option<&Arc<Vec<u8>>> {
+        match &self.repr {
+            Repr::Inline { .. } => None,
+            Repr::Shared { data, .. } => Some(data),
+        }
     }
 }
 
@@ -200,12 +281,20 @@ impl PartialEq<Bytes> for Vec<u8> {
 }
 
 impl From<Vec<u8>> for Bytes {
+    /// Takes ownership of `v` without copying the payload: the freeze
+    /// path (encode into a `Vec`/`BytesMut`, then publish as `Bytes`)
+    /// costs one `Arc` allocation, never a payload copy. (Small vectors
+    /// are deliberately not converted to the inline form — the caller
+    /// already paid for the heap buffer, so moving it is cheaper than
+    /// copying and freeing.)
     fn from(v: Vec<u8>) -> Self {
         let end = v.len();
         Bytes {
-            data: Arc::from(v),
-            start: 0,
-            end,
+            repr: Repr::Shared {
+                data: Arc::new(v),
+                start: 0,
+                end,
+            },
         }
     }
 }
@@ -259,11 +348,39 @@ impl<'a> IntoIterator for &'a Bytes {
 }
 
 /// A growable byte buffer with a read cursor.
-#[derive(Clone, Default, PartialEq, Eq)]
+///
+/// Content at or below [`INLINE_CAP`] unconsumed bytes starts inline
+/// (no heap); the buffer spills to a `Vec` only when it outgrows the
+/// inline space. Together with the inline form of [`Bytes`], this makes
+/// encoding and freezing a small wire message allocation-free.
+#[derive(Clone)]
+enum MutRepr {
+    /// Unread window `buf[head..len]`, owned inline.
+    Inline {
+        buf: [u8; INLINE_CAP],
+        head: u8,
+        len: u8,
+    },
+    /// Spilled form; unread window is `buf[head..]`.
+    Heap { buf: Vec<u8>, head: usize },
+}
+
+/// See the module docs; this is the mutable counterpart of [`Bytes`].
+#[derive(Clone)]
 pub struct BytesMut {
-    buf: Vec<u8>,
-    /// Read cursor: bytes before this index have been consumed.
-    head: usize,
+    repr: MutRepr,
+}
+
+impl Default for BytesMut {
+    fn default() -> Self {
+        BytesMut {
+            repr: MutRepr::Inline {
+                buf: [0; INLINE_CAP],
+                head: 0,
+                len: 0,
+            },
+        }
+    }
 }
 
 impl BytesMut {
@@ -272,17 +389,25 @@ impl BytesMut {
         BytesMut::default()
     }
 
-    /// Creates an empty buffer with `cap` bytes of capacity.
+    /// Creates an empty buffer with at least `cap` bytes of capacity.
     pub fn with_capacity(cap: usize) -> Self {
+        if cap <= INLINE_CAP {
+            return BytesMut::default();
+        }
         BytesMut {
-            buf: Vec::with_capacity(cap),
-            head: 0,
+            repr: MutRepr::Heap {
+                buf: Vec::with_capacity(cap),
+                head: 0,
+            },
         }
     }
 
     /// Returns the number of unread bytes.
     pub fn len(&self) -> usize {
-        self.buf.len() - self.head
+        match &self.repr {
+            MutRepr::Inline { head, len, .. } => (len - head) as usize,
+            MutRepr::Heap { buf, head } => buf.len() - head,
+        }
     }
 
     /// Returns `true` if no unread bytes remain.
@@ -290,15 +415,46 @@ impl BytesMut {
         self.len() == 0
     }
 
+    /// Moves inline content to the heap with room for `additional` more
+    /// bytes. Consumed prefix bytes are dropped in the move (invisible
+    /// to the read-cursor API).
+    fn spill(&mut self, additional: usize) {
+        if let MutRepr::Inline { buf, head, len } = &self.repr {
+            let unread = &buf[*head as usize..*len as usize];
+            let mut v = Vec::with_capacity((unread.len() + additional).max(2 * INLINE_CAP));
+            v.extend_from_slice(unread);
+            self.repr = MutRepr::Heap { buf: v, head: 0 };
+        }
+    }
+
     /// Appends `data`.
     pub fn extend_from_slice(&mut self, data: &[u8]) {
-        self.compact_if_large();
-        self.buf.extend_from_slice(data);
+        match &mut self.repr {
+            MutRepr::Inline { buf, len, .. } if *len as usize + data.len() <= INLINE_CAP => {
+                buf[*len as usize..*len as usize + data.len()].copy_from_slice(data);
+                *len += data.len() as u8;
+            }
+            MutRepr::Inline { .. } => {
+                self.spill(data.len());
+                self.extend_from_slice(data);
+            }
+            MutRepr::Heap { buf, head } => {
+                compact_if_large(buf, head);
+                buf.extend_from_slice(data);
+            }
+        }
     }
 
     /// Reserves space for `additional` more bytes.
     pub fn reserve(&mut self, additional: usize) {
-        self.buf.reserve(additional);
+        match &mut self.repr {
+            MutRepr::Inline { len, .. } => {
+                if *len as usize + additional > INLINE_CAP {
+                    self.spill(additional);
+                }
+            }
+            MutRepr::Heap { buf, .. } => buf.reserve(additional),
+        }
     }
 
     /// Splits off and returns the first `at` unread bytes.
@@ -308,36 +464,83 @@ impl BytesMut {
     /// Panics if `at > len`.
     pub fn split_to(&mut self, at: usize) -> BytesMut {
         assert!(at <= self.len(), "split_to out of bounds");
-        let head = BytesMut {
-            buf: self.buf[self.head..self.head + at].to_vec(),
-            head: 0,
-        };
-        self.head += at;
-        self.compact_if_large();
-        head
+        match &mut self.repr {
+            MutRepr::Inline { buf, head, .. } => {
+                let mut out = [0; INLINE_CAP];
+                out[..at].copy_from_slice(&buf[*head as usize..*head as usize + at]);
+                *head += at as u8;
+                BytesMut {
+                    repr: MutRepr::Inline {
+                        buf: out,
+                        head: 0,
+                        len: at as u8,
+                    },
+                }
+            }
+            MutRepr::Heap { buf, head } => {
+                let split = if at <= INLINE_CAP {
+                    let mut out = [0; INLINE_CAP];
+                    out[..at].copy_from_slice(&buf[*head..*head + at]);
+                    BytesMut {
+                        repr: MutRepr::Inline {
+                            buf: out,
+                            head: 0,
+                            len: at as u8,
+                        },
+                    }
+                } else {
+                    BytesMut {
+                        repr: MutRepr::Heap {
+                            buf: buf[*head..*head + at].to_vec(),
+                            head: 0,
+                        },
+                    }
+                };
+                *head += at;
+                compact_if_large(buf, head);
+                split
+            }
+        }
     }
 
-    /// Freezes into an immutable [`Bytes`] without copying the tail.
-    pub fn freeze(mut self) -> Bytes {
-        if self.head > 0 {
-            self.buf.drain(..self.head);
+    /// Freezes into an immutable [`Bytes`] without copying a heap tail
+    /// (inline content stays inline, costing nothing).
+    pub fn freeze(self) -> Bytes {
+        match self.repr {
+            MutRepr::Inline { buf, head, len } => Bytes::copy_from_slice(&buf[head as usize..len as usize]),
+            MutRepr::Heap { mut buf, head } => {
+                if head > 0 {
+                    buf.drain(..head);
+                }
+                Bytes::from(buf)
+            }
         }
-        Bytes::from(self.buf)
     }
 
     fn as_slice(&self) -> &[u8] {
-        &self.buf[self.head..]
-    }
-
-    /// Drops consumed prefix bytes once they dominate the allocation, so
-    /// long-lived stream reassembly buffers do not grow without bound.
-    fn compact_if_large(&mut self) {
-        if self.head > 4096 && self.head * 2 >= self.buf.len() {
-            self.buf.drain(..self.head);
-            self.head = 0;
+        match &self.repr {
+            MutRepr::Inline { buf, head, len } => &buf[*head as usize..*len as usize],
+            MutRepr::Heap { buf, head } => &buf[*head..],
         }
     }
 }
+
+/// Drops consumed prefix bytes once they dominate the allocation, so
+/// long-lived stream reassembly buffers do not grow without bound.
+fn compact_if_large(buf: &mut Vec<u8>, head: &mut usize) {
+    if *head > 4096 && *head * 2 >= buf.len() {
+        buf.drain(..*head);
+        *head = 0;
+    }
+}
+
+impl PartialEq for BytesMut {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for BytesMut {}
 
 impl Deref for BytesMut {
     type Target = [u8];
@@ -349,8 +552,13 @@ impl Deref for BytesMut {
 
 impl DerefMut for BytesMut {
     fn deref_mut(&mut self) -> &mut [u8] {
-        let head = self.head;
-        &mut self.buf[head..]
+        match &mut self.repr {
+            MutRepr::Inline { buf, head, len } => &mut buf[*head as usize..*len as usize],
+            MutRepr::Heap { buf, head } => {
+                let head = *head;
+                &mut buf[head..]
+            }
+        }
     }
 }
 
@@ -452,7 +660,10 @@ impl Buf for Bytes {
 
     fn advance(&mut self, cnt: usize) {
         assert!(cnt <= self.len(), "advance past end");
-        self.start += cnt;
+        match &mut self.repr {
+            Repr::Inline { start, .. } => *start += cnt as u8,
+            Repr::Shared { start, .. } => *start += cnt,
+        }
     }
 }
 
@@ -467,8 +678,13 @@ impl Buf for BytesMut {
 
     fn advance(&mut self, cnt: usize) {
         assert!(cnt <= self.len(), "advance past end");
-        self.head += cnt;
-        self.compact_if_large();
+        match &mut self.repr {
+            MutRepr::Inline { head, .. } => *head += cnt as u8,
+            MutRepr::Heap { buf, head } => {
+                *head += cnt;
+                compact_if_large(buf, head);
+            }
+        }
     }
 }
 
@@ -522,7 +738,45 @@ mod tests {
         assert_eq!(b.len(), 5);
         let c = b.clone();
         assert_eq!(c, b);
-        assert!(Arc::ptr_eq(&c.data, &b.data));
+        assert!(Arc::ptr_eq(
+            c.shared_arc().expect("From<Vec> is shared"),
+            b.shared_arc().expect("From<Vec> is shared"),
+        ));
+    }
+
+    #[test]
+    fn small_buffers_stay_inline_and_behave_like_shared() {
+        // copy_from_slice at or under the inline cap never touches the
+        // heap; all window operations must be indistinguishable from the
+        // shared form.
+        let data: Vec<u8> = (0..INLINE_CAP as u8).collect();
+        let b = Bytes::copy_from_slice(&data);
+        assert!(b.shared_arc().is_none(), "should be inline");
+        assert_eq!(b.len(), INLINE_CAP);
+        let s = b.slice(10..20);
+        assert!(s.shared_arc().is_none());
+        assert_eq!(&s[..], &data[10..20]);
+        let mut rest = b.clone();
+        let head = rest.split_to(5);
+        assert_eq!(&head[..], &data[..5]);
+        assert_eq!(&rest[..], &data[5..]);
+        // One past the cap spills to the shared form.
+        let big = Bytes::copy_from_slice(&vec![7u8; INLINE_CAP + 1]);
+        assert!(big.shared_arc().is_some());
+    }
+
+    #[test]
+    fn bytesmut_spills_across_the_inline_cap() {
+        let mut m = BytesMut::with_capacity(8);
+        let payload: Vec<u8> = (0..200u8).collect();
+        for chunk in payload.chunks(7) {
+            m.extend_from_slice(chunk);
+        }
+        assert_eq!(&m[..], &payload[..]);
+        m.advance(3);
+        let part = m.split_to(100);
+        assert_eq!(&part[..], &payload[3..103]);
+        assert_eq!(m.freeze(), payload[103..]);
     }
 
     #[test]
