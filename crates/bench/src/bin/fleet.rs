@@ -1,0 +1,205 @@
+//! Rendezvous-fleet benchmark: a flash crowd of registrations against
+//! sharded server fleets of increasing size, with a fleet member
+//! restarting mid-crowd.
+//!
+//! For each fleet size *n*, the same population of punch sessions
+//! registers k-of-n (consistent-hash ring owners), introductions route
+//! across shards server-to-server, and one member restarts while the
+//! crowd is connecting. The JSON records introduction throughput and
+//! punch-latency percentiles per fleet size; every field is derived
+//! from sim time and sim counters, so the file is byte-identical under
+//! any `PUNCH_JOBS` worker count (wall-clock timings go to stdout
+//! only).
+//!
+//! Run: `cargo run --release -p punch-bench --bin fleet`
+//!
+//! Flags (all optional):
+//!   --sessions N     punch sessions per fleet size (default 50000 —
+//!                    100k clients, each registering with k owners)
+//!   --fleets A,B,C   fleet sizes to sweep (default 1,4,16)
+//!   --replication K  ring owners per client (default 2)
+//!   --shards N       per-shard sims (default 16)
+//!   --workers N      worker pool size (default: PUNCH_JOBS / detected)
+//!   --restart-ms N   restart fleet member 1 at this sim time (default
+//!                    2500; 0 disables)
+//!   --seed N         master seed (default 2005)
+//!   --out PATH       JSON destination (default results/BENCH_fleet.json)
+//!   --no-write       print JSON to stdout only
+
+use punch_lab::{par, ShardConfig, ShardedWorld};
+use punch_net::Duration;
+use std::time::Instant;
+
+struct Args {
+    sessions: usize,
+    fleets: Vec<usize>,
+    replication: usize,
+    shards: usize,
+    workers: Option<usize>,
+    restart_ms: u64,
+    seed: u64,
+    out: String,
+    write: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        sessions: 50_000,
+        fleets: vec![1, 4, 16],
+        replication: 2,
+        shards: 16,
+        workers: None,
+        restart_ms: 2_500,
+        seed: 2005,
+        out: "results/BENCH_fleet.json".to_string(),
+        write: true,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} needs a value")) // punch-lint: allow(P001) CLI usage error
+        };
+        match flag.as_str() {
+            "--sessions" => args.sessions = val("--sessions").parse().expect("--sessions"), // punch-lint: allow(P001) CLI usage error
+            "--fleets" => {
+                args.fleets = val("--fleets")
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--fleets")) // punch-lint: allow(P001) CLI usage error
+                    .collect();
+            }
+            "--replication" => {
+                args.replication = val("--replication").parse().expect("--replication") // punch-lint: allow(P001) CLI usage error
+            }
+            "--shards" => args.shards = val("--shards").parse().expect("--shards"), // punch-lint: allow(P001) CLI usage error
+            "--workers" => args.workers = Some(val("--workers").parse().expect("--workers")), // punch-lint: allow(P001) CLI usage error
+            "--restart-ms" => {
+                args.restart_ms = val("--restart-ms").parse().expect("--restart-ms") // punch-lint: allow(P001) CLI usage error
+            }
+            "--seed" => args.seed = val("--seed").parse().expect("--seed"), // punch-lint: allow(P001) CLI usage error
+            "--out" => args.out = val("--out"),
+            "--no-write" => args.write = false,
+            other => panic!("unknown flag {other}"), // punch-lint: allow(P001) CLI usage error
+        }
+    }
+    args
+}
+
+/// Nearest-rank percentile (integer arithmetic; `lats` must be sorted).
+fn percentile_ms(lats: &[Duration], q: usize) -> Option<f64> {
+    if lats.is_empty() {
+        return None;
+    }
+    let idx = (lats.len() * q).div_ceil(100).max(1) - 1;
+    Some(lats[idx.min(lats.len() - 1)].as_secs_f64() * 1e3)
+}
+
+fn json_f64(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v:.3}"),
+        None => "null".to_string(),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let workers = args.workers.unwrap_or_else(par::jobs);
+    let mut legs = Vec::new();
+
+    for &n in &args.fleets {
+        let mut cfg = ShardConfig::new(args.seed, args.sessions);
+        cfg.shards = args.shards;
+        cfg.workers = args.workers;
+        cfg.servers = n;
+        cfg.replication = args.replication;
+        cfg.resilient_clients = true;
+        cfg.deadline = Duration::from_secs(120);
+        if args.restart_ms > 0 {
+            cfg.server_restart = Some((1, Duration::from_millis(args.restart_ms)));
+        }
+
+        // punch-lint: allow(D001) deliberate host-time measurement; printed to stdout only, never in the pinned JSON
+        let t0 = Instant::now();
+        let mut world = ShardedWorld::build(&cfg);
+        world.run();
+        let wall = t0.elapsed();
+
+        let counts = world.outcome_counts();
+        let stats = world.fleet_stats();
+        let mut lats = world.latencies();
+        lats.sort_unstable();
+        let sim_secs = world.now().saturating_since(punch_net::SimTime::ZERO).as_secs_f64();
+        let intro_rate = stats.introductions as f64 / sim_secs.max(f64::MIN_POSITIVE);
+        let p50 = percentile_ms(&lats, 50);
+        let p99 = percentile_ms(&lats, 99);
+
+        println!(
+            "n={n}: {} sessions in {wall:.2?} ({workers} workers), sim {}: \
+             direct {} relay {} failed {} pending {}; \
+             {} registrations, {} introductions ({:.0}/sim-s), \
+             {} forwards ({} served, {} errors), {} restarts",
+            args.sessions,
+            world.now(),
+            counts.direct,
+            counts.relay,
+            counts.failed,
+            counts.pending,
+            stats.registrations,
+            stats.introductions,
+            intro_rate,
+            stats.forwards,
+            stats.forwards_served,
+            stats.forward_errors,
+            stats.restarts,
+        );
+
+        legs.push(format!(
+            "    {{\n      \"servers\": {n},\n      \"direct\": {},\n      \"relay\": {},\n      \
+             \"failed\": {},\n      \"pending\": {},\n      \"registrations\": {},\n      \
+             \"introductions\": {},\n      \"forwards\": {},\n      \"forwards_served\": {},\n      \
+             \"forward_errors\": {},\n      \"evictions\": {},\n      \"restarts\": {},\n      \
+             \"sim_ms\": {:.1},\n      \"introductions_per_sim_sec\": {:.1},\n      \
+             \"punch_p50_ms\": {},\n      \"punch_p99_ms\": {}\n    }}",
+            counts.direct,
+            counts.relay,
+            counts.failed,
+            counts.pending,
+            stats.registrations,
+            stats.introductions,
+            stats.forwards,
+            stats.forwards_served,
+            stats.forward_errors,
+            stats.evictions,
+            stats.restarts,
+            sim_secs * 1e3,
+            intro_rate,
+            json_f64(p50),
+            json_f64(p99),
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"experiment\": \"rendezvous_fleet\",\n  \"seed\": {},\n  \"sessions\": {},\n  \
+         \"clients\": {},\n  \"replication\": {},\n  \"shards\": {},\n  \
+         \"restart_member\": {},\n  \"restart_at_ms\": {},\n  \"fleets\": [\n{}\n  ]\n}}\n",
+        args.seed,
+        args.sessions,
+        2 * args.sessions,
+        args.replication,
+        args.shards,
+        if args.restart_ms > 0 { "1" } else { "null" },
+        args.restart_ms,
+        legs.join(",\n"),
+    );
+
+    if args.write {
+        match std::fs::create_dir_all("results")
+            .and_then(|()| std::fs::write(&args.out, &json))
+        {
+            Ok(()) => println!("(wrote {})", args.out),
+            Err(e) => eprintln!("warning: could not write {}: {e}", args.out),
+        }
+    } else {
+        println!("{json}");
+    }
+}

@@ -98,6 +98,44 @@ fn main() {
     let queue = world.merged_queue_stats();
     let events_per_sec = stats.events as f64 * 1e9 / stats.busy_nanos.max(1) as f64;
 
+    // Speedup leg: re-run with the complementary worker count (1 if the
+    // main run was parallel, the detected pool if it was sequential) so
+    // the JSON records a real parallel-over-sequential ratio whenever
+    // the host has more than one core — and byte-identity across pool
+    // sizes gets checked as a side effect.
+    let detected = par::detected_cores();
+    let speedup = if detected > 1 {
+        let other = if workers > 1 { 1 } else { detected };
+        let mut cfg2 = cfg.clone();
+        cfg2.workers = Some(other);
+        let mut world2 = ShardedWorld::build(&cfg2);
+        // punch-lint: allow(D001) deliberate host-time measurement; lands in BENCH_million.json timings, not in pinned tables
+        let t2 = Instant::now();
+        world2.run();
+        let other_wall = t2.elapsed();
+        assert_eq!(
+            world.report(),
+            world2.report(),
+            "reports must be byte-identical across worker counts"
+        );
+        let (seq, par) = if workers > 1 {
+            (other_wall, run_wall)
+        } else {
+            (run_wall, other_wall)
+        };
+        println!(
+            "speedup leg ({other} workers) ran in {other_wall:.2?}: {:.2}x",
+            seq.as_secs_f64() / par.as_secs_f64().max(f64::MIN_POSITIVE)
+        );
+        Some(seq.as_secs_f64() / par.as_secs_f64().max(f64::MIN_POSITIVE))
+    } else {
+        None
+    };
+    let speedup_json = match speedup {
+        Some(s) => format!("{s:.2}"),
+        None => "null".to_string(),
+    };
+
     println!(
         "ran to {} in {:.2?} ({} epochs, {} workers): \
          direct {} relay {} failed {} pending {}",
@@ -123,7 +161,7 @@ fn main() {
 
     let json = format!(
         "{{\n  \"experiment\": \"million_scale\",\n  \"seed\": {},\n  \"sessions\": {},\n  \
-         \"shards\": {},\n  \"detected_cores\": {},\n  \"workers\": {},\n  \"waves\": {},\n  \"nodes\": {},\n  \
+         \"shards\": {},\n  \"detected_cores\": {},\n  \"workers\": {},\n  \"speedup\": {},\n  \"waves\": {},\n  \"nodes\": {},\n  \
          \"epochs\": {},\n  \"sim_now\": \"{}\",\n  \"direct\": {},\n  \"relay\": {},\n  \
          \"failed\": {},\n  \"pending\": {},\n  \"sim_events\": {},\n  \
          \"packets_delivered\": {},\n  \"build_wall_ms\": {:.1},\n  \"run_wall_ms\": {:.1},\n  \
@@ -133,8 +171,9 @@ fn main() {
         args.seed,
         args.sessions,
         world.shard_count(),
-        par::detected_cores(),
+        detected,
         workers,
+        speedup_json,
         args.waves,
         world.node_count(),
         world.epochs(),

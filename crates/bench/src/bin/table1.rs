@@ -25,15 +25,22 @@ fn main() {
         let r = run_survey_mutated_with_workers(2005, None, workers, |_, _| {});
         (r, t.elapsed())
     };
-    let workers = par::jobs();
+    // The parallel leg must actually exercise a pool whenever the host
+    // has one: `PUNCH_JOBS=1` pins the *default* pool size, but the
+    // whole point of this leg is the sequential-vs-parallel ratio, so
+    // fall back to the detected core count when the default is 1.
+    let workers = match par::jobs() {
+        1 => par::detected_cores().max(1),
+        j => j,
+    };
     let (mut seq, mut seq_elapsed) = timed(Some(1));
-    let (mut result, mut par_elapsed) = timed(None);
+    let (mut result, mut par_elapsed) = timed(Some(workers));
     for _ in 0..2 {
         let (r, e) = timed(Some(1));
         if e < seq_elapsed {
             (seq, seq_elapsed) = (r, e);
         }
-        let (r, e) = timed(None);
+        let (r, e) = timed(Some(workers));
         if e < par_elapsed {
             (result, par_elapsed) = (r, e);
         }

@@ -71,11 +71,27 @@ impl Classifier {
     /// Creates a classifier probing `servers` (1 or 2 rendezvous servers;
     /// two distinct server IPs are needed to distinguish
     /// address-dependent from address-and-port-dependent mapping).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is empty, or if a server's main port is
+    /// 65535: the probe port is `port + 1`, which would overflow `u16`
+    /// (in release builds the old code silently wrapped to port 0 and
+    /// probed the wrong endpoint).
     pub fn new(servers: Vec<Endpoint>) -> Self {
         assert!(!servers.is_empty(), "need at least one server");
+        for s in &servers {
+            assert!(
+                s.port != u16::MAX,
+                "server {s} has main port 65535: its probe port (port + 1) would overflow u16"
+            );
+        }
         let targets: Vec<Endpoint> = servers
             .iter()
-            .flat_map(|s| [*s, s.with_port(s.port + 1)])
+            .flat_map(|s| {
+                let probe = s.port.checked_add(1).expect("probe port overflows u16; rejected above"); // punch-lint: allow(P001) every server port is validated != 65535 at entry
+                [*s, s.with_port(probe)]
+            })
             .collect();
         let observed = vec![None; targets.len()];
         Classifier {
@@ -326,6 +342,22 @@ mod tests {
             (ep("1.1.1.1:2"), ep("155.99.25.11:62000")),
         ];
         assert_eq!(measure_delta(&obs), None);
+    }
+
+    #[test]
+    fn port_65534_is_the_last_usable_main_port() {
+        // Highest legal main port: probe port saturates the u16 range.
+        let c = Classifier::new(vec![ep("18.181.0.31:65534")]);
+        assert_eq!(c.targets, vec![ep("18.181.0.31:65534"), ep("18.181.0.31:65535")]);
+    }
+
+    #[test]
+    #[should_panic(expected = "probe port (port + 1) would overflow u16")]
+    fn port_65535_is_rejected_at_construction() {
+        // Regression: `port + 1` on u16 panicked in debug builds and
+        // wrapped to port 0 in release builds, silently probing the
+        // wrong endpoint. Now it is a config-validation error.
+        let _ = Classifier::new(vec![ep("18.181.0.31:1234"), ep("18.181.0.32:65535")]);
     }
 
     #[test]

@@ -206,6 +206,14 @@ pub struct UdpPeerConfig {
     pub server_keepalive: Duration,
     /// Punching behaviour.
     pub punch: PunchConfig,
+    /// The rendezvous fleet, when S is not a single server: every
+    /// member's public endpoint, in the same order on every client and
+    /// server. Empty (the default) means `server` is the only S. With
+    /// a fleet, the client registers with its `replication` ring
+    /// owners and fails over between them.
+    pub fleet: Vec<Endpoint>,
+    /// How many of the fleet's ring owners to register with (k of n).
+    pub replication: usize,
 }
 
 impl UdpPeerConfig {
@@ -219,7 +227,22 @@ impl UdpPeerConfig {
             register_retry: Duration::from_secs(2),
             server_keepalive: Duration::from_secs(15),
             punch: PunchConfig::default(),
+            fleet: Vec::new(),
+            replication: 2,
         }
+    }
+
+    /// Same configuration registering with `replication` ring owners
+    /// of a server fleet instead of the single `server`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replication` is zero.
+    pub fn with_fleet(mut self, fleet: Vec<Endpoint>, replication: usize) -> Self {
+        assert!(replication > 0, "replication must be positive");
+        self.fleet = fleet;
+        self.replication = replication;
+        self
     }
 
     /// Same configuration with a fixed local port (0 = ephemeral).
@@ -311,6 +334,12 @@ pub struct TcpPeerConfig {
     pub reconnect_backoff: f64,
     /// Upper bound for the backoff-inflated reconnect delay.
     pub reconnect_max_delay: Duration,
+    /// The rendezvous fleet (see [`UdpPeerConfig::fleet`]). A TCP
+    /// client holds one control connection at a time and reconnects to
+    /// the next ring owner when it fails.
+    pub fleet: Vec<Endpoint>,
+    /// How many ring owners form the failover chain (k of n).
+    pub replication: usize,
 }
 
 impl TcpPeerConfig {
@@ -329,7 +358,22 @@ impl TcpPeerConfig {
             relay_fallback: true,
             reconnect_backoff: 1.0,
             reconnect_max_delay: Duration::from_secs(30),
+            fleet: Vec::new(),
+            replication: 2,
         }
+    }
+
+    /// Same configuration reconnecting across `replication` ring
+    /// owners of a server fleet instead of the single `server`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replication` is zero.
+    pub fn with_fleet(mut self, fleet: Vec<Endpoint>, replication: usize) -> Self {
+        assert!(replication > 0, "replication must be positive");
+        self.fleet = fleet;
+        self.replication = replication;
+        self
     }
 
     /// Same configuration with a fixed local port (0 = ephemeral).

@@ -64,6 +64,11 @@ enum TimerPurpose {
 /// A TCP hole-punching client endpoint (an [`App`]).
 pub struct TcpPeer {
     cfg: TcpPeerConfig,
+    /// The failover chain of rendezvous servers: this peer's k ring
+    /// owners when `cfg.fleet` is set, else just `cfg.server`.
+    homes: Vec<Endpoint>,
+    /// Which entry of `homes` the control connection currently targets.
+    server_cursor: usize,
     local_port: u16,
     listener: Option<SocketId>,
     server_sock: Option<SocketId>,
@@ -93,8 +98,15 @@ impl TcpPeer {
     /// Creates the endpoint; it connects and registers when the host
     /// starts.
     pub fn new(cfg: TcpPeerConfig) -> Self {
+        let homes = if cfg.fleet.is_empty() {
+            vec![cfg.server]
+        } else {
+            punch_rendezvous::ring::owners(&cfg.fleet, cfg.id, cfg.replication.max(1))
+        };
         TcpPeer {
             cfg,
+            homes,
+            server_cursor: 0,
             local_port: 0,
             listener: None,
             server_sock: None,
@@ -290,12 +302,27 @@ impl TcpPeer {
         }
     }
 
+    /// The fleet member the control connection currently targets.
+    fn current_server(&self) -> Endpoint {
+        self.homes[self.server_cursor % self.homes.len()]
+    }
+
+    /// Rotates the control connection to the next ring owner after a
+    /// server loss. A no-op with a single home, preserving the
+    /// single-server reconnect sequence byte for byte.
+    fn advance_server(&mut self, os: &mut Os<'_, '_>) {
+        if self.homes.len() > 1 {
+            self.server_cursor = (self.server_cursor + 1) % self.homes.len();
+            os.metric_inc("punch.server_failover");
+        }
+    }
+
     fn connect_server(&mut self, os: &mut Os<'_, '_>) {
         let opts = ConnectOpts {
             local_port: Some(self.local_port),
             reuse: true,
         };
-        match os.tcp_connect(self.cfg.server, opts) {
+        match os.tcp_connect(self.current_server(), opts) {
             Ok(sock) => self.server_sock = Some(sock),
             Err(_) => self.arm_server_reconnect(os),
         }
@@ -729,6 +756,7 @@ impl App for TcpPeer {
             SockEvent::TcpConnectFailed { sock, err } => {
                 if Some(sock) == self.server_sock {
                     self.server_sock = None;
+                    self.advance_server(os);
                     self.arm_server_reconnect(os);
                 } else {
                     self.handle_connect_failed(os, sock, err);
@@ -783,6 +811,7 @@ impl App for TcpPeer {
                     let _ = os.close(sock);
                     self.server_sock = None;
                     self.registered = false;
+                    self.advance_server(os);
                     self.arm_server_reconnect(os);
                 } else {
                     let _ = os.close(sock);
@@ -793,6 +822,7 @@ impl App for TcpPeer {
                 if Some(sock) == self.server_sock {
                     self.server_sock = None;
                     self.registered = false;
+                    self.advance_server(os);
                     self.arm_server_reconnect(os);
                 } else {
                     self.drop_sock(os, sock, false);

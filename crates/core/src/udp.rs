@@ -81,6 +81,16 @@ impl Session {
     }
 }
 
+/// One of the client's k-of-n home rendezvous servers (the ring
+/// owners of its own id), with per-server registration liveness.
+struct ServerSlot {
+    ep: Endpoint,
+    /// True while this server is acknowledging our registrations.
+    registered: bool,
+    /// When this server last acknowledged a registration.
+    last_ack: SimTime,
+}
+
 /// What a timer token means.
 enum TimerPurpose {
     RegisterRetry,
@@ -118,7 +128,13 @@ pub struct UdpPeer {
     sock: Option<SocketId>,
     local: Option<Endpoint>,
     public: Option<Endpoint>,
+    /// Aggregate registration state: true while at least one home
+    /// server is acknowledging us. Standalone (no fleet) this is
+    /// exactly the single server's slot.
     registered: bool,
+    /// The k-of-n home servers this client registers with: the ring
+    /// owners of its own id, or just `cfg.server` without a fleet.
+    homes: Vec<ServerSlot>,
     /// Port-prediction state: public endpoint observed by the probe port,
     /// and the measured allocation delta.
     probe_public: Option<Endpoint>,
@@ -137,9 +153,6 @@ pub struct UdpPeer {
     next_token: u64,
     timers: BTreeMap<u64, TimerPurpose>,
     stats: UdpPeerStats,
-    /// When S last acknowledged a registration; a long silence while
-    /// `registered` means S restarted and lost its tables.
-    last_server_ack: SimTime,
     server_ka_armed: bool,
     /// When the current registration with S was first acknowledged;
     /// copied into each new session's [`PunchTimeline`].
@@ -147,14 +160,43 @@ pub struct UdpPeer {
 }
 
 impl UdpPeer {
-    /// Creates the endpoint; it registers with S when the host starts.
+    /// Creates the endpoint; it registers with S (every home server,
+    /// with a fleet) when the host starts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the §5.1 `Predict` strategy is configured with a home
+    /// server on port 65535: prediction measures the allocation delta
+    /// against the server's probe port at `port + 1`, which does not
+    /// exist. Rejected here, at configuration time, instead of
+    /// wrapping to port 0 (or panicking in debug) when the probe runs.
     pub fn new(cfg: UdpPeerConfig) -> Self {
+        let homes: Vec<ServerSlot> = if cfg.fleet.is_empty() {
+            vec![cfg.server]
+        } else {
+            punch_rendezvous::ring::owners(&cfg.fleet, cfg.id, cfg.replication.max(1))
+        }
+        .into_iter()
+        .map(|ep| ServerSlot {
+            ep,
+            registered: false,
+            last_ack: SimTime::ZERO,
+        })
+        .collect();
+        assert!(
+            !(matches!(cfg.punch.strategy, PunchStrategy::Predict { .. })
+                && homes.first().map(|s| s.ep.port) == Some(u16::MAX)),
+            "UdpPeerConfig: the Predict strategy needs the server's probe port at port + 1, \
+             but the home server sits on port 65535, the last u16; pick a lower server port \
+             or a different strategy"
+        );
         UdpPeer {
             cfg,
             sock: None,
             local: None,
             public: None,
             registered: false,
+            homes,
             probe_public: None,
             delta: None,
             dests_seen: BTreeSet::new(),
@@ -164,7 +206,6 @@ impl UdpPeer {
             next_token: 1,
             timers: BTreeMap::new(),
             stats: UdpPeerStats::default(),
-            last_server_ack: SimTime::ZERO,
             server_ka_armed: false,
             registered_at: None,
         }
@@ -407,21 +448,71 @@ impl UdpPeer {
         }
     }
 
+    /// The server currently fielding our requests: the first home slot
+    /// still acknowledging registrations, else the first home (requests
+    /// keep flowing toward it while the registration loop recovers).
+    fn primary(&self) -> Endpoint {
+        self.homes
+            .iter()
+            .find(|s| s.registered)
+            .or(self.homes.first())
+            .map(|s| s.ep)
+            .unwrap_or(self.cfg.server)
+    }
+
+    /// Index of `ep` in the home-server list.
+    fn home_index(&self, ep: Endpoint) -> Option<usize> {
+        self.homes.iter().position(|s| s.ep == ep)
+    }
+
+    /// True when `ep` is one of our home servers — the only senders
+    /// whose introductions and acks are honored.
+    fn is_home(&self, ep: Endpoint) -> bool {
+        self.home_index(ep).is_some()
+    }
+
     fn send_server(&mut self, os: &mut Os<'_, '_>, msg: &Message) {
-        let server = self.cfg.server;
+        let server = self.primary();
         self.send_to(os, server, msg);
     }
 
-    fn probe_endpoint(&self) -> Endpoint {
-        self.cfg.server.with_port(self.cfg.server.port + 1)
+    /// Registers with every home server (k-of-n with a fleet; exactly
+    /// one Register standalone).
+    fn register_all(&mut self, os: &mut Os<'_, '_>, private: Endpoint) {
+        let eps: Vec<Endpoint> = self.homes.iter().map(|s| s.ep).collect();
+        for ep in eps {
+            self.send_to(
+                os,
+                ep,
+                &Message::Register {
+                    peer_id: self.cfg.id,
+                    private,
+                },
+            );
+        }
+    }
+
+    /// The §5.1 mapping-probe port next to the first home server, or
+    /// `None` when that port would overflow a u16 (`new` rejects the
+    /// one configuration — Predict — that needs it).
+    fn probe_endpoint(&self) -> Option<Endpoint> {
+        let base = self.homes.first().map(|s| s.ep).unwrap_or(self.cfg.server);
+        base.port.checked_add(1).map(|p| base.with_port(p))
     }
 
     /// Allocations consumed since the delta measurement.
     fn allocs_since_measure(&self) -> u32 {
-        // The server and probe-port mappings existed at measurement time;
-        // everything else seen since is a fresh allocation.
-        let baseline = usize::from(self.dests_seen.contains(&self.cfg.server))
-            + usize::from(self.dests_seen.contains(&self.probe_endpoint()));
+        // The home-server and probe-port mappings existed at measurement
+        // time; everything else seen since is a fresh allocation.
+        let baseline = self
+            .homes
+            .iter()
+            .filter(|s| self.dests_seen.contains(&s.ep))
+            .count()
+            + usize::from(
+                self.probe_endpoint()
+                    .is_some_and(|p| self.dests_seen.contains(&p)),
+            );
         (self.dests_seen.len() - baseline) as u32
     }
 
@@ -655,11 +746,19 @@ impl UdpPeer {
     fn handle_message(&mut self, os: &mut Os<'_, '_>, from: Endpoint, msg: Message) {
         let now = os.now();
         match msg {
-            Message::RegisterAck { public } if from == self.cfg.server => {
+            Message::RegisterAck { public } if self.is_home(from) => {
                 let first = !self.registered;
                 self.registered = true;
-                self.public = Some(public);
-                self.last_server_ack = now;
+                if let Some(idx) = self.home_index(from) {
+                    self.homes[idx].registered = true;
+                    self.homes[idx].last_ack = now;
+                }
+                // Our public endpoint is the mapping the server fielding
+                // our requests observes (other homes may sit behind
+                // different mappings on a symmetric NAT).
+                if from == self.primary() {
+                    self.public = Some(public);
+                }
                 if first {
                     self.registered_at = Some(now);
                     os.metric_inc("punch.registered");
@@ -671,8 +770,9 @@ impl UdpPeer {
                     }
                     if matches!(self.cfg.punch.strategy, PunchStrategy::Predict { .. }) {
                         // Measure the allocation delta via the probe port.
-                        let probe = self.probe_endpoint();
-                        self.send_to(os, probe, &Message::Ping);
+                        if let Some(probe) = self.probe_endpoint() {
+                            self.send_to(os, probe, &Message::Ping);
+                        }
                     }
                     let pending: Vec<PeerId> = self.pending_connects.drain(..).collect();
                     for peer in pending {
@@ -680,7 +780,7 @@ impl UdpPeer {
                     }
                 }
             }
-            Message::RegisterAck { public } if from == self.probe_endpoint() => {
+            Message::RegisterAck { public } if Some(from) == self.probe_endpoint() => {
                 self.probe_public = Some(public);
                 self.delta = self
                     .public
@@ -692,7 +792,7 @@ impl UdpPeer {
                 private,
                 nonce,
                 initiator: _,
-            } if from == self.cfg.server => {
+            } if self.is_home(from) => {
                 self.start_punch(os, peer, public, private, nonce);
             }
             Message::RelayedData { from: peer, data } => {
@@ -832,13 +932,7 @@ impl App for UdpPeer {
         self.sock = Some(sock);
         self.local = os.local_endpoint(sock).ok();
         let private = self.local.expect("socket bound"); // punch-lint: allow(P001) socket bound two lines above
-        self.send_server(
-            os,
-            &Message::Register {
-                peer_id: self.cfg.id,
-                private,
-            },
-        );
+        self.register_all(os, private);
         self.arm(os, self.cfg.register_retry, TimerPurpose::RegisterRetry);
     }
 
@@ -862,13 +956,7 @@ impl App for UdpPeer {
             TimerPurpose::RegisterRetry => {
                 if !self.registered {
                     let private = self.local.expect("socket bound"); // punch-lint: allow(P001) local is set in on_start before any timer fires
-                    self.send_server(
-                        os,
-                        &Message::Register {
-                            peer_id: self.cfg.id,
-                            private,
-                        },
-                    );
+                    self.register_all(os, private);
                     self.arm(os, self.cfg.register_retry, TimerPurpose::RegisterRetry);
                 }
             }
@@ -876,36 +964,38 @@ impl App for UdpPeer {
                 let now = os.now();
                 let ka = self.cfg.server_keepalive;
                 let private = self.local.expect("socket bound"); // punch-lint: allow(P001) local is set in on_start before any timer fires
-                // Two missed keepalive acks (plus a retry's grace) mean S
-                // is gone — most likely restarted with empty tables. Drop
-                // to the registration loop so peers can find us again
-                // once it returns.
+                // Two missed keepalive acks (plus a retry's grace) mean a
+                // server is gone — most likely restarted with empty
+                // tables. Each home slot is judged on its own acks.
                 let lost_after = ka * 2 + self.cfg.register_retry;
-                if self.registered && now.saturating_since(self.last_server_ack) > lost_after {
+                let mut lost = 0u64;
+                for slot in &mut self.homes {
+                    if slot.registered && now.saturating_since(slot.last_ack) > lost_after {
+                        slot.registered = false;
+                        lost += 1;
+                    }
+                }
+                if self.registered && !self.homes.iter().any(|s| s.registered) {
+                    // Every home went silent: drop to the registration
+                    // loop so peers can find us again once one returns.
                     self.registered = false;
                     self.server_ka_armed = false;
                     os.metric_inc("punch.server_lost");
                     self.events.push_back(UdpPeerEvent::ServerLost);
-                    self.send_server(
-                        os,
-                        &Message::Register {
-                            peer_id: self.cfg.id,
-                            private,
-                        },
-                    );
+                    self.register_all(os, private);
                     self.arm(os, self.cfg.register_retry, TimerPurpose::RegisterRetry);
                     return;
                 }
-                // Refresh both S's registration record and the NAT
-                // mapping toward S (§3.6 applies to the rendezvous
-                // session as much as to peer sessions).
-                self.send_server(
-                    os,
-                    &Message::Register {
-                        peer_id: self.cfg.id,
-                        private,
-                    },
-                );
+                if lost > 0 {
+                    // A subset of the fleet died; surviving homes keep
+                    // serving while re-registration below courts the
+                    // replacement.
+                    os.metric_inc_by("punch.server_failover", lost);
+                }
+                // Refresh every home's registration record and the NAT
+                // mappings toward them (§3.6 applies to the rendezvous
+                // sessions as much as to peer sessions).
+                self.register_all(os, private);
                 self.arm(os, ka, TimerPurpose::ServerKeepalive);
             }
             TimerPurpose::PunchTick(peer) => {
@@ -1019,6 +1109,7 @@ impl App for UdpPeer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{PunchConfig, PunchStrategy};
 
     #[test]
     fn predicted_ports_respect_delta_and_consumed_allocs() {
@@ -1096,5 +1187,60 @@ mod tests {
         peer.handle_control(PeerId(2), &[1, 2, 3]); // too short
         peer.handle_control(PeerId(2), &[1, 2, 3, 4, 9, 0, 1]); // count says 9, data for 1
         assert!(peer.sessions[&PeerId(2)].candidates.is_empty());
+    }
+
+    #[test]
+    fn probe_endpoint_is_checked_not_wrapping() {
+        // Regression: `port + 1` on u16 panicked in debug builds at
+        // port 65535 and wrapped to port 0 in release builds, so the
+        // symmetric-NAT delta probe went to the wrong endpoint.
+        let peer = UdpPeer::new(UdpPeerConfig::new(
+            PeerId(1),
+            "18.181.0.31:65534".parse().unwrap(),
+        ));
+        assert_eq!(
+            peer.probe_endpoint(),
+            Some("18.181.0.31:65535".parse().unwrap())
+        );
+        let peer = UdpPeer::new(UdpPeerConfig::new(
+            PeerId(1),
+            "18.181.0.31:65535".parse().unwrap(),
+        ));
+        assert_eq!(peer.probe_endpoint(), None, "no probe port past the u16 range");
+    }
+
+    #[test]
+    #[should_panic(expected = "Predict strategy needs the server's probe port")]
+    fn predict_strategy_rejects_server_port_65535() {
+        let cfg = UdpPeerConfig::new(PeerId(1), "18.181.0.31:65535".parse().unwrap())
+            .with_punch(PunchConfig::default().with_strategy(PunchStrategy::Predict { window: 4 }));
+        let _ = UdpPeer::new(cfg);
+    }
+
+    #[test]
+    fn fleet_homes_are_the_ring_owners() {
+        let fleet: Vec<Endpoint> = (0..4u8)
+            .map(|j| format!("18.181.0.{}:1234", 31 + j).parse().unwrap())
+            .collect();
+        let cfg = UdpPeerConfig::new(PeerId(7), fleet[0]).with_fleet(fleet.clone(), 2);
+        let peer = UdpPeer::new(cfg);
+        let owners = punch_rendezvous::ring::owners(&fleet, PeerId(7), 2);
+        assert_eq!(
+            peer.homes.iter().map(|h| h.ep).collect::<Vec<_>>(),
+            owners,
+            "client registers with exactly its k ring owners"
+        );
+        assert_eq!(peer.primary(), owners[0]);
+    }
+
+    #[test]
+    fn empty_fleet_degenerates_to_the_single_server() {
+        let peer = UdpPeer::new(UdpPeerConfig::new(
+            PeerId(1),
+            "18.181.0.31:1234".parse().unwrap(),
+        ));
+        assert_eq!(peer.homes.len(), 1);
+        assert_eq!(peer.homes[0].ep, "18.181.0.31:1234".parse().unwrap());
+        assert_eq!(peer.primary(), "18.181.0.31:1234".parse().unwrap());
     }
 }

@@ -30,10 +30,10 @@ use crate::world::addrs;
 use holepunch::{PeerId, UdpPeer, UdpPeerConfig};
 use punch_nat::{NatBehavior, NatDevice};
 use punch_net::{
-    Cidr, Duration, Endpoint, LinkSpec, MetricsSnapshot, NodeId, QueueStats, Router, Sim, SimStats,
-    SimTime,
+    Cidr, Duration, Endpoint, FaultPlan, LinkSpec, MetricsSnapshot, NodeId, QueueStats, Router,
+    Sim, SimStats, SimTime,
 };
-use punch_rendezvous::{RendezvousServer, ServerConfig};
+use punch_rendezvous::{RendezvousServer, ServerConfig, ServerStats};
 use punch_transport::{HostDevice, Os, StackConfig};
 use std::net::Ipv4Addr;
 use std::sync::Mutex;
@@ -68,6 +68,21 @@ pub struct ShardConfig {
     /// Worker-pool size override; `None` uses [`par::jobs`] (the
     /// `PUNCH_JOBS` environment variable, then detected parallelism).
     pub workers: Option<usize>,
+    /// Rendezvous fleet size *n* (servers per shard sim). `1` (the
+    /// default) builds the classic single-server world, byte for byte;
+    /// larger fleets register every client with its `replication` ring
+    /// owners and route introductions across shards server-to-server.
+    pub servers: usize,
+    /// k of [`ShardConfig::servers`]: how many ring owners each client
+    /// registers with. Ignored when `servers == 1`.
+    pub replication: usize,
+    /// Restart fleet member `j` (losing its tables) at the given sim
+    /// time, in every shard sim — the flash-crowd survival fault.
+    pub server_restart: Option<(usize, Duration)>,
+    /// Harden the clients ([`holepunch::PunchConfig::resilient`], 2 s
+    /// server keepalives) so they detect a lost owner and re-register
+    /// instead of idling until the default 15 s keepalive.
+    pub resilient_clients: bool,
 }
 
 impl ShardConfig {
@@ -84,6 +99,10 @@ impl ShardConfig {
             symmetric_every: 10,
             metrics: false,
             workers: None,
+            servers: 1,
+            replication: 2,
+            server_restart: None,
+            resilient_clients: false,
         }
     }
 }
@@ -137,12 +156,17 @@ struct Session {
     released: bool,
     outcome: SessionOutcome,
     resolved_at: Option<SimTime>,
+    /// A's hole-punch latency (first PayloadAck minus punch start),
+    /// captured the epoch the session resolves [`SessionOutcome::Direct`].
+    latency: Option<Duration>,
 }
 
 /// One shard: an independent sim plus its resident sessions.
 struct Shard {
     sim: Sim,
     sessions: Vec<Session>,
+    /// The shard's rendezvous servers, in fleet order.
+    servers: Vec<NodeId>,
 }
 
 /// A population of punch sessions partitioned across per-shard sims.
@@ -181,6 +205,19 @@ impl ShardedWorld {
         let nat_wan = LinkSpec::new(Duration::from_millis(10));
         let server_wan = LinkSpec::new(Duration::from_millis(5));
 
+        // Fleet endpoints: 18.181.0.31 (the classic single server) and
+        // upwards. `servers == 1` keeps `fleet` empty so the build below
+        // is byte-identical to the pre-fleet world.
+        assert!(cfg.servers <= 128, "fleet larger than the address plan");
+        let fleet: Vec<Endpoint> = if cfg.servers > 1 {
+            (0..cfg.servers)
+                .map(|j| Endpoint::new(Ipv4Addr::new(18, 181, 0, 31 + j as u8), 1234))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let replication = cfg.replication.clamp(1, cfg.servers.max(1));
+
         let mut shards = Vec::with_capacity(shard_count);
         let mut nodes = 0usize;
         for s in 0..shard_count {
@@ -193,17 +230,41 @@ impl ShardedWorld {
             }
 
             let internet = sim.add_node("internet", Box::new(Router::new()));
-            let server_cfg = ServerConfig::default().with_max_clients(2 * per_shard + 16);
-            let server = sim.add_node(
-                "server",
-                Box::new(HostDevice::new(
-                    addrs::SERVER,
-                    StackConfig::default(),
-                    Box::new(RendezvousServer::new(server_cfg)),
-                )),
-            );
-            let (r_srv, _) = sim.connect(internet, server, server_wan);
-            let mut routes: Vec<(Cidr, usize)> = vec![(Cidr::host(addrs::SERVER), r_srv)];
+            let server_cap = 2 * per_shard + 16;
+            let mut server_nodes = Vec::with_capacity(cfg.servers.max(1));
+            let mut routes: Vec<(Cidr, usize)> = Vec::new();
+            if fleet.is_empty() {
+                let server_cfg = ServerConfig::default().with_max_clients(server_cap);
+                let server = sim.add_node(
+                    "server",
+                    Box::new(HostDevice::new(
+                        addrs::SERVER,
+                        StackConfig::default(),
+                        Box::new(RendezvousServer::new(server_cfg)),
+                    )),
+                );
+                let (r_srv, _) = sim.connect(internet, server, server_wan);
+                routes.push((Cidr::host(addrs::SERVER), r_srv));
+                server_nodes.push(server);
+            } else {
+                for (j, ep) in fleet.iter().enumerate() {
+                    let server_cfg = ServerConfig::default()
+                        .with_max_clients(server_cap)
+                        .with_fleet(fleet.clone(), j)
+                        .with_replication(replication);
+                    let server = sim.add_node(
+                        format!("server{j}"),
+                        Box::new(HostDevice::new(
+                            ep.ip,
+                            StackConfig::default(),
+                            Box::new(RendezvousServer::new(server_cfg)),
+                        )),
+                    );
+                    let (r_srv, _) = sim.connect(internet, server, server_wan);
+                    routes.push((Cidr::host(ep.ip), r_srv));
+                    server_nodes.push(server);
+                }
+            }
 
             let mut sessions = Vec::with_capacity(per_shard);
             for i in (s..cfg.sessions).step_by(shard_count) {
@@ -229,12 +290,23 @@ impl ShardedWorld {
                     // NAT iface 0 must face the WAN, so connect it first.
                     let (_, r_iface) = sim.connect(nat, internet, nat_wan);
                     routes.push((Cidr::host(nat_ip), r_iface));
+                    let mut ucfg = UdpPeerConfig::new(id, server_ep);
+                    if !fleet.is_empty() {
+                        ucfg = ucfg.with_fleet(fleet.clone(), replication);
+                    }
+                    if cfg.resilient_clients {
+                        ucfg.server_keepalive = Duration::from_secs(2);
+                        ucfg.register_retry = Duration::from_secs(1);
+                        let mut p = holepunch::PunchConfig::resilient();
+                        p.keepalive_interval = Duration::from_secs(1);
+                        ucfg.punch = p;
+                    }
                     let client = sim.add_node(
                         format!("m{i}.{tag}"),
                         Box::new(HostDevice::new(
                             client_ip,
                             StackConfig::fast(),
-                            Box::new(UdpPeer::new(UdpPeerConfig::new(id, server_ep))),
+                            Box::new(UdpPeer::new(ucfg)),
                         )),
                     );
                     sim.connect(nat, client, lan);
@@ -250,6 +322,7 @@ impl ShardedWorld {
                     released: false,
                     outcome: SessionOutcome::Pending,
                     resolved_at: None,
+                    latency: None,
                 });
             }
 
@@ -257,8 +330,16 @@ impl ShardedWorld {
             for (prefix, iface) in routes {
                 router.add_route(prefix, iface);
             }
+            if let Some((j, at)) = cfg.server_restart {
+                let node = server_nodes[j % server_nodes.len()];
+                FaultPlan::new().restart(SimTime::ZERO + at, node).apply(&mut sim);
+            }
             nodes += sim.node_count();
-            shards.push(Mutex::new(Shard { sim, sessions }));
+            shards.push(Mutex::new(Shard {
+                sim,
+                sessions,
+                servers: server_nodes,
+            }));
         }
 
         ShardedWorld {
@@ -316,6 +397,9 @@ impl ShardedWorld {
                     };
                     sess.outcome = outcome;
                     sess.resolved_at = Some(boundary);
+                    if outcome == SessionOutcome::Direct {
+                        sess.latency = app.timeline(sess.peer_b).and_then(|t| t.punch_latency());
+                    }
                     newly += 1;
                 }
             }
@@ -418,6 +502,34 @@ impl ShardedWorld {
             total.pool_slots += q.pool_slots;
             total.pool_recycled += q.pool_recycled;
             total.batches_coalesced += q.batches_coalesced;
+        }
+        total
+    }
+
+    /// Direct-punch latencies in global session order (sessions that
+    /// resolved [`SessionOutcome::Direct`] and recorded a timeline).
+    pub fn latencies(&self) -> Vec<Duration> {
+        let mut v: Vec<(usize, Duration)> = Vec::new();
+        for m in &self.shards {
+            for sess in &lock(m).sessions {
+                if let Some(l) = sess.latency {
+                    v.push((sess.global, l));
+                }
+            }
+        }
+        v.sort_by_key(|&(g, _)| g);
+        v.into_iter().map(|(_, l)| l).collect()
+    }
+
+    /// Rendezvous counters summed over every shard's whole fleet.
+    pub fn fleet_stats(&self) -> ServerStats {
+        let mut total = ServerStats::default();
+        for m in &self.shards {
+            let shard = lock(m);
+            for &node in &shard.servers {
+                let s = shard.sim.device::<HostDevice>(node).app::<RendezvousServer>().stats();
+                total.add(&s);
+            }
         }
         total
     }

@@ -52,6 +52,26 @@ fn nat_reboot_under_rapid_sends_recovers() {
     }
 }
 
+/// A server restart while registrations and punches are in flight (the
+/// single-session slice of a flash crowd hitting a restarting fleet
+/// member) must not strand the session: clients re-register and the
+/// punch completes. Paired with the fleet-scale case in
+/// `fleet_identity::server_restart_during_flash_crowd_recovers`.
+#[test]
+fn server_restart_mid_punch_recovers() {
+    for (seed, at_ms) in [(5u64, 150), (21, 900), (33, 2_500)] {
+        let outcome = run_trial(
+            seed,
+            &[ChaosFault::RestartServer { at_ms }],
+            ChaosProfile::Resilient,
+        );
+        assert_eq!(
+            outcome.violation, None,
+            "seed {seed}, restart at {at_ms} ms stranded the session"
+        );
+    }
+}
+
 #[test]
 fn injected_liveness_bug_is_caught_shrunk_and_replayable() {
     // A schedule with two benign decoys around the killer fault: a NAT

@@ -1,0 +1,112 @@
+//! Rendezvous-fleet determinism and survival.
+//!
+//! The fleet world must uphold the repo's two identity contracts with
+//! server-to-server introduction routing in the mix:
+//!
+//! - a fleet of one is the classic single-server world, byte for byte,
+//! - cross-shard routing resolves every session and produces identical
+//!   reports under any worker count,
+//!
+//! and a fleet member restarting in the middle of a flash crowd must
+//! not strand anyone: clients fail over to surviving owners and
+//! re-register when the member returns.
+
+use proptest::prelude::*;
+use punch_lab::shard::{ShardConfig, ShardedWorld};
+use punch_net::Duration;
+
+fn run(cfg: &ShardConfig) -> ShardedWorld {
+    let mut w = ShardedWorld::build(cfg);
+    w.run();
+    w
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// A `servers = 1` fleet world is the single-server world: same
+    /// sessions, same outcomes, same resolution times, regardless of
+    /// how the population is sharded.
+    #[test]
+    fn fleet_of_one_is_byte_identical_to_the_single_server_world(
+        seed in 0u64..500,
+        sessions in 1usize..8,
+    ) {
+        let single = ShardConfig::new(seed, sessions);
+        let mut fleet1 = ShardConfig::new(seed, sessions);
+        fleet1.servers = 1;
+        fleet1.replication = 2;
+        fleet1.shards = 3;
+        let a = run(&single);
+        let b = run(&fleet1);
+        prop_assert_eq!(a.report(), b.report());
+        prop_assert_eq!(a.outcome_counts(), b.outcome_counts());
+        prop_assert_eq!(a.latencies(), b.latencies());
+    }
+
+    /// Cross-shard introduction routing is deterministic: a fleet world
+    /// resolves everyone and reports identically under 1 or 2 workers.
+    #[test]
+    fn cross_shard_routing_is_worker_invariant(
+        seed in 0u64..500,
+        sessions in 2usize..10,
+    ) {
+        let mut cfg = ShardConfig::new(seed, sessions);
+        cfg.servers = 4;
+        cfg.replication = 2;
+        cfg.shards = 2;
+        cfg.workers = Some(1);
+        let one = run(&cfg);
+        cfg.workers = Some(2);
+        let two = run(&cfg);
+        prop_assert_eq!(one.outcome_counts().pending, 0);
+        prop_assert_eq!(one.report(), two.report());
+        prop_assert_eq!(one.latencies(), two.latencies());
+    }
+}
+
+#[test]
+fn n16_fleet_is_worker_invariant() {
+    let mut cfg = ShardConfig::new(7, 24);
+    cfg.servers = 16;
+    cfg.replication = 2;
+    cfg.shards = 4;
+    cfg.workers = Some(1);
+    let one = run(&cfg);
+    cfg.workers = Some(2);
+    let two = run(&cfg);
+    let c = one.outcome_counts();
+    assert_eq!(c.pending, 0, "{c:?}");
+    assert_eq!(c.direct + c.relay + c.failed, 24);
+    assert_eq!(one.report(), two.report());
+    assert_eq!(one.latencies(), two.latencies());
+    // With 16 servers and 24 sessions, some introductions must have
+    // crossed shards — the forwarding path is actually exercised.
+    let stats = one.fleet_stats();
+    assert!(stats.forwards > 0, "no introduction ever crossed a shard");
+    assert_eq!(stats.forward_errors, 0, "{stats:?}");
+}
+
+#[test]
+fn server_restart_during_flash_crowd_recovers() {
+    // A fleet member dies (tables wiped) right as the crowd's connect
+    // wave lands. Resilient clients detect the lost owner, fail over,
+    // and re-register; every session still resolves.
+    let mut cfg = ShardConfig::new(11, 20);
+    cfg.servers = 4;
+    cfg.replication = 2;
+    cfg.shards = 2;
+    cfg.resilient_clients = true;
+    cfg.server_restart = Some((1, Duration::from_millis(2500)));
+    cfg.deadline = Duration::from_secs(120);
+    let w = run(&cfg);
+    let c = w.outcome_counts();
+    assert_eq!(c.pending, 0, "stranded sessions after the restart: {c:?}");
+    assert_eq!(c.direct + c.relay + c.failed, 20);
+    assert_eq!(c.failed, 0, "sessions failed outright: {c:?}");
+    let stats = w.fleet_stats();
+    assert_eq!(stats.restarts, 2, "one restart per shard sim");
+    // And the fault schedule itself is deterministic.
+    let again = run(&cfg);
+    assert_eq!(w.report(), again.report());
+}

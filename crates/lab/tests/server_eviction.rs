@@ -9,8 +9,9 @@
 use punch_lab::{PeerSetup, WorldBuilder};
 use punch_net::Endpoint;
 use punch_rendezvous::{Message, PeerId, RendezvousServer, ServerConfig};
-use punch_transport::{App, Os, SockEvent};
+use punch_transport::{App, Os, SockEvent, SocketId};
 use std::net::Ipv4Addr;
+use std::time::Duration;
 
 const SERVER_IP: Ipv4Addr = Ipv4Addr::new(18, 181, 0, 31);
 const CLIENT_IP: Ipv4Addr = Ipv4Addr::new(99, 1, 1, 1);
@@ -91,4 +92,121 @@ fn table_below_the_cap_never_evicts() {
     let (stats, survivors) = run_flood(8, vec![1, 2, 3, 4, 5]);
     assert_eq!(stats.evictions, 0);
     assert_eq!(survivors, vec![1, 2, 3, 4, 5]);
+}
+
+/// Registers once, then keeps its slot alive with `Ping`s only — it
+/// never re-registers, so survival depends on non-register traffic
+/// refreshing the eviction stamp.
+struct ActivePinger {
+    id: u64,
+    interval: Duration,
+    pings: u32,
+    sent: u32,
+    sock: Option<SocketId>,
+}
+
+impl App for ActivePinger {
+    fn on_start(&mut self, os: &mut Os<'_, '_>) {
+        let sock = os.udp_bind(4001).expect("local UDP port free");
+        let private = os.local_endpoint(sock).expect("socket bound");
+        let server = Endpoint::new(SERVER_IP, 1234);
+        let msg = Message::Register {
+            peer_id: PeerId(self.id),
+            private,
+        };
+        os.udp_send(sock, server, msg.encode(false))
+            .expect("datagram sent");
+        self.sock = Some(sock);
+        os.set_timer(self.interval, 1);
+    }
+
+    fn on_event(&mut self, _os: &mut Os<'_, '_>, _ev: SockEvent) {}
+
+    fn on_timer(&mut self, os: &mut Os<'_, '_>, _token: u64) {
+        if self.sent >= self.pings {
+            return;
+        }
+        self.sent += 1;
+        let sock = self.sock.expect("bound in on_start");
+        let server = Endpoint::new(SERVER_IP, 1234);
+        let _ = os.udp_send(sock, server, Message::Ping.encode(false));
+        os.set_timer(self.interval, 1);
+    }
+}
+
+/// Registers a fresh one-shot peer id per timer tick — the churn of
+/// short-lived clients that once aged out long-lived ones.
+struct SlowFlood {
+    ids: Vec<u64>,
+    next: usize,
+    interval: Duration,
+    sock: Option<SocketId>,
+}
+
+impl App for SlowFlood {
+    fn on_start(&mut self, os: &mut Os<'_, '_>) {
+        let sock = os.udp_bind(4000).expect("local UDP port free");
+        self.sock = Some(sock);
+        os.set_timer(self.interval, 1);
+    }
+
+    fn on_event(&mut self, _os: &mut Os<'_, '_>, _ev: SockEvent) {}
+
+    fn on_timer(&mut self, os: &mut Os<'_, '_>, _token: u64) {
+        let Some(&id) = self.ids.get(self.next) else {
+            return;
+        };
+        self.next += 1;
+        let sock = self.sock.expect("bound in on_start");
+        let private = os.local_endpoint(sock).expect("socket bound");
+        let server = Endpoint::new(SERVER_IP, 1234);
+        let msg = Message::Register {
+            peer_id: PeerId(id),
+            private,
+        };
+        let _ = os.udp_send(sock, server, msg.encode(false));
+        os.set_timer(self.interval, 1);
+    }
+}
+
+#[test]
+fn active_client_survives_a_storm_of_one_shot_registrations() {
+    // Regression: eviction once ranked by *registration* order, so a
+    // client that registered first and then stayed active with pings
+    // (never re-registering) was always the next victim. Activity now
+    // refreshes the stamp, so the churn evicts only stale one-shots.
+    let mut wb = WorldBuilder::new(7);
+    let s = wb.server(
+        SERVER_IP,
+        RendezvousServer::new(ServerConfig::default().with_max_clients(3)),
+    );
+    wb.public_client(
+        CLIENT_IP,
+        PeerSetup::new(ActivePinger {
+            id: 100,
+            interval: Duration::from_millis(73),
+            pings: 20,
+            sent: 0,
+            sock: None,
+        }),
+    );
+    wb.public_client(
+        Ipv4Addr::new(99, 1, 1, 2),
+        PeerSetup::new(SlowFlood {
+            ids: (1..=12).collect(),
+            next: 0,
+            interval: Duration::from_millis(100),
+            sock: None,
+        }),
+    );
+    let mut world = wb.build();
+    world.sim.run_until_idle();
+    let server = world.app::<RendezvousServer>(world.servers[s]);
+    assert!(
+        server.udp_registration(PeerId(100)).is_some(),
+        "the pinging client must never be the eviction victim"
+    );
+    // 13 inserts into 3 slots: every overflow evicted a stale one-shot.
+    assert_eq!(server.stats().evictions, 10);
+    assert!(server.udp_registration(PeerId(12)).is_some());
 }

@@ -10,8 +10,13 @@
 //! - [`RendezvousServer`]: the server application, speaking the protocol
 //!   over UDP and TCP on the same well-known port, with per-transport
 //!   registration tables and TURN-style relay accounting.
+//! - [`ring`]: highest-random-weight (rendezvous) hashing that maps each
+//!   peer id to its k-of-n owning servers in a fleet, used identically by
+//!   clients (where to register) and servers (where to forward an
+//!   introduction whose target is registered elsewhere).
 
 pub mod peer;
+pub mod ring;
 pub mod server;
 pub mod wire;
 

@@ -8,6 +8,7 @@
 
 use crate::peer::PeerId;
 use crate::wire::{encode_frame, FrameBuf, Message, ERR_UNKNOWN_PEER};
+use bytes::Bytes;
 use punch_net::Endpoint;
 use punch_transport::{App, Os, SockEvent, SocketId};
 use std::collections::BTreeMap;
@@ -28,10 +29,22 @@ pub struct ServerConfig {
     /// delta for §5.1 port prediction.
     pub probe_port: bool,
     /// Maximum registrations kept per transport. A registration flood
-    /// past the cap evicts the oldest registration (deterministically —
-    /// by registration sequence number, not map iteration order)
-    /// instead of growing server memory without bound.
+    /// past the cap evicts the least-recently-active registration
+    /// (deterministically — by activity sequence number, not map
+    /// iteration order) instead of growing server memory without bound.
     pub max_clients: usize,
+    /// The full fleet this server belongs to (every member's public
+    /// endpoint, in the same order on every server and client). Empty
+    /// or singleton means standalone operation: no forwarding, no
+    /// server-to-server traffic — byte-identical to the pre-fleet
+    /// server.
+    pub fleet: Vec<Endpoint>,
+    /// This server's position in [`ServerConfig::fleet`].
+    pub fleet_index: usize,
+    /// How many ring owners hold each peer's registration (k of n).
+    /// Only consulted when forwarding: the owner chain for a missing
+    /// target is the target's first `replication` ring owners.
+    pub replication: usize,
 }
 
 impl Default for ServerConfig {
@@ -41,6 +54,9 @@ impl Default for ServerConfig {
             obfuscate: true,
             probe_port: true,
             max_clients: 4096,
+            fleet: Vec::new(),
+            fleet_index: 0,
+            replication: 2,
         }
     }
 }
@@ -75,6 +91,33 @@ impl ServerConfig {
         self.max_clients = max;
         self
     }
+
+    /// Same configuration as member `index` of `fleet`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds for a non-empty fleet.
+    pub fn with_fleet(mut self, fleet: Vec<Endpoint>, index: usize) -> Self {
+        assert!(
+            fleet.is_empty() || index < fleet.len(),
+            "fleet_index {index} out of bounds for fleet of {}",
+            fleet.len()
+        );
+        self.fleet = fleet;
+        self.fleet_index = index;
+        self
+    }
+
+    /// Same configuration with a different k-of-n replication factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn with_replication(mut self, k: usize) -> Self {
+        assert!(k > 0, "replication must be positive");
+        self.replication = k;
+        self
+    }
 }
 
 /// Server-side counters (used by the relay-load experiment E12).
@@ -97,13 +140,39 @@ pub struct ServerStats {
     /// Registrations evicted because the table hit
     /// [`ServerConfig::max_clients`].
     pub evictions: u64,
+    /// Introductions forwarded to another fleet shard (sent
+    /// [`Message::SrvIntroduce`], including owner-chain retries).
+    pub forwards: u64,
+    /// Forwarded introductions this shard served as the target's owner.
+    pub forwards_served: u64,
+    /// Forwarded introductions that exhausted the target's owner chain.
+    pub forward_errors: u64,
+}
+
+impl ServerStats {
+    /// Accumulates another server's counters (fleet-wide totals).
+    pub fn add(&mut self, other: &ServerStats) {
+        self.registrations += other.registrations;
+        self.introductions += other.introductions;
+        self.relayed_msgs += other.relayed_msgs;
+        self.relayed_bytes += other.relayed_bytes;
+        self.reversals += other.reversals;
+        self.errors += other.errors;
+        self.restarts += other.restarts;
+        self.evictions += other.evictions;
+        self.forwards += other.forwards;
+        self.forwards_served += other.forwards_served;
+        self.forward_errors += other.forward_errors;
+    }
 }
 
 #[derive(Clone, Copy, Debug)]
 struct UdpReg {
     public: Endpoint,
     private: Endpoint,
-    /// Registration order stamp; the table evicts the lowest.
+    /// Activity stamp: refreshed on every registration, keepalive, or
+    /// request from the client, so a full table evicts the
+    /// least-recently-active entry, never a chatty long-lived one.
     seq: u64,
 }
 
@@ -112,7 +181,29 @@ struct TcpReg {
     sock: SocketId,
     public: Endpoint,
     private: Endpoint,
-    /// Registration order stamp; the table evicts the lowest.
+    /// Activity stamp: refreshed on every registration, keepalive, or
+    /// request from the client, so a full table evicts the
+    /// least-recently-active entry, never a chatty long-lived one.
+    seq: u64,
+}
+
+/// An introduction forwarded to the target's owning shard, awaiting
+/// its [`Message::SrvIntroduceReply`] / [`Message::SrvIntroduceErr`].
+struct PendingIntro {
+    /// True when the requester registered over TCP.
+    tcp: bool,
+    /// How to reach the requester once the owner answers.
+    requester_public: Endpoint,
+    requester_private: Endpoint,
+    requester_sock: Option<SocketId>,
+    /// When the first forward left — the `introduce.forward` histogram
+    /// observes reply minus this, across the whole retry chain.
+    sent_at: punch_net::SimTime,
+    /// The target's owner chain (self excluded), tried in order.
+    owners: Vec<Endpoint>,
+    /// Owners tried so far (index of the one in flight).
+    tried: usize,
+    /// Activity stamp for deterministic capping of the pending table.
     seq: u64,
 }
 
@@ -145,10 +236,17 @@ pub struct RendezvousServer {
     probe_sock: Option<SocketId>,
     listener: Option<SocketId>,
     udp_clients: BTreeMap<PeerId, UdpReg>,
+    /// Reverse index public endpoint → peer, so a bare UDP keepalive
+    /// (which carries no peer id) can refresh its sender's activity
+    /// stamp in O(log n).
+    udp_by_ep: BTreeMap<Endpoint, PeerId>,
     tcp_clients: BTreeMap<PeerId, TcpReg>,
     conns: BTreeMap<SocketId, ConnState>,
+    /// Cross-shard introductions in flight, keyed by
+    /// `(requester, target, nonce)`.
+    pending: BTreeMap<(u64, u64, u64), PendingIntro>,
     stats: ServerStats,
-    /// Monotone registration counter shared by both transports; stamps
+    /// Monotone activity counter shared by both transports; stamps
     /// make the eviction victim (unique minimum) independent of
     /// `BTreeMap` iteration order.
     reg_seq: u64,
@@ -156,15 +254,29 @@ pub struct RendezvousServer {
 
 impl RendezvousServer {
     /// Creates the server app.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probe port is enabled on well-known port 65535:
+    /// the probe listens on `port + 1`, which does not exist. Rejected
+    /// here, at configuration time, instead of wrapping to port 0 (or
+    /// panicking in debug) at bind time.
     pub fn new(cfg: ServerConfig) -> Self {
+        assert!(
+            !(cfg.probe_port && cfg.port == u16::MAX),
+            "ServerConfig: probe_port requires port + 1, but port 65535 is the last u16; \
+             pick a lower port or disable the probe"
+        );
         RendezvousServer {
             cfg,
             udp_sock: None,
             probe_sock: None,
             listener: None,
             udp_clients: BTreeMap::new(),
+            udp_by_ep: BTreeMap::new(),
             tcp_clients: BTreeMap::new(),
             conns: BTreeMap::new(),
+            pending: BTreeMap::new(),
             stats: ServerStats::default(),
             reg_seq: 0,
         }
@@ -185,6 +297,81 @@ impl RendezvousServer {
         self.tcp_clients.get(&peer).map(|r| (r.public, r.private))
     }
 
+    /// Draws the next activity stamp.
+    fn next_seq(&mut self) -> u64 {
+        let seq = self.reg_seq;
+        self.reg_seq += 1;
+        seq
+    }
+
+    /// Refreshes a UDP client's activity stamp (keepalive or request
+    /// traffic counts as life; see the eviction policy on [`UdpReg`]).
+    fn touch_udp(&mut self, peer: PeerId) {
+        if self.udp_clients.contains_key(&peer) {
+            let seq = self.next_seq();
+            if let Some(r) = self.udp_clients.get_mut(&peer) {
+                r.seq = seq;
+            }
+        }
+    }
+
+    /// TCP counterpart of [`Self::touch_udp`].
+    fn touch_tcp(&mut self, peer: PeerId) {
+        if self.tcp_clients.contains_key(&peer) {
+            let seq = self.next_seq();
+            if let Some(r) = self.tcp_clients.get_mut(&peer) {
+                r.seq = seq;
+            }
+        }
+    }
+
+    /// This server's own fleet endpoint, when it is part of a fleet.
+    fn self_endpoint(&self) -> Option<Endpoint> {
+        self.cfg.fleet.get(self.cfg.fleet_index).copied()
+    }
+
+    /// True when cross-shard forwarding is in play: a fleet of at
+    /// least two members that this server belongs to.
+    fn fleet_routable(&self) -> bool {
+        self.cfg.fleet.len() >= 2 && self.cfg.fleet_index < self.cfg.fleet.len()
+    }
+
+    /// True when `from` is another member of this server's fleet —
+    /// the only senders whose server-to-server messages are honored.
+    fn is_fleet_peer(&self, from: Endpoint) -> bool {
+        self.fleet_routable()
+            && Some(from) != self.self_endpoint()
+            && self.cfg.fleet.contains(&from)
+    }
+
+    /// The target's owner chain with this server itself filtered out —
+    /// where a missing registration may live.
+    fn owner_chain(&self, target: PeerId) -> Vec<Endpoint> {
+        let me = self.self_endpoint();
+        crate::ring::owners(&self.cfg.fleet, target, self.cfg.replication)
+            .into_iter()
+            .filter(|e| Some(*e) != me)
+            .collect()
+    }
+
+    /// Caps the pending-forward table like the registration tables:
+    /// deterministic oldest-first eviction at `max_clients` entries.
+    fn evict_oldest_pending(&mut self, os: &mut Os<'_, '_>) {
+        if self.pending.len() < self.cfg.max_clients {
+            return;
+        }
+        let victim = self
+            .pending
+            .iter()
+            .min_by_key(|(key, p)| (p.seq, **key))
+            .map(|(key, _)| *key);
+        if let Some(key) = victim {
+            self.pending.remove(&key);
+            self.stats.forward_errors += 1;
+            os.metric_inc_labeled("rendezvous.forward", "evict");
+        }
+    }
+
     /// Makes room for a new UDP registration when the table is full by
     /// evicting the oldest entry. The victim is the unique minimum
     /// `(seq, peer_id)`, so the choice never depends on `BTreeMap`
@@ -199,7 +386,11 @@ impl RendezvousServer {
             .min_by_key(|(id, r)| (r.seq, id.0))
             .map(|(&id, _)| id);
         if let Some(id) = victim {
-            self.udp_clients.remove(&id);
+            if let Some(reg) = self.udp_clients.remove(&id) {
+                if self.udp_by_ep.get(&reg.public) == Some(&id) {
+                    self.udp_by_ep.remove(&reg.public);
+                }
+            }
             self.stats.evictions += 1;
             os.metric_inc_labeled("rendezvous.evict", "udp");
         }
@@ -244,16 +435,23 @@ impl RendezvousServer {
                 if !self.udp_clients.contains_key(&peer_id) {
                     self.evict_oldest_udp(os);
                 }
-                let seq = self.reg_seq;
-                self.reg_seq += 1;
-                self.udp_clients.insert(
+                let seq = self.next_seq();
+                if let Some(old) = self.udp_clients.insert(
                     peer_id,
                     UdpReg {
                         public: from,
                         private,
                         seq,
                     },
-                );
+                ) {
+                    // Re-registration from a new mapping: retire the old
+                    // endpoint's reverse-index entry (unless another peer
+                    // has since claimed that endpoint).
+                    if old.public != from && self.udp_by_ep.get(&old.public) == Some(&peer_id) {
+                        self.udp_by_ep.remove(&old.public);
+                    }
+                }
+                self.udp_by_ep.insert(from, peer_id);
                 self.stats.registrations += 1;
                 os.metric_inc_labeled("rendezvous.register", "udp");
                 self.send_udp(os, from, &Message::RegisterAck { public: from });
@@ -263,12 +461,10 @@ impl RendezvousServer {
                 target,
                 nonce,
             } => {
-                let (Some(req), Some(tgt)) = (
-                    self.udp_clients.get(&peer_id).copied(),
-                    self.udp_clients.get(&target).copied(),
-                ) else {
+                self.touch_udp(peer_id);
+                let Some(req) = self.udp_clients.get(&peer_id).copied() else {
                     self.stats.errors += 1;
-                os.metric_inc("rendezvous.error");
+                    os.metric_inc("rendezvous.error");
                     self.send_udp(
                         os,
                         from,
@@ -276,6 +472,33 @@ impl RendezvousServer {
                             code: ERR_UNKNOWN_PEER,
                         },
                     );
+                    return;
+                };
+                let Some(tgt) = self.udp_clients.get(&target).copied() else {
+                    // Not ours: in a fleet the target may be registered on
+                    // its owning shard; standalone, it's simply unknown.
+                    if self.fleet_routable() {
+                        self.forward_introduce(
+                            os,
+                            peer_id,
+                            req.public,
+                            req.private,
+                            None,
+                            target,
+                            nonce,
+                            false,
+                        );
+                    } else {
+                        self.stats.errors += 1;
+                        os.metric_inc("rendezvous.error");
+                        self.send_udp(
+                            os,
+                            from,
+                            &Message::ErrorReply {
+                                code: ERR_UNKNOWN_PEER,
+                            },
+                        );
+                    }
                     return;
                 };
                 self.stats.introductions += 1;
@@ -309,9 +532,30 @@ impl RendezvousServer {
                 target,
                 data,
             } => {
+                self.touch_udp(sender);
                 let Some(tgt) = self.udp_clients.get(&target).copied() else {
+                    if self.fleet_routable() {
+                        // Best-effort: hand the payload to the target's
+                        // primary owner; no reply, no retry chain (relay
+                        // traffic is periodic, the next send retries).
+                        let chain = self.owner_chain(target);
+                        if let Some(owner) = chain.first() {
+                            os.metric_inc_labeled("rendezvous.forward", "relay");
+                            self.send_udp(
+                                os,
+                                *owner,
+                                &Message::SrvRelay {
+                                    from: sender,
+                                    target,
+                                    data,
+                                    tcp: false,
+                                },
+                            );
+                            return;
+                        }
+                    }
                     self.stats.errors += 1;
-                os.metric_inc("rendezvous.error");
+                    os.metric_inc("rendezvous.error");
                     self.send_udp(
                         os,
                         from,
@@ -332,6 +576,10 @@ impl RendezvousServer {
                 target,
                 nonce,
             } => {
+                self.touch_udp(peer_id);
+                // Reversal stays shard-local by design: it only helps when
+                // the target is unNATed and reachable, and those targets
+                // register with every owner anyway (k-of-n).
                 let (Some(req), Some(tgt)) = (
                     self.udp_clients.get(&peer_id).copied(),
                     self.udp_clients.get(&target).copied(),
@@ -360,11 +608,341 @@ impl RendezvousServer {
                     },
                 );
             }
-            Message::Ping => self.send_udp(os, from, &Message::Pong),
+            Message::Ping => {
+                // A keepalive proves the client is alive: refresh its
+                // activity stamp so a flash crowd of one-shot strangers
+                // cannot evict it (the ping carries no id — the reverse
+                // index recovers it from the source mapping).
+                if let Some(&peer) = self.udp_by_ep.get(&from) {
+                    self.touch_udp(peer);
+                }
+                self.send_udp(os, from, &Message::Pong);
+            }
+            Message::SrvIntroduce {
+                requester,
+                requester_public,
+                requester_private,
+                target,
+                nonce,
+                tcp,
+            } => {
+                self.handle_srv_introduce(
+                    os,
+                    from,
+                    requester,
+                    requester_public,
+                    requester_private,
+                    target,
+                    nonce,
+                    tcp,
+                );
+            }
+            Message::SrvIntroduceReply {
+                requester,
+                target,
+                target_public,
+                target_private,
+                nonce,
+                tcp: _,
+            } => {
+                self.handle_srv_reply(os, from, requester, target, target_public, target_private, nonce);
+            }
+            Message::SrvIntroduceErr {
+                requester,
+                target,
+                nonce,
+                tcp: _,
+            } => {
+                self.handle_srv_err(os, from, requester, target, nonce);
+            }
+            Message::SrvRelay {
+                from: sender,
+                target,
+                data,
+                tcp,
+            } => {
+                self.handle_srv_relay(os, from, sender, target, data, tcp);
+            }
             // Peer-to-peer and server-to-client messages are not for us.
             _ => {
                 self.stats.errors += 1;
                 os.metric_inc("rendezvous.error");
+            }
+        }
+    }
+
+    /// Sends (or re-sends, on owner-chain retry) a forward to the
+    /// owner currently indexed by `pending[key].tried`.
+    #[allow(clippy::too_many_arguments)]
+    fn forward_introduce(
+        &mut self,
+        os: &mut Os<'_, '_>,
+        requester: PeerId,
+        requester_public: Endpoint,
+        requester_private: Endpoint,
+        requester_sock: Option<SocketId>,
+        target: PeerId,
+        nonce: u64,
+        tcp: bool,
+    ) {
+        let owners = self.owner_chain(target);
+        let Some(&first) = owners.first() else {
+            // Every owner of the target is this very server — the
+            // registration genuinely does not exist anywhere.
+            self.stats.errors += 1;
+            os.metric_inc("rendezvous.error");
+            self.reply_unknown(os, requester_public, requester_sock, tcp);
+            return;
+        };
+        let key = (requester.0, target.0, nonce);
+        if !self.pending.contains_key(&key) {
+            self.evict_oldest_pending(os);
+        }
+        let seq = self.next_seq();
+        self.pending.insert(
+            key,
+            PendingIntro {
+                tcp,
+                requester_public,
+                requester_private,
+                requester_sock,
+                sent_at: os.now(),
+                owners,
+                tried: 0,
+                seq,
+            },
+        );
+        self.stats.forwards += 1;
+        os.metric_inc_labeled("rendezvous.forward", "sent");
+        self.send_udp(
+            os,
+            first,
+            &Message::SrvIntroduce {
+                requester,
+                requester_public,
+                requester_private,
+                target,
+                nonce,
+                tcp,
+            },
+        );
+    }
+
+    /// ErrorReply to a requester over whichever transport it used.
+    fn reply_unknown(
+        &mut self,
+        os: &mut Os<'_, '_>,
+        public: Endpoint,
+        sock: Option<SocketId>,
+        tcp: bool,
+    ) {
+        let msg = Message::ErrorReply {
+            code: ERR_UNKNOWN_PEER,
+        };
+        if tcp {
+            if let Some(sock) = sock {
+                self.send_tcp(os, sock, &msg);
+            }
+        } else {
+            self.send_udp(os, public, &msg);
+        }
+    }
+
+    /// Owner side of a forwarded introduction: if the target is
+    /// registered here, introduce it to the requester directly and
+    /// return its endpoints to the forwarding shard; otherwise report
+    /// the miss so the forwarder can try the next owner.
+    #[allow(clippy::too_many_arguments)]
+    fn handle_srv_introduce(
+        &mut self,
+        os: &mut Os<'_, '_>,
+        from: Endpoint,
+        requester: PeerId,
+        requester_public: Endpoint,
+        requester_private: Endpoint,
+        target: PeerId,
+        nonce: u64,
+        tcp: bool,
+    ) {
+        if !self.is_fleet_peer(from) {
+            self.stats.errors += 1;
+            os.metric_inc("rendezvous.error");
+            return;
+        }
+        let intro = Message::Introduce {
+            peer: requester,
+            public: requester_public,
+            private: requester_private,
+            nonce,
+            initiator: false,
+        };
+        let found = if tcp {
+            self.tcp_clients.get(&target).copied().map(|tgt| {
+                self.send_tcp(os, tgt.sock, &intro);
+                (tgt.public, tgt.private)
+            })
+        } else {
+            self.udp_clients.get(&target).copied().map(|tgt| {
+                self.send_udp(os, tgt.public, &intro);
+                (tgt.public, tgt.private)
+            })
+        };
+        match found {
+            Some((target_public, target_private)) => {
+                self.stats.forwards_served += 1;
+                os.metric_inc_labeled("rendezvous.forward", "served");
+                self.send_udp(
+                    os,
+                    from,
+                    &Message::SrvIntroduceReply {
+                        requester,
+                        target,
+                        target_public,
+                        target_private,
+                        nonce,
+                        tcp,
+                    },
+                );
+            }
+            None => {
+                os.metric_inc_labeled("rendezvous.forward", "miss");
+                self.send_udp(
+                    os,
+                    from,
+                    &Message::SrvIntroduceErr {
+                        requester,
+                        target,
+                        nonce,
+                        tcp,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Forwarder side, success path: the owner introduced the target;
+    /// complete the requester's half of the pair.
+    #[allow(clippy::too_many_arguments)]
+    fn handle_srv_reply(
+        &mut self,
+        os: &mut Os<'_, '_>,
+        from: Endpoint,
+        requester: PeerId,
+        target: PeerId,
+        target_public: Endpoint,
+        target_private: Endpoint,
+        nonce: u64,
+    ) {
+        if !self.is_fleet_peer(from) {
+            self.stats.errors += 1;
+            os.metric_inc("rendezvous.error");
+            return;
+        }
+        let Some(p) = self.pending.remove(&(requester.0, target.0, nonce)) else {
+            return; // duplicate or late reply; the pair already resolved
+        };
+        os.metric_observe("introduce.forward", os.now().saturating_since(p.sent_at));
+        // The pair counts once, at the shard that fielded the client's
+        // request (the owner counted forwards_served).
+        self.stats.introductions += 1;
+        os.metric_inc_labeled("rendezvous.introduce", if p.tcp { "tcp" } else { "udp" });
+        let intro = Message::Introduce {
+            peer: target,
+            public: target_public,
+            private: target_private,
+            nonce,
+            initiator: true,
+        };
+        if p.tcp {
+            if let Some(sock) = p.requester_sock {
+                self.send_tcp(os, sock, &intro);
+            }
+        } else {
+            self.send_udp(os, p.requester_public, &intro);
+        }
+    }
+
+    /// Forwarder side, miss path: try the target's next ring owner, or
+    /// give the requester a definitive unknown-peer answer.
+    fn handle_srv_err(
+        &mut self,
+        os: &mut Os<'_, '_>,
+        from: Endpoint,
+        requester: PeerId,
+        target: PeerId,
+        nonce: u64,
+    ) {
+        if !self.is_fleet_peer(from) {
+            self.stats.errors += 1;
+            os.metric_inc("rendezvous.error");
+            return;
+        }
+        let key = (requester.0, target.0, nonce);
+        let Some(mut p) = self.pending.remove(&key) else {
+            return;
+        };
+        p.tried += 1;
+        if let Some(&next) = p.owners.get(p.tried) {
+            self.stats.forwards += 1;
+            os.metric_inc_labeled("rendezvous.forward", "retry");
+            let fwd = Message::SrvIntroduce {
+                requester,
+                requester_public: p.requester_public,
+                requester_private: p.requester_private,
+                target,
+                nonce,
+                tcp: p.tcp,
+            };
+            self.pending.insert(key, p);
+            self.send_udp(os, next, &fwd);
+        } else {
+            self.stats.forward_errors += 1;
+            os.metric_inc_labeled("rendezvous.forward", "err");
+            self.stats.errors += 1;
+            os.metric_inc("rendezvous.error");
+            self.reply_unknown(os, p.requester_public, p.requester_sock, p.tcp);
+        }
+    }
+
+    /// Owner side of a forwarded relay payload: deliver if the target
+    /// is here, otherwise drop (relay is periodic; the sender's next
+    /// payload retries the, possibly changed, ring).
+    fn handle_srv_relay(
+        &mut self,
+        os: &mut Os<'_, '_>,
+        from: Endpoint,
+        sender: PeerId,
+        target: PeerId,
+        data: Bytes,
+        tcp: bool,
+    ) {
+        if !self.is_fleet_peer(from) {
+            self.stats.errors += 1;
+            os.metric_inc("rendezvous.error");
+            return;
+        }
+        let delivered = if tcp {
+            self.tcp_clients.get(&target).copied().map(|tgt| {
+                let n = data.len() as u64;
+                self.send_tcp(os, tgt.sock, &Message::RelayedData { from: sender, data });
+                ("tcp", n)
+            })
+        } else {
+            self.udp_clients.get(&target).copied().map(|tgt| {
+                let n = data.len() as u64;
+                self.send_udp(os, tgt.public, &Message::RelayedData { from: sender, data });
+                ("udp", n)
+            })
+        };
+        match delivered {
+            Some((transport, n)) => {
+                self.stats.relayed_msgs += 1;
+                self.stats.relayed_bytes += n;
+                os.metric_inc_labeled("rendezvous.relay.msgs", transport);
+                os.metric_inc_by("rendezvous.relay.bytes", n);
+            }
+            None => {
+                os.metric_inc_labeled("rendezvous.forward", "relay-miss");
             }
         }
     }
@@ -378,8 +956,7 @@ impl RendezvousServer {
                 if !self.tcp_clients.contains_key(&peer_id) {
                     self.evict_oldest_tcp(os);
                 }
-                let seq = self.reg_seq;
-                self.reg_seq += 1;
+                let seq = self.next_seq();
                 self.tcp_clients.insert(
                     peer_id,
                     TcpReg {
@@ -401,12 +978,10 @@ impl RendezvousServer {
                 target,
                 nonce,
             } => {
-                let (Some(req), Some(tgt)) = (
-                    self.tcp_clients.get(&peer_id).copied(),
-                    self.tcp_clients.get(&target).copied(),
-                ) else {
+                self.touch_tcp(peer_id);
+                let Some(req) = self.tcp_clients.get(&peer_id).copied() else {
                     self.stats.errors += 1;
-                os.metric_inc("rendezvous.error");
+                    os.metric_inc("rendezvous.error");
                     self.send_tcp(
                         os,
                         sock,
@@ -414,6 +989,31 @@ impl RendezvousServer {
                             code: ERR_UNKNOWN_PEER,
                         },
                     );
+                    return;
+                };
+                let Some(tgt) = self.tcp_clients.get(&target).copied() else {
+                    if self.fleet_routable() {
+                        self.forward_introduce(
+                            os,
+                            peer_id,
+                            req.public,
+                            req.private,
+                            Some(req.sock),
+                            target,
+                            nonce,
+                            true,
+                        );
+                    } else {
+                        self.stats.errors += 1;
+                        os.metric_inc("rendezvous.error");
+                        self.send_tcp(
+                            os,
+                            sock,
+                            &Message::ErrorReply {
+                                code: ERR_UNKNOWN_PEER,
+                            },
+                        );
+                    }
                     return;
                 };
                 self.stats.introductions += 1;
@@ -446,9 +1046,27 @@ impl RendezvousServer {
                 target,
                 data,
             } => {
+                self.touch_tcp(sender);
                 let Some(tgt) = self.tcp_clients.get(&target).copied() else {
+                    if self.fleet_routable() {
+                        let chain = self.owner_chain(target);
+                        if let Some(owner) = chain.first() {
+                            os.metric_inc_labeled("rendezvous.forward", "relay");
+                            self.send_udp(
+                                os,
+                                *owner,
+                                &Message::SrvRelay {
+                                    from: sender,
+                                    target,
+                                    data,
+                                    tcp: true,
+                                },
+                            );
+                            return;
+                        }
+                    }
                     self.stats.errors += 1;
-                os.metric_inc("rendezvous.error");
+                    os.metric_inc("rendezvous.error");
                     self.send_tcp(
                         os,
                         sock,
@@ -469,6 +1087,7 @@ impl RendezvousServer {
                 target,
                 nonce,
             } => {
+                self.touch_tcp(peer_id);
                 let (Some(req), Some(tgt)) = (
                     self.tcp_clients.get(&peer_id).copied(),
                     self.tcp_clients.get(&target).copied(),
@@ -497,7 +1116,14 @@ impl RendezvousServer {
                     },
                 );
             }
-            Message::Ping => self.send_tcp(os, sock, &Message::Pong),
+            Message::Ping => {
+                // Keepalive over an established connection: the socket
+                // identifies the peer; refresh its activity stamp.
+                if let Some(peer) = self.conns.get(&sock).and_then(|c| c.peer) {
+                    self.touch_tcp(peer);
+                }
+                self.send_tcp(os, sock, &Message::Pong);
+            }
             _ => {
                 self.stats.errors += 1;
                 os.metric_inc("rendezvous.error");
@@ -516,6 +1142,8 @@ impl RendezvousServer {
         self.conns.clear();
         self.tcp_clients.clear();
         self.udp_clients.clear();
+        self.udp_by_ep.clear();
+        self.pending.clear();
     }
 
     fn drop_conn(&mut self, sock: SocketId) {
@@ -535,8 +1163,16 @@ impl App for RendezvousServer {
     fn on_start(&mut self, os: &mut Os<'_, '_>) {
         self.udp_sock = Some(os.udp_bind(self.cfg.port).expect("server UDP port free")); // punch-lint: allow(P001) configured server port on a fresh host; collision is a setup bug
         if self.cfg.probe_port {
+            // checked_add, not `+ 1`: port 65535 would wrap to 0 in
+            // release builds. Unreachable here — `new` rejects that
+            // configuration — but the arithmetic must not rely on it.
+            let probe = self
+                .cfg
+                .port
+                .checked_add(1)
+                .expect("probe port overflows u16; rejected in RendezvousServer::new"); // punch-lint: allow(P001) validated at construction: probe_port with port 65535 cannot be built
             self.probe_sock = Some(
-                os.udp_bind(self.cfg.port + 1)
+                os.udp_bind(probe)
                     .expect("server probe port free"), // punch-lint: allow(P001) configured probe port on a fresh host; collision is a setup bug
             );
         }

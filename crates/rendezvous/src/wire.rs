@@ -171,6 +171,69 @@ pub enum Message {
         /// One of the `ERR_*` codes.
         code: u8,
     },
+    /// Server → server (fleet routing): a shard that received a
+    /// connect/reversal request but does not hold the target's
+    /// registration forwards it to the shard the ownership ring says
+    /// owns the target. Carries everything the owner needs to
+    /// introduce the *requester* to the target directly.
+    SrvIntroduce {
+        /// Requesting client.
+        requester: PeerId,
+        /// Requester's public endpoint as observed by the forwarding server.
+        requester_public: Endpoint,
+        /// Requester's self-reported private endpoint.
+        requester_private: Endpoint,
+        /// Peer the requester wants to reach.
+        target: PeerId,
+        /// Session nonce (same on both sides of the introduction).
+        nonce: u64,
+        /// True when the requester registered over TCP (the owner must
+        /// introduce the target on its TCP table).
+        tcp: bool,
+    },
+    /// Server → server (fleet routing): the owning shard found the
+    /// target, introduced it to the requester directly, and returns
+    /// the target's endpoints so the forwarding shard can complete the
+    /// requester's half of the introduction.
+    SrvIntroduceReply {
+        /// Requesting client (correlates with [`Message::SrvIntroduce`]).
+        requester: PeerId,
+        /// The introduced peer.
+        target: PeerId,
+        /// Target's public endpoint as observed by its owning server.
+        target_public: Endpoint,
+        /// Target's self-reported private endpoint.
+        target_private: Endpoint,
+        /// Session nonce echoed from the forward.
+        nonce: u64,
+        /// Echo of the forward's transport flag.
+        tcp: bool,
+    },
+    /// Server → server (fleet routing): the forwarded target is not
+    /// registered on the queried shard either; the forwarding shard
+    /// tries the next ring owner or reports `ERR_UNKNOWN_PEER`.
+    SrvIntroduceErr {
+        /// Requesting client (correlates with [`Message::SrvIntroduce`]).
+        requester: PeerId,
+        /// The peer that could not be found.
+        target: PeerId,
+        /// Session nonce echoed from the forward.
+        nonce: u64,
+        /// Echo of the forward's transport flag.
+        tcp: bool,
+    },
+    /// Server → server (fleet routing): best-effort forward of a relay
+    /// payload to the shard owning `target`'s registration.
+    SrvRelay {
+        /// Original sending client.
+        from: PeerId,
+        /// Receiving client (registered on the destination shard).
+        target: PeerId,
+        /// Opaque payload.
+        data: Bytes,
+        /// True when the payload must be delivered on the TCP table.
+        tcp: bool,
+    },
 }
 
 const TAG_REGISTER: u8 = 1;
@@ -188,6 +251,10 @@ const TAG_PEER_HELLO_ACK: u8 = 12;
 const TAG_PEER_DATA: u8 = 13;
 const TAG_KEEP_ALIVE: u8 = 14;
 const TAG_ERROR: u8 = 15;
+const TAG_SRV_INTRODUCE: u8 = 16;
+const TAG_SRV_INTRODUCE_REPLY: u8 = 17;
+const TAG_SRV_INTRODUCE_ERR: u8 = 18;
+const TAG_SRV_RELAY: u8 = 19;
 
 fn put_endpoint(buf: &mut BytesMut, ep: Endpoint, obfuscate: bool) {
     buf.put_u8(u8::from(obfuscate));
@@ -340,6 +407,62 @@ impl Message {
                 buf.put_u8(TAG_ERROR);
                 buf.put_u8(*code);
             }
+            Message::SrvIntroduce {
+                requester,
+                requester_public,
+                requester_private,
+                target,
+                nonce,
+                tcp,
+            } => {
+                buf.put_u8(TAG_SRV_INTRODUCE);
+                buf.put_u64(requester.0);
+                put_endpoint(&mut buf, *requester_public, obfuscate);
+                put_endpoint(&mut buf, *requester_private, obfuscate);
+                buf.put_u64(target.0);
+                buf.put_u64(*nonce);
+                buf.put_u8(u8::from(*tcp));
+            }
+            Message::SrvIntroduceReply {
+                requester,
+                target,
+                target_public,
+                target_private,
+                nonce,
+                tcp,
+            } => {
+                buf.put_u8(TAG_SRV_INTRODUCE_REPLY);
+                buf.put_u64(requester.0);
+                buf.put_u64(target.0);
+                put_endpoint(&mut buf, *target_public, obfuscate);
+                put_endpoint(&mut buf, *target_private, obfuscate);
+                buf.put_u64(*nonce);
+                buf.put_u8(u8::from(*tcp));
+            }
+            Message::SrvIntroduceErr {
+                requester,
+                target,
+                nonce,
+                tcp,
+            } => {
+                buf.put_u8(TAG_SRV_INTRODUCE_ERR);
+                buf.put_u64(requester.0);
+                buf.put_u64(target.0);
+                buf.put_u64(*nonce);
+                buf.put_u8(u8::from(*tcp));
+            }
+            Message::SrvRelay {
+                from,
+                target,
+                data,
+                tcp,
+            } => {
+                buf.put_u8(TAG_SRV_RELAY);
+                buf.put_u64(from.0);
+                buf.put_u64(target.0);
+                put_bytes(&mut buf, data);
+                buf.put_u8(u8::from(*tcp));
+            }
         }
         buf.freeze()
     }
@@ -408,6 +531,34 @@ impl Message {
             TAG_KEEP_ALIVE => Message::KeepAlive,
             TAG_ERROR => Message::ErrorReply {
                 code: get_u8(&mut buf)?,
+            },
+            TAG_SRV_INTRODUCE => Message::SrvIntroduce {
+                requester: PeerId(get_u64(&mut buf)?),
+                requester_public: get_endpoint(&mut buf)?,
+                requester_private: get_endpoint(&mut buf)?,
+                target: PeerId(get_u64(&mut buf)?),
+                nonce: get_u64(&mut buf)?,
+                tcp: get_u8(&mut buf)? != 0,
+            },
+            TAG_SRV_INTRODUCE_REPLY => Message::SrvIntroduceReply {
+                requester: PeerId(get_u64(&mut buf)?),
+                target: PeerId(get_u64(&mut buf)?),
+                target_public: get_endpoint(&mut buf)?,
+                target_private: get_endpoint(&mut buf)?,
+                nonce: get_u64(&mut buf)?,
+                tcp: get_u8(&mut buf)? != 0,
+            },
+            TAG_SRV_INTRODUCE_ERR => Message::SrvIntroduceErr {
+                requester: PeerId(get_u64(&mut buf)?),
+                target: PeerId(get_u64(&mut buf)?),
+                nonce: get_u64(&mut buf)?,
+                tcp: get_u8(&mut buf)? != 0,
+            },
+            TAG_SRV_RELAY => Message::SrvRelay {
+                from: PeerId(get_u64(&mut buf)?),
+                target: PeerId(get_u64(&mut buf)?),
+                data: get_bytes(&mut buf)?,
+                tcp: get_u8(&mut buf)? != 0,
             },
             other => return Err(WireError::BadTag(other)),
         };
@@ -555,6 +706,34 @@ mod tests {
             Message::KeepAlive,
             Message::ErrorReply {
                 code: ERR_UNKNOWN_PEER,
+            },
+            Message::SrvIntroduce {
+                requester: PeerId(7),
+                requester_public: ep("155.99.25.11:62000"),
+                requester_private: ep("10.0.0.1:4321"),
+                target: PeerId(9),
+                nonce: 0xdead,
+                tcp: false,
+            },
+            Message::SrvIntroduceReply {
+                requester: PeerId(7),
+                target: PeerId(9),
+                target_public: ep("138.76.29.7:31000"),
+                target_private: ep("10.1.1.3:4321"),
+                nonce: 0xdead,
+                tcp: true,
+            },
+            Message::SrvIntroduceErr {
+                requester: PeerId(7),
+                target: PeerId(9),
+                nonce: 0xdead,
+                tcp: false,
+            },
+            Message::SrvRelay {
+                from: PeerId(7),
+                target: PeerId(9),
+                data: Bytes::from_static(b"hi"),
+                tcp: true,
             },
         ]
     }

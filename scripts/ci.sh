@@ -34,6 +34,11 @@
 #                                           workers, every session
 #                                           resolves, and events/sec gets
 #                                           a soft (warn-only) floor
+#  10. rendezvous-fleet smoke             — an n=4 mini flash crowd with a
+#                                           mid-crowd server restart: the
+#                                           fleet JSON is byte-identical
+#                                           at 1 vs 2 workers, zero
+#                                           pending, zero forward errors
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -133,6 +138,27 @@ if rate < 100_000:
     print(f"WARN: events/sec/core {rate} below the 100k soft floor", file=sys.stderr)
 PYEOF
 echo "OK: shard outcomes byte-identical across worker counts, all sessions resolved"
+
+echo "== rendezvous-fleet smoke (n=4 mini flash crowd, 1 vs 2 workers) =="
+PUNCH_JOBS=1 cargo run --release --quiet -p punch-bench --bin fleet -- \
+    --sessions 200 --shards 4 --fleets 4 --out "$tmpdir/fleet1.json" > /dev/null
+PUNCH_JOBS=2 cargo run --release --quiet -p punch-bench --bin fleet -- \
+    --sessions 200 --shards 4 --fleets 4 --out "$tmpdir/fleet2.json" > /dev/null
+if ! cmp -s "$tmpdir/fleet1.json" "$tmpdir/fleet2.json"; then
+    echo "FAIL: fleet report differs between 1 and 2 workers" >&2
+    diff "$tmpdir/fleet1.json" "$tmpdir/fleet2.json" >&2 || true
+    exit 1
+fi
+python3 - "$tmpdir/fleet1.json" <<'PYEOF'
+import json, sys
+j = json.load(open(sys.argv[1]))
+for leg in j["fleets"]:
+    if leg["pending"]:
+        sys.exit(f"FAIL: fleet smoke left {leg['pending']} sessions pending at n={leg['servers']}")
+    if leg["forward_errors"]:
+        sys.exit(f"FAIL: fleet smoke hit {leg['forward_errors']} forward errors at n={leg['servers']}")
+PYEOF
+echo "OK: fleet report byte-identical across worker counts, zero pending"
 
 echo "== decoder fuzz suites (wire codecs + TCP segment storms) =="
 cargo test -q -p punch-rendezvous --test proptest_wire
