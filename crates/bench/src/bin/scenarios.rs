@@ -32,7 +32,7 @@ fn main() {
         ),
     ] {
         let out = udp_punch(Topology::CommonNat(nat), 1, |c| {
-            c.punch.use_private_candidates = private_cands;
+            c.punch = c.punch.clone().with_private_candidates(private_cands);
         });
         println!("  {label:<35} -> {}", describe(out));
     }

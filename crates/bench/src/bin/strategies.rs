@@ -1,0 +1,254 @@
+//! ES: the candidate-racing strategy matrix — a DCUtR-style success-rate
+//! table of prediction strategy × NAT behavior class, measured over the
+//! Table 1 vendor populations.
+//!
+//! Every sampled vendor device is bucketed by the behaviour pair that
+//! decides a punch's fate: its mapping policy (cone vs symmetric) and,
+//! for symmetric mappings, its port allocator (preserving, sequential,
+//! random). Each matrix cell then races one sampled device class against
+//! another, both peers running the same [`CandidatePlan`], with relaying
+//! disabled so the outcome is purely the race's: direct or failed.
+//!
+//! Seeds are paired across strategies — cell (i, trial t) uses the same
+//! world seed and the same sampled devices under every strategy — so a
+//! strategy's column differs from `basic` only by what it adds to the
+//! candidate set. The paper's claim (§5.1) and DCUtR's observation both
+//! land in the same cells: on symmetric↔symmetric pairs `basic` gets
+//! through only the minority of devices whose filtering is loose enough
+//! to accept traffic on the server-facing mapping, while a prediction
+//! strategy matched to the allocator carries the rest.
+//!
+//! Run: `cargo run --release -p punch-bench --bin strategies
+//! [-- --trials N] [--no-write] [--out PATH]`
+//!
+//! The JSON report (default `results/BENCH_strategies.json`) contains no
+//! timings, so it is byte-identical for the same trial count at any
+//! worker count.
+
+use holepunch::{CandidatePlan, PredictionStrategy, SourceSpec};
+use punch_bench::{udp_punch, Outcome, Topology};
+use punch_lab::par;
+use punch_nat::{MappingPolicy, NatBehavior, PortAllocation, VendorProfile, VENDORS};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+
+/// Population sampling seed (the Table 1 survey's).
+const SEED: u64 = 2005;
+/// Prediction window / radius for every strategy.
+const WINDOW: u16 = 8;
+
+/// NAT behaviour classes that decide a punch's fate.
+const CLASSES: [&str; 4] = ["cone", "sym_pres", "sym_seq", "sym_rand"];
+
+fn class_of(b: &NatBehavior) -> &'static str {
+    if b.mapping == MappingPolicy::EndpointIndependent {
+        "cone"
+    } else {
+        match b.port_alloc {
+            PortAllocation::Preserving => "sym_pres",
+            PortAllocation::Sequential => "sym_seq",
+            PortAllocation::Random => "sym_rand",
+        }
+    }
+}
+
+fn plan_for(name: &str) -> CandidatePlan {
+    match name {
+        "basic" => CandidatePlan::basic(),
+        "predict_seq" => CandidatePlan::basic().with_source(SourceSpec::predicted(
+            PredictionStrategy::SequentialDelta { window: WINDOW },
+        )),
+        "stride_mult" => CandidatePlan::basic().with_source(SourceSpec::predicted(
+            PredictionStrategy::StrideMultiple { window: WINDOW },
+        )),
+        "window_obs" => CandidatePlan::basic().with_source(SourceSpec::predicted(
+            PredictionStrategy::WindowAroundObserved { radius: WINDOW },
+        )),
+        other => unreachable!("unknown strategy {other}"), // punch-lint: allow(P001) strategy names come from the fixed list below
+    }
+}
+
+const STRATEGIES: [&str; 4] = ["basic", "predict_seq", "stride_mult", "window_obs"];
+
+struct Cell {
+    direct: u64,
+    relay: u64,
+    failed: u64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let trials: u64 = args
+        .iter()
+        .position(|a| a == "--trials")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10);
+    let no_write = args.iter().any(|a| a == "--no-write");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "results/BENCH_strategies.json".to_string());
+
+    // Sample the Table 1 vendor populations once and bucket every device
+    // by its behaviour class. The sampling RNG is seeded, so the buckets
+    // are identical on every run and at every worker count.
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut buckets: Vec<(usize, NatBehavior)> = Vec::new();
+    for spec in VENDORS {
+        for dev in VendorProfile::new(*spec).sample_population(&mut rng) {
+            let class = CLASSES
+                .iter()
+                .position(|c| *c == class_of(&dev.behavior))
+                .expect("class_of returns a listed class"); // punch-lint: allow(P001) class_of only returns CLASSES members
+            buckets.push((class, dev.behavior));
+        }
+    }
+    let class_devices: Vec<Vec<&NatBehavior>> = (0..CLASSES.len())
+        .map(|ci| {
+            buckets
+                .iter()
+                .filter(|(c, _)| *c == ci)
+                .map(|(_, b)| b)
+                .collect()
+        })
+        .collect();
+
+    println!("== ES: candidate-racing strategies vs the vendor population ==");
+    println!("   {} devices sampled from Table 1 vendors (seed {SEED}):", buckets.len());
+    for (ci, name) in CLASSES.iter().enumerate() {
+        println!("     {name:<9} {:>4} devices", class_devices[ci].len());
+    }
+    println!("   {trials} paired seeds per cell, window {WINDOW}, relaying disabled\n");
+
+    // One flat task list across every strategy and cell, so par can fan
+    // the whole matrix out; order is deterministic and the aggregation
+    // below reads results back positionally.
+    struct Task {
+        strategy: usize,
+        cell: usize,
+        seed: u64,
+        nat_a: NatBehavior,
+        nat_b: NatBehavior,
+    }
+    let mut tasks: Vec<Task> = Vec::new();
+    for (si, _) in STRATEGIES.iter().enumerate() {
+        for ca in 0..CLASSES.len() {
+            for cb in 0..CLASSES.len() {
+                let cell = ca * CLASSES.len() + cb;
+                for t in 0..trials {
+                    // Paired across strategies: seed and devices depend
+                    // only on (cell, trial).
+                    let pick = |devs: &Vec<&NatBehavior>, salt: u64| -> NatBehavior {
+                        devs[((t * 31 + salt) % devs.len() as u64) as usize].clone()
+                    };
+                    tasks.push(Task {
+                        strategy: si,
+                        cell,
+                        seed: 40_000 + cell as u64 * 10_007 + t * 7919,
+                        nat_a: pick(&class_devices[ca], 0),
+                        nat_b: pick(&class_devices[cb], 17),
+                    });
+                }
+            }
+        }
+    }
+
+    let outcomes = par::run(&tasks, |_, task| {
+        let plan = plan_for(STRATEGIES[task.strategy]);
+        udp_punch(
+            Topology::TwoNats(Some(task.nat_a.clone()), Some(task.nat_b.clone())),
+            task.seed,
+            |c| {
+                c.punch = c.punch.clone().with_plan(plan.clone());
+                c.punch.relay_fallback = false;
+            },
+        )
+    });
+
+    let cells = CLASSES.len() * CLASSES.len();
+    let mut matrix: Vec<Vec<Cell>> = (0..STRATEGIES.len())
+        .map(|_| {
+            (0..cells)
+                .map(|_| Cell {
+                    direct: 0,
+                    relay: 0,
+                    failed: 0,
+                })
+                .collect()
+        })
+        .collect();
+    for (task, outcome) in tasks.iter().zip(&outcomes) {
+        let cell = &mut matrix[task.strategy][task.cell];
+        match outcome {
+            Outcome::Direct(_) => cell.direct += 1,
+            Outcome::Relay => cell.relay += 1,
+            Outcome::Failed => cell.failed += 1,
+        }
+    }
+
+    for (si, strategy) in STRATEGIES.iter().enumerate() {
+        println!("  {strategy}: direct successes / {trials} trials");
+        print!("    {:>9}", "");
+        for cb in CLASSES {
+            print!("  {cb:>8}");
+        }
+        println!();
+        for (ca, row) in CLASSES.iter().enumerate() {
+            print!("    {row:>9}");
+            for cb in 0..CLASSES.len() {
+                let c = &matrix[si][ca * CLASSES.len() + cb];
+                print!("  {:>7.0}%", 100.0 * c.direct as f64 / trials as f64);
+            }
+            println!();
+        }
+        println!();
+    }
+    println!("  (on symmetric↔symmetric pairs, basic only gets through loosely-");
+    println!("   filtering devices; prediction carries the rest, §5.1 / DCUtR)");
+
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"bench\": \"strategy-matrix\",").unwrap();
+    writeln!(json, "  \"population_seed\": {SEED},").unwrap();
+    writeln!(json, "  \"devices\": {},", buckets.len()).unwrap();
+    writeln!(json, "  \"trials_per_cell\": {trials},").unwrap();
+    writeln!(json, "  \"window\": {WINDOW},").unwrap();
+    writeln!(json, "  \"classes\": {{").unwrap();
+    for (ci, name) in CLASSES.iter().enumerate() {
+        let comma = if ci + 1 < CLASSES.len() { "," } else { "" };
+        writeln!(json, "    \"{name}\": {}{comma}", class_devices[ci].len()).unwrap();
+    }
+    writeln!(json, "  }},").unwrap();
+    writeln!(json, "  \"matrix\": {{").unwrap();
+    for (si, strategy) in STRATEGIES.iter().enumerate() {
+        writeln!(json, "    \"{strategy}\": {{").unwrap();
+        for ca in 0..CLASSES.len() {
+            for cb in 0..CLASSES.len() {
+                let c = &matrix[si][ca * CLASSES.len() + cb];
+                let comma = if ca * CLASSES.len() + cb + 1 < cells { "," } else { "" };
+                writeln!(
+                    json,
+                    "      \"{}x{}\": {{\"direct\": {}, \"relay\": {}, \"failed\": {}}}{comma}",
+                    CLASSES[ca], CLASSES[cb], c.direct, c.relay, c.failed
+                )
+                .unwrap();
+            }
+        }
+        let comma = if si + 1 < STRATEGIES.len() { "," } else { "" };
+        writeln!(json, "    }}{comma}").unwrap();
+    }
+    writeln!(json, "  }}").unwrap();
+    writeln!(json, "}}").unwrap();
+
+    if no_write {
+        return;
+    }
+    match std::fs::create_dir_all("results").and_then(|()| std::fs::write(&out_path, &json)) {
+        Ok(()) => println!("\n(wrote {out_path})"),
+        Err(e) => eprintln!("warning: could not write {out_path}: {e}"),
+    }
+}

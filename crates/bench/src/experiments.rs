@@ -264,7 +264,10 @@ pub fn prediction_trial(
     let server = Scenario::server_endpoint();
     let mk = |id: PeerId| {
         let mut c = UdpPeerConfig::new(id, server);
-        c.punch.strategy = holepunch::PunchStrategy::Predict { window };
+        c.punch = c
+            .punch
+            .clone()
+            .with_strategy(holepunch::PunchStrategy::Predict { window });
         c.punch.relay_fallback = false;
         PeerSetup::new(UdpPeer::new(c))
     };

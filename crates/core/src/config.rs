@@ -1,19 +1,24 @@
 //! Configuration for the hole-punching endpoints.
 
+use crate::candidates::{CandidatePlan, CandidateSource, PredictionStrategy, SourceSpec};
 use punch_net::Endpoint;
 use punch_rendezvous::PeerId;
 use std::time::Duration;
 
-/// Candidate-selection and retry strategy for a punch attempt.
+/// Legacy candidate-selection strategy, kept as a shim over
+/// [`CandidatePlan`]: [`PunchConfig::with_strategy`] maps each variant
+/// onto the equivalent plan. New code composes plans directly.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum PunchStrategy {
     /// The paper's §3.2 procedure: spray the peer's public and private
-    /// endpoints, lock in whichever answers first.
+    /// endpoints, lock in whichever answers first
+    /// ([`CandidatePlan::basic`]).
     #[default]
     Basic,
     /// §5.1 extension for symmetric NATs: exchange port-allocation deltas
     /// measured by the classifier and additionally spray a window of
-    /// predicted ports around the peer's next expected mapping.
+    /// predicted ports around the peer's next expected mapping
+    /// ([`PredictionStrategy::SequentialDelta`]).
     Predict {
         /// How many consecutive predicted ports to try.
         window: u16,
@@ -38,10 +43,12 @@ pub struct PunchConfig {
     pub session_timeout: Duration,
     /// Fall back to relaying through S when punching fails (§2.2).
     pub relay_fallback: bool,
-    /// Try the peer's private endpoint as well as its public one (§3.3).
-    pub use_private_candidates: bool,
-    /// Candidate strategy.
-    pub strategy: PunchStrategy,
+    /// The candidate race: which endpoints each punch cycle probes, in
+    /// what priority order, at what pace, and which port-prediction
+    /// windows this endpoint announces. The default
+    /// ([`CandidatePlan::basic`]) is the paper's §3.2 private+public
+    /// pair.
+    pub plan: CandidatePlan,
     /// Liveness detection: declare an established session dead after
     /// this many keepalive intervals with no inbound traffic, without
     /// waiting for the full `session_timeout`. `0` disables miss-based
@@ -73,8 +80,7 @@ impl Default for PunchConfig {
             keepalive_interval: Duration::from_secs(15),
             session_timeout: Duration::from_secs(60),
             relay_fallback: true,
-            use_private_candidates: true,
-            strategy: PunchStrategy::Basic,
+            plan: CandidatePlan::basic(),
             keepalive_miss_limit: 0,
             auto_repunch: false,
             backoff: 1.0,
@@ -132,15 +138,42 @@ impl PunchConfig {
         self
     }
 
-    /// Same configuration with private candidates enabled or disabled.
+    /// Same configuration with the peer-private candidate raced or not
+    /// (§3.3). A thin shim over the [`CandidatePlan`]: it removes any
+    /// `PeerPrivate` source and, when enabled, re-seats it at the
+    /// paper's priority (first).
     pub fn with_private_candidates(mut self, enabled: bool) -> Self {
-        self.use_private_candidates = enabled;
+        self.plan
+            .sources
+            .retain(|s| !matches!(s.source, CandidateSource::PeerPrivate));
+        if enabled {
+            self.plan.sources.insert(0, SourceSpec::private());
+        }
         self
     }
 
-    /// Same configuration with a different candidate strategy.
+    /// Same configuration with a different legacy candidate strategy. A
+    /// thin shim over the [`CandidatePlan`]: it removes any predicted
+    /// sources and, for [`PunchStrategy::Predict`], appends a
+    /// [`PredictionStrategy::SequentialDelta`] window — byte-identical
+    /// behaviour to the pre-plan config surface.
     pub fn with_strategy(mut self, strategy: PunchStrategy) -> Self {
-        self.strategy = strategy;
+        self.plan
+            .sources
+            .retain(|s| !matches!(s.source, CandidateSource::SelfPredicted(_)));
+        if let PunchStrategy::Predict { window } = strategy {
+            self.plan = self
+                .plan
+                .with_source(SourceSpec::predicted(PredictionStrategy::SequentialDelta {
+                    window,
+                }));
+        }
+        self
+    }
+
+    /// Same configuration with a different candidate plan.
+    pub fn with_plan(mut self, plan: CandidatePlan) -> Self {
+        self.plan = plan;
         self
     }
 
@@ -319,8 +352,11 @@ pub struct TcpPeerConfig {
     pub max_retries: u32,
     /// Overall deadline for one punch attempt.
     pub punch_deadline: Duration,
-    /// Try the peer's private endpoint as well as its public one.
-    pub use_private_candidates: bool,
+    /// The candidate race: which endpoints each punch attempt connects
+    /// to and in what order. The default ([`CandidatePlan::basic_tcp`])
+    /// is the §4.2 public-then-private connect order. TCP has no relay
+    /// control channel yet, so predicted sources seat no candidates.
+    pub plan: CandidatePlan,
     /// Parallel (§4.2) or sequential (§4.5) procedure. Both sides of a
     /// punch must agree on the mode.
     pub mode: TcpPunchMode,
@@ -353,7 +389,7 @@ impl TcpPeerConfig {
             retry_delay: Duration::from_secs(1),
             max_retries: 8,
             punch_deadline: Duration::from_secs(30),
-            use_private_candidates: true,
+            plan: CandidatePlan::basic_tcp(),
             mode: TcpPunchMode::Parallel,
             relay_fallback: true,
             reconnect_backoff: 1.0,
@@ -406,9 +442,23 @@ impl TcpPeerConfig {
         self
     }
 
-    /// Same configuration with private candidates enabled or disabled.
+    /// Same configuration with the peer-private candidate raced or not.
+    /// A thin shim over the [`CandidatePlan`]: it removes any
+    /// `PeerPrivate` source and, when enabled, re-seats it after the
+    /// public candidate (the historical §4.2 connect order).
     pub fn with_private_candidates(mut self, enabled: bool) -> Self {
-        self.use_private_candidates = enabled;
+        self.plan
+            .sources
+            .retain(|s| !matches!(s.source, CandidateSource::PeerPrivate));
+        if enabled {
+            self.plan = self.plan.with_source(SourceSpec::private().with_priority(1));
+        }
+        self
+    }
+
+    /// Same configuration with a different candidate plan.
+    pub fn with_plan(mut self, plan: CandidatePlan) -> Self {
+        self.plan = plan;
         self
     }
 
@@ -451,11 +501,20 @@ mod tests {
         );
         let u = UdpPeerConfig::new(PeerId(1), "18.181.0.31:1234".parse().unwrap());
         assert!(
-            u.punch.use_private_candidates,
+            u.punch.plan.has_private(),
             "§3.3: try private endpoints too"
         );
         assert!(u.obfuscate, "§3.1: obfuscate addresses in bodies");
-        assert_eq!(u.punch.strategy, PunchStrategy::Basic);
+        assert_eq!(
+            u.punch.plan,
+            CandidatePlan::basic(),
+            "default plan is the paper's §3.2 pair"
+        );
+        assert_eq!(
+            c.plan,
+            CandidatePlan::basic_tcp(),
+            "default TCP plan is the §4.2 connect order"
+        );
     }
 
     #[test]
@@ -483,7 +542,13 @@ mod tests {
         assert!(!u.obfuscate);
         assert_eq!(u.punch.max_attempts, 3);
         assert!(!u.punch.relay_fallback);
-        assert_eq!(u.punch.strategy, PunchStrategy::Predict { window: 4 });
+        assert_eq!(
+            u.punch.plan,
+            CandidatePlan::basic().with_source(SourceSpec::predicted(
+                PredictionStrategy::SequentialDelta { window: 4 }
+            )),
+            "the Predict shim maps onto a sequential-delta plan"
+        );
         let t = TcpPeerConfig::new(PeerId(2), "18.181.0.31:1234".parse().unwrap())
             .with_retry_delay(Duration::from_millis(250))
             .with_mode(TcpPunchMode::Sequential {
@@ -491,6 +556,48 @@ mod tests {
             });
         assert_eq!(t.retry_delay, Duration::from_millis(250));
         assert!(matches!(t.mode, TcpPunchMode::Sequential { .. }));
+    }
+
+    #[test]
+    fn legacy_shims_round_trip_onto_plans() {
+        // Basic after Predict removes the predicted source again.
+        let p = PunchConfig::default()
+            .with_strategy(PunchStrategy::Predict { window: 4 })
+            .with_strategy(PunchStrategy::Basic);
+        assert_eq!(p.plan, CandidatePlan::basic());
+
+        // Disabling private candidates leaves only the public source;
+        // re-enabling restores the paper's order.
+        let p = PunchConfig::default().with_private_candidates(false);
+        assert!(!p.plan.has_private());
+        assert_eq!(p.plan.sources.len(), 1);
+        let p = p.with_private_candidates(true);
+        assert_eq!(p.plan, CandidatePlan::basic());
+
+        // Same for TCP, which seats private *after* public.
+        let t = TcpPeerConfig::new(PeerId(9), "18.181.0.31:1234".parse().unwrap())
+            .with_private_candidates(false)
+            .with_private_candidates(true);
+        assert_eq!(t.plan, CandidatePlan::basic_tcp());
+    }
+
+    #[test]
+    fn plans_compose_sources_priorities_and_pacing() {
+        let plan = CandidatePlan::basic()
+            .with_source(
+                SourceSpec::predicted(PredictionStrategy::WindowAroundObserved { radius: 8 })
+                    .with_priority(3)
+                    .with_pace(2),
+            )
+            .with_announced(1, 2);
+        let u = UdpPeerConfig::new(PeerId(1), "18.181.0.31:1234".parse().unwrap())
+            .with_punch(PunchConfig::default().with_plan(plan.clone()));
+        assert_eq!(u.punch.plan, plan);
+        assert_eq!(u.punch.plan.sources[2].priority, 3);
+        assert_eq!(u.punch.plan.sources[2].pace, 2);
+        assert_eq!(u.punch.plan.announced_priority, 1);
+        assert!(u.punch.plan.has_predictions());
+        assert!(!u.punch.plan.needs_probe(), "window-around-observed needs no probe");
     }
 
     #[test]

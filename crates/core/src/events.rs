@@ -1,6 +1,7 @@
 //! Events surfaced by the hole-punching endpoints to their embedding
 //! application.
 
+use crate::candidates::CandidateStamp;
 use bytes::Bytes;
 use punch_net::Endpoint;
 use punch_rendezvous::PeerId;
@@ -72,6 +73,20 @@ pub enum UdpPeerEvent {
     /// is re-registering. A fresh [`UdpPeerEvent::Registered`] follows
     /// once S answers again.
     ServerLost,
+    /// The candidate race for `peer` settled: the per-candidate stamps
+    /// record which endpoints were raced, when each was first probed and
+    /// first answered, and which one won (`None` when the punch failed
+    /// or fell back to the relay). Emitted alongside the terminal
+    /// [`UdpPeerEvent::Established`] / [`UdpPeerEvent::RelayActive`] /
+    /// [`UdpPeerEvent::PunchFailed`] event of the cycle.
+    RaceSettled {
+        /// The peer.
+        peer: PeerId,
+        /// The winning endpoint, if the race produced a direct path.
+        winner: Option<Endpoint>,
+        /// Final per-candidate stamps, in race order.
+        candidates: Vec<CandidateStamp>,
+    },
 }
 
 /// Events from a [`crate::TcpPeer`].
@@ -117,5 +132,18 @@ pub enum TcpPeerEvent {
     PeerClosed {
         /// The peer.
         peer: PeerId,
+    },
+    /// The candidate race for `peer` settled: per-candidate stamps for
+    /// every raced endpoint and the winner (`None` when every connect
+    /// and accept failed). Emitted alongside the terminal
+    /// [`TcpPeerEvent::Established`] / [`TcpPeerEvent::RelayActive`] /
+    /// [`TcpPeerEvent::PunchFailed`] event of the cycle.
+    RaceSettled {
+        /// The peer.
+        peer: PeerId,
+        /// The remote endpoint of the winning stream, if any.
+        winner: Option<Endpoint>,
+        /// Final per-candidate stamps, in race order.
+        candidates: Vec<CandidateStamp>,
     },
 }

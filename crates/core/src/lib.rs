@@ -19,9 +19,14 @@
 //!   (§2.3).
 //! - [`Classifier`] — STUN-style mapping classification, the substrate
 //!   for port prediction.
+//! - [`CandidatePlan`] — the composable candidate-set racing engine both
+//!   endpoints share: which endpoints to race (private, public,
+//!   predicted-port windows from pluggable [`PredictionStrategy`]
+//!   choices), in what priority order, at what per-source pace.
 //!
 //! See the repository examples for complete programs.
 
+pub mod candidates;
 pub mod classify;
 pub mod config;
 pub mod events;
@@ -30,6 +35,9 @@ pub mod tcp;
 pub mod timeline;
 pub mod udp;
 
+pub use candidates::{
+    CandidateKind, CandidatePlan, CandidateSource, CandidateStamp, PredictionStrategy, SourceSpec,
+};
 pub use classify::{Classifier, MappingVerdict, NatReport};
 pub use config::{PunchConfig, PunchStrategy, TcpPeerConfig, TcpPunchMode, UdpPeerConfig};
 pub use events::{TcpPath, TcpPeerEvent, UdpPeerEvent, Via};

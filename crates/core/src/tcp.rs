@@ -3,12 +3,14 @@
 //! [`TcpPeer`] implements the §4.2 procedure: one local TCP port is shared
 //! (via the `SO_REUSEADDR`/`SO_REUSEPORT` semantics of §4.1) by the control
 //! connection to *S*, a listen socket, and simultaneous outgoing connects
-//! to every candidate endpoint of the peer. Failed connects are re-tried
-//! after a short delay (step 4), surviving RST-happy NATs (§5.2); the
-//! first *authenticated* stream wins (step 5), whether it surfaced via
-//! `connect()` or `accept()` (§4.3). Connection reversal (§2.3) rides the
-//! same machinery.
+//! to every candidate the session's [`crate::CandidatePlan`] generates
+//! (the same racing engine the UDP path uses). Failed connects are
+//! re-tried after a short delay (step 4), surviving RST-happy NATs
+//! (§5.2); the first *authenticated* stream wins (step 5), whether it
+//! surfaced via `connect()` or `accept()` (§4.3). Connection reversal
+//! (§2.3) rides the same machinery.
 
+use crate::candidates::{CandidateKind, CandidateSet};
 use crate::config::{TcpPeerConfig, TcpPunchMode};
 use crate::events::{TcpPath, TcpPeerEvent, Via};
 use crate::relay::{RELAY_KIND_APP, RELAY_KIND_CONTROL};
@@ -36,7 +38,9 @@ pub struct TcpPeerStats {
 #[derive(Debug)]
 struct TcpSession {
     nonce: u64,
-    candidates: Vec<Endpoint>,
+    /// The materialized candidate race for this punch (same engine as
+    /// the UDP path).
+    candidates: CandidateSet,
     winner: Option<SocketId>,
     retries: BTreeMap<Endpoint, u32>,
     started_at: SimTime,
@@ -47,6 +51,23 @@ struct TcpSession {
     passive: bool,
     /// §2.2: punch failed, data flows through S.
     relaying: bool,
+}
+
+impl TcpSession {
+    fn new(nonce: u64, now: SimTime) -> Self {
+        TcpSession {
+            nonce,
+            candidates: CandidateSet::default(),
+            winner: None,
+            retries: BTreeMap::new(),
+            started_at: now,
+            pending: VecDeque::new(),
+            failed: false,
+            deadline_armed: false,
+            passive: false,
+            relaying: false,
+        }
+    }
 }
 
 enum TimerPurpose {
@@ -185,18 +206,9 @@ impl TcpPeer {
         }
         let nonce: u64 = os.rng().gen();
         let now = os.now();
-        self.sessions.entry(peer).or_insert_with(|| TcpSession {
-            nonce,
-            candidates: Vec::new(),
-            winner: None,
-            retries: BTreeMap::new(),
-            started_at: now,
-            pending: VecDeque::new(),
-            failed: false,
-            deadline_armed: false,
-            passive: false,
-            relaying: false,
-        });
+        self.sessions
+            .entry(peer)
+            .or_insert_with(|| TcpSession::new(nonce, now));
         self.send_server(
             os,
             &Message::ConnectRequest {
@@ -218,18 +230,9 @@ impl TcpPeer {
         }
         let nonce: u64 = os.rng().gen();
         let now = os.now();
-        self.sessions.entry(peer).or_insert_with(|| TcpSession {
-            nonce,
-            candidates: Vec::new(),
-            winner: None,
-            retries: BTreeMap::new(),
-            started_at: now,
-            pending: VecDeque::new(),
-            failed: false,
-            deadline_armed: false,
-            passive: false,
-            relaying: false,
-        });
+        self.sessions
+            .entry(peer)
+            .or_insert_with(|| TcpSession::new(nonce, now));
         self.send_server(
             os,
             &Message::ReversalRequest {
@@ -344,7 +347,10 @@ impl TcpPeer {
         self.arm(os, delay, TimerPurpose::ServerReconnect);
     }
 
-    /// Records the peer's candidates on the session without connecting.
+    /// Records the peer's candidates on the session without connecting:
+    /// the configured [`crate::CandidatePlan`] is materialized against
+    /// this introduction (the default TCP plan races the public endpoint
+    /// first, then the private — §4.2's order).
     fn prepare_session(
         &mut self,
         os: &mut Os<'_, '_>,
@@ -353,30 +359,20 @@ impl TcpPeer {
         private: Endpoint,
         nonce: u64,
     ) {
-        let mut candidates = vec![public];
-        if self.cfg.use_private_candidates && private != public {
-            candidates.push(private);
-        }
+        let candidates = CandidateSet::from_plan(&self.cfg.plan, public, private);
         let now = os.now();
-        let session = self.sessions.entry(peer).or_insert_with(|| TcpSession {
-            nonce,
-            candidates: Vec::new(),
-            winner: None,
-            retries: BTreeMap::new(),
-            started_at: now,
-            pending: VecDeque::new(),
-            failed: false,
-            deadline_armed: false,
-            passive: false,
-            relaying: false,
-        });
+        let session = self
+            .sessions
+            .entry(peer)
+            .or_insert_with(|| TcpSession::new(nonce, now));
         session.nonce = nonce;
         session.candidates = candidates;
         self.arm_deadline(os, peer);
     }
 
     /// Starts simultaneous outgoing connection attempts to every
-    /// candidate (§4.2 step 3).
+    /// candidate (§4.2 step 3) — one volley of the race, in the plan's
+    /// priority order.
     fn start_punch(
         &mut self,
         os: &mut Os<'_, '_>,
@@ -386,12 +382,13 @@ impl TcpPeer {
         nonce: u64,
     ) {
         self.prepare_session(os, peer, public, private, nonce);
-        let candidates = self
+        let now = os.now();
+        let due = self
             .sessions
-            .get(&peer)
-            .map(|s| s.candidates.clone())
+            .get_mut(&peer)
+            .map(|s| s.candidates.next_volley(now))
             .unwrap_or_default();
-        for cand in candidates {
+        for cand in due {
             self.spawn_attempt(os, peer, cand);
         }
     }
@@ -448,13 +445,18 @@ impl TcpPeer {
         };
         let remote = os.remote_endpoint(sock).unwrap_or(Endpoint::UNSPECIFIED);
         let obf = self.cfg.obfuscate;
+        let now = os.now();
         let Some(session) = self.sessions.get_mut(&peer) else {
             return;
         };
+        session.candidates.mark_response(remote, now);
         if session.winner.is_some() {
             return; // Keep as fallback stream.
         }
         session.winner = Some(sock);
+        // Settle the race: first authenticated stream wins (§4.2 step 5).
+        let winner_kind = session.candidates.mark_winner(remote);
+        let race = session.candidates.stamps();
         let pending: Vec<Bytes> = session.pending.drain(..).collect();
         os.metric_inc_labeled(
             "punch.tcp.established",
@@ -463,11 +465,24 @@ impl TcpPeer {
                 TcpPath::Accept => "accept",
             },
         );
+        os.metric_inc_by(
+            "punch.tcp.candidates_tried",
+            race.iter().filter(|s| s.first_probe.is_some()).count() as u64,
+        );
+        os.metric_inc_labeled(
+            "punch.tcp.winner_kind",
+            winner_kind.map(CandidateKind::label).unwrap_or("observed"),
+        );
         self.events.push_back(TcpPeerEvent::Established {
             peer,
             sock,
             path,
             remote,
+        });
+        self.events.push_back(TcpPeerEvent::RaceSettled {
+            peer,
+            winner: Some(remote),
+            candidates: race,
         });
         for data in pending {
             let _ = os.tcp_send(sock, &encode_frame(&Message::PeerData { data }, obf));
@@ -683,8 +698,19 @@ impl TcpPeer {
             return;
         }
         session.failed = true;
+        let race = session.candidates.stamps();
         os.metric_inc("punch.tcp.failed");
+        os.metric_inc_by(
+            "punch.tcp.candidates_tried",
+            session.candidates.probed_count() as u64,
+        );
+        os.metric_inc_labeled("punch.tcp.winner_kind", "none");
         self.events.push_back(TcpPeerEvent::PunchFailed { peer });
+        self.events.push_back(TcpPeerEvent::RaceSettled {
+            peer,
+            winner: None,
+            candidates: race,
+        });
         if relay {
             session.relaying = true;
             os.metric_inc("punch.tcp.relay_fallback");
@@ -711,12 +737,12 @@ impl TcpPeer {
     /// remote endpoint (exact candidate match first, then candidate IP).
     fn match_accept(&self, remote: Endpoint) -> Option<PeerId> {
         for (id, s) in &self.sessions {
-            if s.winner.is_none() && !s.failed && s.candidates.contains(&remote) {
+            if s.winner.is_none() && !s.failed && s.candidates.contains(remote) {
                 return Some(*id);
             }
         }
         for (id, s) in &self.sessions {
-            if s.winner.is_none() && !s.failed && s.candidates.iter().any(|c| c.ip == remote.ip) {
+            if s.winner.is_none() && !s.failed && s.candidates.any_ip(remote.ip) {
                 return Some(*id);
             }
         }

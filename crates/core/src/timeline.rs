@@ -22,15 +22,20 @@
 //!   relay (§2.2).
 //! - `failed` — the punch gave up with relaying disabled; see
 //!   [`PunchTimeline::failure`].
+//! - `candidates` / `winner` — the per-candidate race record: one
+//!   [`CandidateStamp`] per raced endpoint (first probe, first
+//!   authenticated response, won flag) and the endpoint the session
+//!   locked in on.
 //!
 //! An on-demand re-punch (§3.6) resets the timeline: stamps always
 //! describe the most recent punch cycle for the session.
 
-use punch_net::SimTime;
+use crate::candidates::CandidateStamp;
+use punch_net::{Endpoint, SimTime};
 use std::time::Duration;
 
 /// Sim-time stamps for the phases of one UDP hole-punch cycle.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct PunchTimeline {
     /// When this endpoint's registration with S was first acknowledged
     /// (a punch cannot start before it; copied from the peer when the
@@ -56,6 +61,14 @@ pub struct PunchTimeline {
     pub failure: Option<&'static str>,
     /// Probe volleys sent during this punch cycle.
     pub attempts: u32,
+    /// Per-candidate race record for this cycle: which endpoints were
+    /// raced, when each was first probed, when each first answered with
+    /// an authenticated response, and which one won. While the race is
+    /// live this reflects the current state; after settling it is the
+    /// final snapshot.
+    pub candidates: Vec<CandidateStamp>,
+    /// The endpoint the race locked in on, if the punch established.
+    pub winner: Option<Endpoint>,
 }
 
 impl PunchTimeline {

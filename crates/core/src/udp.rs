@@ -1,18 +1,19 @@
 //! UDP hole punching (paper §3).
 //!
 //! [`UdpPeer`] is a complete client endpoint: it registers with the
-//! rendezvous server *S*, answers introductions, sprays authentication
-//! probes at the peer's public and private endpoints (§3.2), locks in the
-//! first endpoint that authenticates, maintains keepalives and re-punches
-//! dead sessions on demand (§3.6), optionally falls back to relaying
-//! (§2.2), and implements the §5.1 port-prediction variant for symmetric
-//! NATs.
+//! rendezvous server *S*, answers introductions, races the candidate set
+//! its [`crate::CandidatePlan`] generates (the peer's private and public
+//! endpoints plus announced predicted-port windows, §3.2/§5.1), locks in
+//! the first endpoint that authenticates, maintains keepalives and
+//! re-punches dead sessions on demand (§3.6), and optionally falls back
+//! to relaying (§2.2).
 //!
 //! One UDP socket carries everything — the session with S and every peer
 //! session — exactly as the paper notes ("each client only needs one
 //! socket").
 
-use crate::config::{PunchStrategy, UdpPeerConfig};
+use crate::candidates::{CandidateKind, CandidateSet, CandidateStamp};
+use crate::config::UdpPeerConfig;
 use crate::events::{UdpPeerEvent, Via};
 use crate::timeline::PunchTimeline;
 use bytes::{BufMut, Bytes, BytesMut};
@@ -50,7 +51,12 @@ struct Session {
     /// answers within one cycle still keep the first winner (§3.3).
     established_nonce: Option<u64>,
     state: SessionState,
-    candidates: Vec<Endpoint>,
+    /// The materialized candidate race for the current punch cycle.
+    candidates: CandidateSet,
+    /// The last introduction's (public, private) endpoints, kept so a
+    /// re-punch can regenerate the race from the plan before a fresh
+    /// introduction arrives.
+    intro: Option<(Endpoint, Endpoint)>,
     attempts: u32,
     pending: VecDeque<Bytes>,
     keepalive_armed: bool,
@@ -69,7 +75,8 @@ impl Session {
             nonce,
             established_nonce: None,
             state: SessionState::Punching,
-            candidates: Vec::new(),
+            candidates: CandidateSet::default(),
+            intro: None,
             attempts: 0,
             pending: VecDeque::new(),
             keepalive_armed: false,
@@ -139,9 +146,15 @@ pub struct UdpPeer {
     /// and the measured allocation delta.
     probe_public: Option<Endpoint>,
     delta: Option<i32>,
-    /// Distinct destinations contacted since the delta measurement (each
-    /// consumes one allocation on a symmetric NAT).
+    /// Destinations with a presumed-live NAT mapping (each consumed one
+    /// allocation on a symmetric NAT when first contacted).
     dests_seen: BTreeSet<Endpoint>,
+    /// Allocations consumed by mappings that have since expired: when a
+    /// session dies and re-punches, its sprayed destinations are retired
+    /// from [`Self::dests_seen`] into this monotonic counter, because
+    /// re-contacting them consumes *fresh* allocations on a symmetric
+    /// NAT — the allocator's cursor never moves backwards (§5.1).
+    expired_allocs: u32,
     /// Per-peer punch state, boxed: a `BTreeMap` node holds up to 11
     /// entries inline, so an unboxed ~270-byte `Session` makes every
     /// single-session peer allocate a ~3 KB node. Boxing keeps the node
@@ -165,11 +178,12 @@ impl UdpPeer {
     ///
     /// # Panics
     ///
-    /// Panics if the §5.1 `Predict` strategy is configured with a home
-    /// server on port 65535: prediction measures the allocation delta
-    /// against the server's probe port at `port + 1`, which does not
-    /// exist. Rejected here, at configuration time, instead of
-    /// wrapping to port 0 (or panicking in debug) when the probe runs.
+    /// Panics if the plan contains a stride-based prediction strategy
+    /// (§5.1) but the home server sits on port 65535: prediction
+    /// measures the allocation delta against the server's probe port at
+    /// `port + 1`, which does not exist. Rejected here, at
+    /// configuration time, instead of wrapping to port 0 (or panicking
+    /// in debug) when the probe runs.
     pub fn new(cfg: UdpPeerConfig) -> Self {
         let homes: Vec<ServerSlot> = if cfg.fleet.is_empty() {
             vec![cfg.server]
@@ -184,11 +198,10 @@ impl UdpPeer {
         })
         .collect();
         assert!(
-            !(matches!(cfg.punch.strategy, PunchStrategy::Predict { .. })
-                && homes.first().map(|s| s.ep.port) == Some(u16::MAX)),
-            "UdpPeerConfig: the Predict strategy needs the server's probe port at port + 1, \
-             but the home server sits on port 65535, the last u16; pick a lower server port \
-             or a different strategy"
+            !(cfg.punch.plan.needs_probe() && homes.first().map(|s| s.ep.port) == Some(u16::MAX)),
+            "UdpPeerConfig: the plan's prediction strategy needs the server's probe port at \
+             port + 1, but the home server sits on port 65535, the last u16; pick a lower \
+             server port or a prediction strategy that needs no probe"
         );
         UdpPeer {
             cfg,
@@ -200,6 +213,7 @@ impl UdpPeer {
             probe_public: None,
             delta: None,
             dests_seen: BTreeSet::new(),
+            expired_allocs: 0,
             sessions: BTreeMap::new(),
             pending_connects: Vec::new(),
             events: VecDeque::new(),
@@ -272,9 +286,17 @@ impl UdpPeer {
     }
 
     /// Phase stamps for the current punch cycle with `peer` (§3.2 steps
-    /// as sim times), if a session exists. See [`PunchTimeline`].
+    /// as sim times), if a session exists. While the race is still
+    /// live, the per-candidate stamps reflect its current state; once
+    /// settled they are the final snapshot. See [`PunchTimeline`].
     pub fn timeline(&self, peer: PeerId) -> Option<PunchTimeline> {
-        self.sessions.get(&peer).map(|s| s.timeline)
+        self.sessions.get(&peer).map(|s| {
+            let mut tl = s.timeline.clone();
+            if !tl.is_settled() {
+                tl.candidates = s.candidates.stamps();
+            }
+            tl
+        })
     }
 
     // ------------------------------------------------------------------
@@ -366,23 +388,57 @@ impl UdpPeer {
     fn start_repunch(&mut self, os: &mut Os<'_, '_>, peer: PeerId) {
         let now = os.now();
         let registered_at = self.registered_at;
+        let plan = self.cfg.punch.plan.clone();
         // A fresh cycle gets a fresh nonce. Reusing the old one would let
         // the peer mistake this cycle's hellos for duplicates of the old
         // cycle and keep its (now dead) locked-in remote instead of
         // re-locking to the address our re-punch arrives from.
         let nonce: u64 = os.rng().gen();
+        // The dead race's sprayed destinations lost their NAT holes
+        // (that is what killed the session), so retire them: the next
+        // contact with any of them consumes a fresh allocation, and the
+        // §5.1 consumed-allocation estimate must keep counting the old
+        // ones. Without this, re-punch predictions anchor one expiry
+        // epoch behind the NAT's real allocator cursor.
+        let sprayed: Vec<Endpoint> = self
+            .sessions
+            .get(&peer)
+            .map(|s| {
+                s.candidates
+                    .stamps()
+                    .into_iter()
+                    .filter(|st| st.first_probe.is_some())
+                    .map(|st| st.endpoint)
+                    .collect()
+            })
+            .unwrap_or_default();
+        for ep in sprayed {
+            if self.dests_seen.remove(&ep) {
+                self.expired_allocs += 1;
+            }
+        }
         let Some(session) = self.sessions.get_mut(&peer) else {
             return;
         };
         session.state = SessionState::Punching;
         session.attempts = 0;
         session.nonce = nonce;
-        // The old candidates died with the old path (the peer's public
-        // endpoint may have moved with its NAT's port pool) and the peer
-        // will not answer them until it learns the new nonce anyway, so
-        // drop them; an empty candidate list makes every punch tick
-        // re-request the introduction until S answers with fresh ones.
-        session.candidates.clear();
+        // Regenerate the race from the plan and the last introduction —
+        // do not merely clear it. When *our* NAT rebooted, the peer's
+        // endpoints are often still valid, so the ticks keep racing them
+        // (opening our fresh mapping) while the stale flag makes every
+        // tick also re-request the introduction; a fresh one rebuilds
+        // the set with current endpoints. Nothing is sprayed here: if
+        // S's introduction arrives before the first tick (the clean-path
+        // case), the regenerated set is replaced before it is ever used.
+        session.candidates = match session.intro {
+            Some((public, private)) => {
+                let mut set = CandidateSet::from_plan(&plan, public, private);
+                set.mark_stale();
+                set
+            }
+            None => CandidateSet::default(),
+        };
         // A re-punch is a fresh §3.2 cycle; the timeline describes it,
         // not the original punch.
         session.timeline = PunchTimeline::start(now);
@@ -513,26 +569,19 @@ impl UdpPeer {
                 self.probe_endpoint()
                     .is_some_and(|p| self.dests_seen.contains(&p)),
             );
-        (self.dests_seen.len() - baseline) as u32
+        (self.dests_seen.len() - baseline) as u32 + self.expired_allocs
     }
 
-    /// Ports this NAT is predicted to allocate next (§5.1).
-    fn predicted_own_ports(&self, window: u16) -> Vec<u16> {
-        let (Some(probe), Some(delta)) = (self.probe_public, self.delta) else {
-            return Vec::new();
-        };
-        if delta == 0 {
-            return Vec::new(); // Consistent mapping: prediction unneeded.
-        }
-        let base = probe.port as i32;
-        let consumed = self.allocs_since_measure() as i32;
-        (1..=window as i32)
-            .map(|k| {
-                let p = base + delta * (consumed + k);
-                p.rem_euclid(65536) as u16
-            })
-            .filter(|&p| p >= 1024)
-            .collect()
+    /// Ports this NAT is predicted to allocate next, from the plan's
+    /// prediction strategies and the classifier's measurements (§5.1,
+    /// generalized).
+    fn predicted_own_ports(&self) -> Vec<u16> {
+        self.cfg.punch.plan.predicted_ports(
+            self.probe_public.map(|p| p.port),
+            self.delta,
+            self.public.map(|p| p.port),
+            self.allocs_since_measure(),
+        )
     }
 
     fn start_punch(
@@ -543,19 +592,17 @@ impl UdpPeer {
         private: Endpoint,
         nonce: u64,
     ) {
-        // Private (host) candidates first: the direct route inside a
-        // shared private network is preferred when it answers (§3.3), as
-        // in ICE's candidate prioritization.
-        let mut candidates = Vec::new();
-        if self.cfg.punch.use_private_candidates && private != public {
-            candidates.push(private);
-        }
-        candidates.push(public);
+        // Materialize the plan against this introduction: in the default
+        // plan the private (host) candidate races first — the direct
+        // route inside a shared private network is preferred when it
+        // answers (§3.3), as in ICE's candidate prioritization.
+        let candidates = CandidateSet::from_plan(&self.cfg.punch.plan, public, private);
         let now = os.now();
         let registered_at = self.registered_at;
         let session = self.sessions.entry(peer).or_insert_with(|| Box::new(Session::new(nonce)));
         session.nonce = nonce;
         session.candidates = candidates;
+        session.intro = Some((public, private));
         if session.timeline.registered.is_none() {
             session.timeline.registered = registered_at;
         }
@@ -577,11 +624,11 @@ impl UdpPeer {
         ) {
             session.state = SessionState::Punching;
         }
-        // §5.1 prediction: tell the peer which ports our symmetric NAT
-        // will allocate next, via the relay (it cannot reach us directly
-        // yet, by definition).
-        if let PunchStrategy::Predict { window } = self.cfg.punch.strategy {
-            let ports = self.predicted_own_ports(window);
+        // §5.1 prediction, generalized: tell the peer which ports our
+        // NAT is predicted to allocate next, via the relay (it cannot
+        // reach us directly yet, by definition).
+        if self.cfg.punch.plan.has_predictions() {
+            let ports = self.predicted_own_ports();
             if !ports.is_empty() {
                 let public_ip = self.public.map(|p| p.ip).unwrap_or(public.ip);
                 let mut buf = BytesMut::with_capacity(2 + ports.len() * 2);
@@ -609,12 +656,15 @@ impl UdpPeer {
             return;
         };
         let nonce = session.nonce;
-        let candidates = session.candidates.clone();
-        if !candidates.is_empty() {
+        // One volley of the race: every candidate due at this volley's
+        // pace, in priority order (the default plan paces everything at
+        // 1, reproducing the paper's full spray each volley).
+        let due = session.candidates.next_volley(now);
+        if !due.is_empty() {
             session.timeline.first_probe.get_or_insert(now);
-            os.metric_inc_by("punch.probes", candidates.len() as u64);
+            os.metric_inc_by("punch.probes", due.len() as u64);
         }
-        for cand in candidates {
+        for cand in due {
             self.stats.probes_sent += 1;
             self.send_to(
                 os,
@@ -638,24 +688,26 @@ impl UdpPeer {
         if payload.len() < 5 + 2 * n {
             return;
         }
+        let priority = self.cfg.punch.plan.announced_priority;
+        let pace = self.cfg.punch.plan.announced_pace;
         let Some(session) = self.sessions.get_mut(&peer) else {
             return;
         };
-        for i in 0..n {
-            let port = u16::from_be_bytes([payload[5 + 2 * i], payload[6 + 2 * i]]);
-            let ep = Endpoint::new(ip, port);
-            if !session.candidates.contains(&ep) {
-                session.candidates.push(ep);
-            }
-        }
+        let ports: Vec<u16> = (0..n)
+            .map(|i| u16::from_be_bytes([payload[5 + 2 * i], payload[6 + 2 * i]]))
+            .collect();
+        session.candidates.merge_announced(ip, &ports, priority, pace);
     }
 
     fn establish(&mut self, os: &mut Os<'_, '_>, peer: PeerId, remote: Endpoint) {
         let now = os.now();
         let keepalive = self.cfg.punch.keepalive_interval;
+        let race_metrics = self.cfg.punch.plan.has_predictions();
         let Some(session) = self.sessions.get_mut(&peer) else {
             return;
         };
+        session.candidates.mark_response(remote, now);
+        let mut settled: Option<Vec<CandidateStamp>> = None;
         match &mut session.state {
             SessionState::Established {
                 remote: current,
@@ -693,7 +745,22 @@ impl UdpPeer {
                 session.timeline.hole_punched.get_or_insert(now);
                 session.timeline.established = Some(now);
                 session.timeline.attempts = session.attempts;
+                // Settle the race: the first authenticated responder
+                // wins and the per-candidate record freezes (§3.3
+                // first-response lock-in, generalized over the plan).
+                let winner_kind = session.candidates.mark_winner(remote);
+                session.timeline.winner = Some(remote);
+                session.timeline.candidates = session.candidates.stamps();
+                settled = Some(session.timeline.candidates.clone());
                 os.metric_inc("punch.established");
+                if race_metrics {
+                    os.metric_inc_by(
+                        "punch.candidates_tried",
+                        session.candidates.probed_count() as u64,
+                    );
+                    let label = winner_kind.map(CandidateKind::label).unwrap_or("observed");
+                    os.metric_inc_labeled("punch.winner_kind", label);
+                }
                 if let Some(latency) = session.timeline.punch_latency() {
                     os.metric_observe("punch.latency", latency);
                 }
@@ -701,6 +768,13 @@ impl UdpPeer {
         }
         self.events
             .push_back(UdpPeerEvent::Established { peer, remote });
+        if let Some(candidates) = settled {
+            self.events.push_back(UdpPeerEvent::RaceSettled {
+                peer,
+                winner: Some(remote),
+                candidates,
+            });
+        }
         // Flush anything queued while punching.
         let pending: Vec<Bytes> = self
             .sessions
@@ -768,7 +842,7 @@ impl UdpPeer {
                         let ka = self.cfg.server_keepalive;
                         self.arm(os, ka, TimerPurpose::ServerKeepalive);
                     }
-                    if matches!(self.cfg.punch.strategy, PunchStrategy::Predict { .. }) {
+                    if self.cfg.punch.plan.needs_probe() {
                         // Measure the allocation delta via the probe port.
                         if let Some(probe) = self.probe_endpoint() {
                             self.send_to(os, probe, &Message::Ping);
@@ -816,7 +890,8 @@ impl UdpPeer {
                     .sessions
                     .iter()
                     .filter(|(_, s)| {
-                        matches!(s.state, SessionState::Punching) && s.candidates.is_empty()
+                        matches!(s.state, SessionState::Punching)
+                            && (s.candidates.is_empty() || s.candidates.is_stale())
                     })
                     .map(|(id, _)| *id)
                     .collect();
@@ -877,11 +952,22 @@ impl UdpPeer {
         let now = os.now();
         let relay = self.cfg.punch.relay_fallback;
         let probe_interval = self.cfg.punch.relay_probe_interval;
+        let race_metrics = self.cfg.punch.plan.has_predictions();
         let Some(session) = self.sessions.get_mut(&peer) else {
             return;
         };
         session.timeline.failure = Some(reason);
         session.timeline.attempts = session.attempts;
+        session.timeline.candidates = session.candidates.stamps();
+        session.timeline.winner = None;
+        let race_record = session.timeline.candidates.clone();
+        if race_metrics {
+            os.metric_inc_by(
+                "punch.candidates_tried",
+                session.candidates.probed_count() as u64,
+            );
+            os.metric_inc_labeled("punch.winner_kind", "none");
+        }
         if relay {
             session.state = SessionState::Relaying;
             session.timeline.relay_fallback = Some(now);
@@ -921,6 +1007,11 @@ impl UdpPeer {
             os.metric_inc_labeled("punch.failed", reason);
             self.events.push_back(UdpPeerEvent::PunchFailed { peer });
         }
+        self.events.push_back(UdpPeerEvent::RaceSettled {
+            peer,
+            winner: None,
+            candidates: race_record,
+        });
     }
 }
 
@@ -1014,7 +1105,9 @@ impl App for UdpPeer {
                     return;
                 }
                 let nonce = session.nonce;
-                let need_intro = session.candidates.is_empty() || session.attempts % 4 == 0;
+                let need_intro = session.candidates.is_empty()
+                    || session.candidates.is_stale()
+                    || session.attempts % 4 == 0;
                 if need_intro {
                     // The request or the introduction may have been lost
                     // (UDP): ask S again.
@@ -1111,48 +1204,44 @@ mod tests {
     use super::*;
     use crate::{PunchConfig, PunchStrategy};
 
+    fn predicting(window: u16) -> UdpPeerConfig {
+        UdpPeerConfig::new(PeerId(1), "18.181.0.31:1234".parse().unwrap())
+            .with_punch(PunchConfig::default().with_strategy(PunchStrategy::Predict { window }))
+    }
+
     #[test]
     fn predicted_ports_respect_delta_and_consumed_allocs() {
-        let mut peer = UdpPeer::new(UdpPeerConfig::new(
-            PeerId(1),
-            "18.181.0.31:1234".parse().unwrap(),
-        ));
+        let mut peer = UdpPeer::new(predicting(3));
         peer.public = Some("155.99.25.11:62000".parse().unwrap());
         peer.probe_public = Some("155.99.25.11:62001".parse().unwrap());
         peer.delta = Some(1);
-        assert_eq!(peer.predicted_own_ports(3), vec![62002, 62003, 62004]);
+        assert_eq!(peer.predicted_own_ports(), vec![62002, 62003, 62004]);
         // One extra destination consumed one allocation.
         peer.dests_seen.insert("9.9.9.9:9".parse().unwrap());
-        assert_eq!(peer.predicted_own_ports(3), vec![62003, 62004, 62005]);
+        assert_eq!(peer.predicted_own_ports(), vec![62003, 62004, 62005]);
     }
 
     #[test]
     fn predicted_ports_empty_without_measurement_or_with_zero_delta() {
-        let mut peer = UdpPeer::new(UdpPeerConfig::new(
-            PeerId(1),
-            "18.181.0.31:1234".parse().unwrap(),
-        ));
-        assert!(peer.predicted_own_ports(4).is_empty());
+        let mut peer = UdpPeer::new(predicting(4));
+        assert!(peer.predicted_own_ports().is_empty());
         peer.public = Some("155.99.25.11:62000".parse().unwrap());
         peer.probe_public = Some("155.99.25.11:62000".parse().unwrap());
         peer.delta = Some(0);
         assert!(
-            peer.predicted_own_ports(4).is_empty(),
+            peer.predicted_own_ports().is_empty(),
             "cone NAT needs no prediction"
         );
     }
 
     #[test]
     fn predicted_ports_skip_privileged_range() {
-        let mut peer = UdpPeer::new(UdpPeerConfig::new(
-            PeerId(1),
-            "18.181.0.31:1234".parse().unwrap(),
-        ));
+        let mut peer = UdpPeer::new(predicting(3));
         peer.public = Some("155.99.25.11:65534".parse().unwrap());
         peer.probe_public = Some("155.99.25.11:65535".parse().unwrap());
         peer.delta = Some(1);
         // Wrapping past 65535 lands in low ports, which are filtered out.
-        let ports = peer.predicted_own_ports(3);
+        let ports = peer.predicted_own_ports();
         assert!(ports.iter().all(|&p| p >= 1024), "{ports:?}");
     }
 
@@ -1163,18 +1252,20 @@ mod tests {
             "18.181.0.31:1234".parse().unwrap(),
         ));
         let mut session = Session::new(1);
-        session.candidates = vec!["138.76.29.7:31000".parse().unwrap()];
+        session
+            .candidates
+            .insert("138.76.29.7:31000".parse().unwrap(), CandidateKind::Public, 1, 1);
         peer.sessions.insert(PeerId(2), Box::new(session));
         let mut payload = vec![138, 76, 29, 7, 2];
         payload.extend_from_slice(&31001u16.to_be_bytes());
         payload.extend_from_slice(&31002u16.to_be_bytes());
         peer.handle_control(PeerId(2), &payload);
-        let cands = &peer.sessions[&PeerId(2)].candidates;
+        let cands = peer.sessions[&PeerId(2)].candidates.endpoints();
         assert_eq!(cands.len(), 3);
         assert!(cands.contains(&"138.76.29.7:31002".parse().unwrap()));
         // Duplicate announcements do not duplicate candidates.
         peer.handle_control(PeerId(2), &payload);
-        assert_eq!(peer.sessions[&PeerId(2)].candidates.len(), 3);
+        assert_eq!(peer.sessions[&PeerId(2)].candidates.endpoints().len(), 3);
     }
 
     #[test]
@@ -1210,7 +1301,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "Predict strategy needs the server's probe port")]
+    #[should_panic(expected = "needs the server's probe port")]
     fn predict_strategy_rejects_server_port_65535() {
         let cfg = UdpPeerConfig::new(PeerId(1), "18.181.0.31:65535".parse().unwrap())
             .with_punch(PunchConfig::default().with_strategy(PunchStrategy::Predict { window: 4 }));

@@ -123,7 +123,7 @@ fn fig4_common_nat_locks_in_private_endpoints() {
 fn fig4_without_private_candidates_needs_hairpin() {
     let cfg = |id| {
         let mut c = UdpPeerConfig::new(id, Scenario::server_endpoint());
-        c.punch.use_private_candidates = false;
+        c.punch = c.punch.clone().with_private_candidates(false);
         c
     };
     // With hairpin: public endpoints loop back through the NAT.
@@ -239,7 +239,10 @@ fn port_prediction_recovers_symmetric_nat_with_sequential_allocation() {
     };
     let cfg = |id| {
         let mut c = UdpPeerConfig::new(id, Scenario::server_endpoint());
-        c.punch.strategy = PunchStrategy::Predict { window: 5 };
+        c.punch = c
+            .punch
+            .clone()
+            .with_strategy(PunchStrategy::Predict { window: 5 });
         c.punch.relay_fallback = false;
         c
     };
@@ -266,7 +269,10 @@ fn port_prediction_usually_fails_against_random_allocation() {
     };
     let cfg = |id| {
         let mut c = UdpPeerConfig::new(id, Scenario::server_endpoint());
-        c.punch.strategy = PunchStrategy::Predict { window: 5 };
+        c.punch = c
+            .punch
+            .clone()
+            .with_strategy(PunchStrategy::Predict { window: 5 });
         c.punch.relay_fallback = false;
         c
     };

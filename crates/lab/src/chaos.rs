@@ -18,7 +18,10 @@
 //! reported as a replayable seed + fault-plan JSON ([`ChaosPlan`]).
 
 use crate::world::{fig5, PeerSetup, Scenario};
-use holepunch::{PunchConfig, UdpPeer, UdpPeerConfig, UdpPeerEvent};
+use holepunch::{
+    CandidatePlan, PredictionStrategy, PunchConfig, SourceSpec, UdpPeer, UdpPeerConfig,
+    UdpPeerEvent,
+};
 use punch_nat::NatBehavior;
 use punch_net::{Duration, FaultPlan, LinkId, LinkSpec, SimStats, SimTime};
 use punch_rendezvous::PeerId;
@@ -270,6 +273,11 @@ pub enum ChaosProfile {
     /// established path leaves a zombie session. Exists to prove the
     /// search catches and shrinks real liveness bugs.
     Fragile,
+    /// The resilient profile with a window-around-observed prediction
+    /// source added to the candidate plan, so every punch cycle races a
+    /// genuine multi-candidate set. Exists so fault schedules can strike
+    /// while a race (not just a two-candidate spray) is in flight.
+    Racing,
 }
 
 fn chaos_peer(id: PeerId, profile: ChaosProfile) -> PeerSetup {
@@ -290,6 +298,13 @@ fn chaos_peer(id: PeerId, profile: ChaosProfile) -> PeerSetup {
             p.keepalive_interval = Duration::from_secs(3600);
             p.session_timeout = Duration::from_secs(3600);
             p
+        }
+        ChaosProfile::Racing => {
+            let mut p = PunchConfig::resilient();
+            p.keepalive_interval = Duration::from_secs(1);
+            p.with_plan(CandidatePlan::basic().with_source(SourceSpec::predicted(
+                PredictionStrategy::WindowAroundObserved { radius: 4 },
+            )))
         }
     };
     PeerSetup::new(UdpPeer::new(c))

@@ -27,7 +27,9 @@
 
 use crate::par;
 use crate::world::addrs;
-use holepunch::{PeerId, UdpPeer, UdpPeerConfig};
+use holepunch::{
+    CandidatePlan, PeerId, PredictionStrategy, SourceSpec, UdpPeer, UdpPeerConfig,
+};
 use punch_nat::{NatBehavior, NatDevice};
 use punch_net::{
     Cidr, Duration, Endpoint, FaultPlan, LinkSpec, MetricsSnapshot, NodeId, QueueStats, Router,
@@ -83,6 +85,11 @@ pub struct ShardConfig {
     /// server keepalives) so they detect a lost owner and re-register
     /// instead of idling until the default 15 s keepalive.
     pub resilient_clients: bool,
+    /// Give the symmetric sessions a sequential-delta prediction source
+    /// in their candidate plan, so those pairs race a predicted-port
+    /// window instead of falling straight back to the relay. Off by
+    /// default: the classic world is byte-for-byte unchanged.
+    pub predict_symmetric: bool,
 }
 
 impl ShardConfig {
@@ -103,6 +110,7 @@ impl ShardConfig {
             replication: 2,
             server_restart: None,
             resilient_clients: false,
+            predict_symmetric: false,
         }
     }
 }
@@ -300,6 +308,13 @@ impl ShardedWorld {
                         let mut p = holepunch::PunchConfig::resilient();
                         p.keepalive_interval = Duration::from_secs(1);
                         ucfg.punch = p;
+                    }
+                    if cfg.predict_symmetric && symmetric {
+                        ucfg.punch = ucfg.punch.clone().with_plan(
+                            CandidatePlan::basic().with_source(SourceSpec::predicted(
+                                PredictionStrategy::SequentialDelta { window: 8 },
+                            )),
+                        );
                     }
                     let client = sim.add_node(
                         format!("m{i}.{tag}"),

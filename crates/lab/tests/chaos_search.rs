@@ -72,6 +72,67 @@ fn server_restart_mid_punch_recovers() {
     }
 }
 
+/// Faults that strike while the candidate race itself is still in
+/// flight (the schedule goes live at t0 = the moment A starts
+/// punching). The racing profile adds a window-around-observed
+/// prediction source, so the set being raced has real predicted
+/// candidates in it, and the fault lands between the first volley and
+/// lock-in — the session must still settle or terminally fail, never
+/// hang.
+#[test]
+fn faults_striking_mid_race_never_strand_the_session() {
+    let cases: &[(u64, Vec<ChaosFault>)] = &[
+        // The server vanishes right as the introductions go out.
+        (11, vec![ChaosFault::RestartServer { at_ms: 30 }]),
+        // B's NAT reboots mid-volley: every candidate A is racing
+        // (public, predicted window) dies at once.
+        (12, vec![ChaosFault::RebootNatB { at_ms: 60 }]),
+        // A's access link goes dark for a second spanning the race.
+        (
+            13,
+            vec![ChaosFault::Outage {
+                link: ChaosLink::ClientAAccess,
+                at_ms: 20,
+                dur_ms: 1_000,
+            }],
+        ),
+        // Heavy loss on the server uplink while candidates are still
+        // being announced.
+        (
+            14,
+            vec![ChaosFault::Lossy {
+                link: ChaosLink::ServerUplink,
+                at_ms: 0,
+                dur_ms: 2_000,
+                loss_pct: 50,
+            }],
+        ),
+    ];
+    for (seed, faults) in cases {
+        for profile in [ChaosProfile::Resilient, ChaosProfile::Racing] {
+            let outcome = run_trial(*seed, faults, profile);
+            assert_eq!(
+                outcome.violation, None,
+                "seed {seed}, {profile:?}: mid-race fault stranded the session"
+            );
+        }
+    }
+}
+
+/// Mid-race chaos trials replay byte-identically: same verdict, same
+/// simulator counters, same metrics — the racing engine introduces no
+/// nondeterminism under faults.
+#[test]
+fn mid_race_trials_replay_deterministically() {
+    let faults = vec![ChaosFault::RebootNatB { at_ms: 60 }];
+    let a = run_trial(12, &faults, ChaosProfile::Racing);
+    let b = run_trial(12, &faults, ChaosProfile::Racing);
+    assert_eq!(a.violation, b.violation);
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.end, b.end);
+    assert_eq!(a.metrics_json, b.metrics_json);
+}
+
 #[test]
 fn injected_liveness_bug_is_caught_shrunk_and_replayable() {
     // A schedule with two benign decoys around the killer fault: a NAT

@@ -32,6 +32,67 @@ fn sharded_matches_unsharded_at_any_worker_count() {
     }
 }
 
+/// Candidate racing with prediction sources is deterministic across
+/// shard layouts and worker counts: a world whose symmetric sessions
+/// race a predicted-port window produces byte-identical reports and
+/// merged metrics however it is partitioned or parallelized.
+#[test]
+fn prediction_racing_is_shard_and_worker_invariant() {
+    let mk = |shards: usize, workers: usize| {
+        let mut cfg = ShardConfig::new(77, 20);
+        cfg.shards = shards;
+        cfg.workers = Some(workers);
+        cfg.metrics = true;
+        cfg.symmetric_every = 4;
+        cfg.predict_symmetric = true;
+        let mut w = ShardedWorld::build(&cfg);
+        w.run();
+        w
+    };
+
+    let base = mk(1, 1);
+    let baseline = base.report();
+    // The plan change is live: at least one symmetric pair that the
+    // basic plan can only relay gets punched directly via prediction.
+    let mut plain_cfg = ShardConfig::new(77, 20);
+    plain_cfg.shards = 1;
+    plain_cfg.workers = Some(1);
+    plain_cfg.symmetric_every = 4;
+    let mut plain = ShardedWorld::build(&plain_cfg);
+    plain.run();
+    assert!(
+        base.outcome_counts().direct > plain.outcome_counts().direct,
+        "prediction must convert some symmetric sessions to direct: \
+         predicted {:?} vs basic {:?}",
+        base.outcome_counts(),
+        plain.outcome_counts()
+    );
+
+    for (shards, workers) in [(4, 1), (4, 4), (3, 2)] {
+        let w = mk(shards, workers);
+        assert_eq!(
+            w.report(),
+            baseline,
+            "racing outcome drift at shards={shards} workers={workers}"
+        );
+        assert_eq!(w.outcome_counts(), base.outcome_counts());
+    }
+
+    // At a fixed layout, the worker count must not change anything —
+    // including the full merged metrics registry (candidates_tried,
+    // winner_kind, probes, ...). Across *layouts* only sim-plumbing
+    // metrics (buffer pools, queue depths) may differ, which the
+    // report/outcome comparison above already ignores.
+    let w1 = mk(4, 1);
+    let w4 = mk(4, 4);
+    assert_eq!(w1.report(), w4.report());
+    assert_eq!(
+        format!("{:?}", w1.merged_metrics()),
+        format!("{:?}", w4.merged_metrics()),
+        "racing metrics drift between worker counts"
+    );
+}
+
 #[test]
 fn worker_count_does_not_change_merged_counters() {
     // Same layout at different pool sizes: everything merged must match,

@@ -17,6 +17,12 @@ pub struct NatCheckReport {
     pub udp_public: Option<(Endpoint, Endpoint)>,
     /// Servers 1 and 2 observed the same endpoint (§5.1 precondition).
     pub udp_consistent: Option<bool>,
+    /// The NAT's UDP allocation stride: server 2's observed port minus
+    /// server 1's. `Some(0)` for a consistent (cone) translation; a
+    /// nonzero value is the §5.1 delta a sequential-allocation symmetric
+    /// NAT exposes, directly usable to seed a prediction strategy's
+    /// port window. `None` until both observations arrive.
+    pub udp_alloc_delta: Option<i32>,
     /// Server 3's never-solicited reply was *blocked* (per-session
     /// filtering; does not affect punching, §6.1.1).
     pub udp_unsolicited_filtered: Option<bool>,
@@ -199,6 +205,7 @@ impl NatCheckClient {
         if let (Some(o1), Some(o2)) = (self.udp_obs1, self.udp_obs2) {
             self.report.udp_public = Some((o1, o2));
             self.report.udp_consistent = Some(o1 == o2);
+            self.report.udp_alloc_delta = Some(o2.port as i32 - o1.port as i32);
             self.report.udp_unsolicited_filtered = Some(!self.udp_from3);
             self.report.udp_hairpin = Some(self.udp_hairpin_echoed);
         }

@@ -10,6 +10,11 @@ fn well_behaved_nat_passes_everything() {
     let report = check_nat(NatBehavior::well_behaved(), 1);
     assert_eq!(report.udp_hole_punching(), Some(true));
     assert_eq!(
+        report.udp_alloc_delta,
+        Some(0),
+        "cone mapping: one port for both servers"
+    );
+    assert_eq!(
         report.udp_unsolicited_filtered,
         Some(true),
         "port-restricted filter blocks server 3"
@@ -31,6 +36,13 @@ fn symmetric_nat_fails_consistency_checks() {
     assert_eq!(report.tcp_hole_punching(), Some(false));
     let (o1, o2) = report.udp_public.unwrap();
     assert_ne!(o1, o2, "distinct mappings per server");
+    // The default symmetric NAT allocates sequentially, so the measured
+    // stride is usable as-is to seed a prediction strategy.
+    assert_eq!(
+        report.udp_alloc_delta,
+        Some(o2.port as i32 - o1.port as i32)
+    );
+    assert_ne!(report.udp_alloc_delta, Some(0), "symmetric stride is nonzero");
 }
 
 #[test]

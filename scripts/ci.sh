@@ -184,3 +184,28 @@ if ! cmp -s results/chaos.txt "$tmpdir/chaos_pinned.txt"; then
     exit 1
 fi
 echo "OK: results/chaos.txt reproduced byte-identically"
+
+echo "== strategy-matrix smoke (racing engine, 1 vs 2 workers) =="
+PUNCH_JOBS=1 cargo run --release --quiet -p punch-bench --bin strategies -- \
+    --trials 4 --out "$tmpdir/strat1.json" > /dev/null
+PUNCH_JOBS=2 cargo run --release --quiet -p punch-bench --bin strategies -- \
+    --trials 4 --out "$tmpdir/strat2.json" > /dev/null
+if ! cmp -s "$tmpdir/strat1.json" "$tmpdir/strat2.json"; then
+    echo "FAIL: strategy matrix differs between 1 and 2 workers" >&2
+    diff "$tmpdir/strat1.json" "$tmpdir/strat2.json" >&2 || true
+    exit 1
+fi
+python3 - "$tmpdir/strat1.json" <<'PYEOF'
+import json, sys
+j = json.load(open(sys.argv[1]))
+cell = "sym_seqxsym_seq"
+basic = j["matrix"]["basic"][cell]["direct"]
+predict = j["matrix"]["predict_seq"][cell]["direct"]
+if predict <= basic:
+    sys.exit(
+        f"FAIL: sequential-delta prediction must beat Basic on the "
+        f"symmetric(sequential) x symmetric(sequential) cell: "
+        f"predict_seq={predict} vs basic={basic}"
+    )
+PYEOF
+echo "OK: strategy matrix byte-identical across worker counts, prediction beats Basic on symmetric x symmetric"

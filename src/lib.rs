@@ -81,7 +81,8 @@ pub use punch_lab as lab;
 /// Frequently used items, for `use p2p_punch::prelude::*`.
 pub mod prelude {
     pub use holepunch::{
-        PeerId, PunchConfig, PunchStrategy, PunchTimeline, TcpPath, TcpPeer, TcpPeerConfig,
+        CandidateKind, CandidatePlan, CandidateSource, CandidateStamp, PeerId, PredictionStrategy,
+        PunchConfig, PunchStrategy, PunchTimeline, SourceSpec, TcpPath, TcpPeer, TcpPeerConfig,
         TcpPeerEvent, TcpPunchMode, UdpPeer, UdpPeerConfig, UdpPeerEvent, Via,
     };
     pub use punch_lab::{addrs, fig4, fig5, fig6, PeerSetup, Scenario, World, WorldBuilder};
