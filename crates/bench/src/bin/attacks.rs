@@ -1,0 +1,174 @@
+//! EC3: the adversary suite — scripted attacker nodes against the
+//! paper's protocols, with each paired defense off and on.
+//!
+//! Four attack legs (see `punch_lab::adversary`):
+//!
+//! - `mapping_flood` — mapping exhaustion from inside the victim's NAT
+//!   realm vs per-source quotas + flood-resistant eviction
+//! - `rst_inject`   — off-path blind RST volleys against punched TCP
+//!   sessions vs RFC 5961-style sequence validation
+//! - `reg_squat`    — registration-squatting + introduction-flood
+//!   storms vs protect-active eviction + per-source rate limiting
+//! - `intro_forgery`— rogue server-to-server introduction forgeries vs
+//!   fleet authentication
+//!
+//! Every trial reports the victim's view: whether the pair punched,
+//! sessions the attack killed, whether the attack had its intended
+//! effect (`disrupted`), whether the victim was healthy once the
+//! attack drained (`recovered`), and the recovery latency. With the
+//! defense off the attack must visibly degrade the victim; with it on
+//! the victim must ride through untouched.
+//!
+//! Run: `cargo run --release -p punch-bench --bin attacks
+//! [-- --trials N] [--no-write] [--out PATH]`
+//!
+//! The JSON report (default `results/BENCH_attacks.json`) contains no
+//! timings, so it is byte-identical for the same trial count at any
+//! worker count (`PUNCH_JOBS`).
+
+use punch_lab::{
+    par, run_intro_forgery, run_mapping_flood, run_reg_squat, run_rst_inject, AttackReport,
+};
+use std::fmt::Write as _;
+
+/// Base world seed; trial `t` of every leg uses `SEED + t`.
+const SEED: u64 = 11;
+
+const LEGS: [&str; 4] = ["mapping_flood", "rst_inject", "reg_squat", "intro_forgery"];
+
+fn run_leg(leg: &str, seed: u64, defended: bool) -> AttackReport {
+    match leg {
+        "mapping_flood" => run_mapping_flood(seed, defended),
+        "rst_inject" => run_rst_inject(seed, defended),
+        "reg_squat" => run_reg_squat(seed, defended),
+        "intro_forgery" => run_intro_forgery(seed, defended),
+        other => unreachable!("unknown attack leg {other}"), // punch-lint: allow(P001) leg names come from the fixed LEGS list
+    }
+}
+
+/// Aggregated counters for one (leg, defended) arm.
+#[derive(Default)]
+struct Arm {
+    established: u64,
+    deaths: u64,
+    disrupted: u64,
+    recovered: u64,
+    recovery_ms_total: u64,
+    defense_events: u64,
+}
+
+impl Arm {
+    fn add(&mut self, r: &AttackReport) {
+        self.established += u64::from(r.established);
+        self.deaths += r.deaths;
+        self.disrupted += u64::from(r.disrupted);
+        self.recovered += u64::from(r.recovered);
+        self.recovery_ms_total += r.recovery_ms;
+        self.defense_events += r.defense_events;
+    }
+
+    fn json(&self, trials: u64) -> String {
+        format!(
+            "{{\"established\": {}, \"deaths\": {}, \"disrupted\": {}, \"recovered\": {}, \
+             \"mean_recovery_ms\": {}, \"defense_events\": {}}}",
+            self.established,
+            self.deaths,
+            self.disrupted,
+            self.recovered,
+            self.recovery_ms_total / trials.max(1),
+            self.defense_events,
+        )
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let trials: u64 = args
+        .iter()
+        .position(|a| a == "--trials")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let no_write = args.iter().any(|a| a == "--no-write");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "results/BENCH_attacks.json".to_string());
+
+    println!("== EC3: adversary suite — attacks vs paired defenses ==");
+    println!("   {trials} trials per (attack, defense) arm, seeds {SEED}..{}", SEED + trials - 1);
+    println!("   defenses default OFF everywhere; each leg flips only its own knobs\n");
+
+    // One flat task list: leg-major, then defended, then trial — par
+    // fans the whole suite out and aggregation reads back positionally.
+    struct Task {
+        leg: usize,
+        defended: bool,
+        seed: u64,
+    }
+    let mut tasks: Vec<Task> = Vec::new();
+    for (li, _) in LEGS.iter().enumerate() {
+        for defended in [false, true] {
+            for t in 0..trials {
+                tasks.push(Task {
+                    leg: li,
+                    defended,
+                    seed: SEED + t,
+                });
+            }
+        }
+    }
+    let reports = par::run(&tasks, |_, task| {
+        run_leg(LEGS[task.leg], task.seed, task.defended)
+    });
+
+    let mut arms: Vec<[Arm; 2]> = (0..LEGS.len()).map(|_| [Arm::default(), Arm::default()]).collect();
+    for (task, report) in tasks.iter().zip(&reports) {
+        arms[task.leg][usize::from(task.defended)].add(report);
+    }
+
+    for (li, leg) in LEGS.iter().enumerate() {
+        println!("  {leg}:");
+        for (di, name) in [(0, "defense off"), (1, "defense on ")] {
+            let a = &arms[li][di];
+            println!(
+                "    {name}  disrupted {}/{trials}  deaths {}  recovered {}/{trials}  \
+                 mean recovery {} ms  defense events {}",
+                a.disrupted,
+                a.deaths,
+                a.recovered,
+                a.recovery_ms_total / trials.max(1),
+                a.defense_events,
+            );
+        }
+    }
+    println!();
+    println!("  (off arms must show the attack biting — sessions killed, punches");
+    println!("   stalled, probes hijacked; on arms must ride through untouched)");
+
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"bench\": \"adversary-suite\",").unwrap();
+    writeln!(json, "  \"seed\": {SEED},").unwrap();
+    writeln!(json, "  \"trials\": {trials},").unwrap();
+    writeln!(json, "  \"attacks\": {{").unwrap();
+    for (li, leg) in LEGS.iter().enumerate() {
+        let sep = if li + 1 < LEGS.len() { "," } else { "" };
+        writeln!(json, "    \"{leg}\": {{").unwrap();
+        writeln!(json, "      \"off\": {},", arms[li][0].json(trials)).unwrap();
+        writeln!(json, "      \"on\": {}", arms[li][1].json(trials)).unwrap();
+        writeln!(json, "    }}{sep}").unwrap();
+    }
+    writeln!(json, "  }}").unwrap();
+    writeln!(json, "}}").unwrap();
+
+    if no_write {
+        return;
+    }
+    match std::fs::create_dir_all("results").and_then(|()| std::fs::write(&out_path, &json)) {
+        Ok(()) => println!("\n(wrote {out_path})"),
+        Err(e) => eprintln!("warning: could not write {out_path}: {e}"),
+    }
+}

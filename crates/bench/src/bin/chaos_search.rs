@@ -5,13 +5,18 @@
 //! schedule to a minimal replayable fault plan.
 //!
 //! Run: `cargo run --release -p punch-bench --bin chaos_search
-//! [-- --schedules N] [--seed S] [--max-faults M] [--no-write]`
+//! [-- --schedules N] [--seed S] [--max-faults M] [--no-write]
+//! [--profile resilient|racing|adversarial]`
+//!
+//! `--profile adversarial` hunts *attack* schedules: scripted attacker
+//! nodes (mapping floods, registration squatting, introduction floods)
+//! mixed with classic faults on a capped-table topology, defenses off.
 //!
 //! Output is byte-identical for the same arguments at any worker
 //! count (`PUNCH_JOBS`), and is written to `results/chaos_search.txt`
 //! when `results/` exists.
 
-use punch_lab::chaos::{generate_faults, run_schedule, ChaosFault, ChaosProfile};
+use punch_lab::chaos::{generate_profile_faults, run_schedule, ChaosFault, ChaosProfile};
 use punch_lab::par;
 use std::fmt::Write as _;
 
@@ -26,18 +31,30 @@ fn main() {
     let schedules = flag("--schedules").unwrap_or(200);
     let base_seed = flag("--seed").unwrap_or(1);
     let max_faults = flag("--max-faults").unwrap_or(5) as usize;
+    let profile_name = args
+        .iter()
+        .position(|a| a == "--profile")
+        .and_then(|i| args.get(i + 1))
+        .map_or("resilient", String::as_str);
+    let profile = match profile_name {
+        "resilient" => ChaosProfile::Resilient,
+        "racing" => ChaosProfile::Racing,
+        "adversarial" => ChaosProfile::Adversarial,
+        other => {
+            eprintln!("unknown --profile {other} (resilient|racing|adversarial)");
+            std::process::exit(2);
+        }
+    };
 
     let seeds: Vec<u64> = (base_seed..base_seed + schedules).collect();
-    let reports = par::run(&seeds, |_, &seed| {
-        run_schedule(seed, ChaosProfile::Resilient, max_faults)
-    });
+    let reports = par::run(&seeds, |_, &seed| run_schedule(seed, profile, max_faults));
 
     // The schedule generator is deterministic, so the fault mix can be
     // recomputed here without re-running any simulation.
-    let mut mix = [0u64; 7];
+    let mut mix = [0u64; 10];
     let mut sampled = 0u64;
     for &seed in &seeds {
-        for f in generate_faults(seed, max_faults) {
+        for f in generate_profile_faults(seed, max_faults, profile) {
             sampled += 1;
             mix[match f {
                 ChaosFault::Outage { .. } => 0,
@@ -47,6 +64,9 @@ fn main() {
                 ChaosFault::RebootNatA { .. } => 4,
                 ChaosFault::RebootNatB { .. } => 5,
                 ChaosFault::RestartServer { .. } => 6,
+                ChaosFault::MappingFlood { .. } => 7,
+                ChaosFault::SquatStorm { .. } => 8,
+                ChaosFault::IntroFlood { .. } => 9,
             }] += 1;
         }
     }
@@ -56,7 +76,7 @@ fn main() {
     let mut out = String::new();
     writeln!(
         out,
-        "== chaos search: random fault schedules vs the resilient profile =="
+        "== chaos search: random fault schedules vs the {profile_name} profile =="
     )
     .unwrap();
     writeln!(
@@ -93,6 +113,14 @@ fn main() {
         mix[5], mix[6]
     )
     .unwrap();
+    if profile == ChaosProfile::Adversarial {
+        writeln!(
+            out,
+            "   attack mix: mapping flood {}, squat storm {}, intro flood {}",
+            mix[7], mix[8], mix[9]
+        )
+        .unwrap();
+    }
 
     for r in &violations {
         let v = r.violation.as_ref().unwrap();
@@ -133,7 +161,12 @@ fn main() {
 
     print!("{out}");
     let no_write = args.iter().any(|a| a == "--no-write");
-    if !no_write && std::path::Path::new("results").is_dir() {
+    // Only the default (resilient) run owns the pinned artifact; other
+    // profiles print but never clobber it.
+    if !no_write
+        && profile == ChaosProfile::Resilient
+        && std::path::Path::new("results").is_dir()
+    {
         std::fs::write("results/chaos_search.txt", &out).expect("write results/chaos_search.txt");
     }
 }

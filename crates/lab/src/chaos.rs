@@ -16,15 +16,22 @@
 //! (the whole stack promises bit-replayable runs). On violation the
 //! schedule is minimized by greedy delta debugging ([`shrink`]) and
 //! reported as a replayable seed + fault-plan JSON ([`ChaosPlan`]).
+//!
+//! [`ChaosProfile::Adversarial`] turns the same search on attack
+//! schedules: scripted attacker nodes (mapping floods, registration
+//! squatting, introduction floods — see [`crate::adversary`]) mix with
+//! classic faults on a capped-table topology, hunting schedules that
+//! wedge a resilient pair permanently.
 
-use crate::world::{fig5, PeerSetup, Scenario};
+use crate::adversary::{AbuseAction, AbuseBot, FloodBot};
+use crate::world::{addrs, fig5, PeerSetup, Scenario, WorldBuilder};
 use holepunch::{
     CandidatePlan, PredictionStrategy, PunchConfig, SourceSpec, UdpPeer, UdpPeerConfig,
     UdpPeerEvent,
 };
 use punch_nat::NatBehavior;
-use punch_net::{Duration, FaultPlan, LinkId, LinkSpec, SimStats, SimTime};
-use punch_rendezvous::PeerId;
+use punch_net::{Duration, Endpoint, FaultPlan, LinkId, LinkSpec, SimStats, SimTime};
+use punch_rendezvous::{PeerId, RendezvousServer, ServerConfig};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::fmt::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -169,6 +176,31 @@ pub enum ChaosFault {
         /// Offset from the punch start, milliseconds.
         at_ms: u64,
     },
+    /// Adversarial ([`ChaosProfile::Adversarial`] only): a host behind
+    /// NAT A bursts `ports` fresh-port mappings against the capped
+    /// translation table.
+    MappingFlood {
+        /// Offset from the punch start, milliseconds.
+        at_ms: u64,
+        /// Fresh source ports opened in the burst.
+        ports: u16,
+    },
+    /// Adversarial: a public client bursts `count` throwaway
+    /// registrations against the capped rendezvous table.
+    SquatStorm {
+        /// Offset from the punch start, milliseconds.
+        at_ms: u64,
+        /// Squatted ids in the burst.
+        count: u32,
+    },
+    /// Adversarial: a public client bursts `count` introduction
+    /// requests for unknown targets at the rendezvous server.
+    IntroFlood {
+        /// Offset from the punch start, milliseconds.
+        at_ms: u64,
+        /// Requests in the burst.
+        count: u32,
+    },
 }
 
 impl ChaosFault {
@@ -182,7 +214,10 @@ impl ChaosFault {
             | ChaosFault::Truncate { at_ms, dur_ms, .. } => at_ms + dur_ms,
             ChaosFault::RebootNatA { at_ms }
             | ChaosFault::RebootNatB { at_ms }
-            | ChaosFault::RestartServer { at_ms } => at_ms,
+            | ChaosFault::RestartServer { at_ms }
+            | ChaosFault::MappingFlood { at_ms, .. }
+            | ChaosFault::SquatStorm { at_ms, .. }
+            | ChaosFault::IntroFlood { at_ms, .. } => at_ms,
         }
     }
 
@@ -228,6 +263,15 @@ impl ChaosFault {
             }
             ChaosFault::RestartServer { at_ms } => {
                 format!("{{\"kind\":\"restart_server\",\"at_ms\":{at_ms}}}")
+            }
+            ChaosFault::MappingFlood { at_ms, ports } => {
+                format!("{{\"kind\":\"mapping_flood\",\"at_ms\":{at_ms},\"ports\":{ports}}}")
+            }
+            ChaosFault::SquatStorm { at_ms, count } => {
+                format!("{{\"kind\":\"squat_storm\",\"at_ms\":{at_ms},\"count\":{count}}}")
+            }
+            ChaosFault::IntroFlood { at_ms, count } => {
+                format!("{{\"kind\":\"intro_flood\",\"at_ms\":{at_ms},\"count\":{count}}}")
             }
         }
     }
@@ -278,6 +322,15 @@ pub enum ChaosProfile {
     /// genuine multi-candidate set. Exists so fault schedules can strike
     /// while a race (not just a two-candidate spray) is in flight.
     Racing,
+    /// The resilient profile on an attacker-augmented Figure-5 world: a
+    /// flood host shares NAT A's realm and an abuse client sits on the
+    /// public side, the NAT table and the rendezvous table are capped,
+    /// and schedules mix classic faults with scripted attack bursts
+    /// ([`ChaosFault::MappingFlood`], [`ChaosFault::SquatStorm`],
+    /// [`ChaosFault::IntroFlood`]). Defenses stay paper-faithful OFF;
+    /// the hunt is for attack schedules that wedge a resilient pair
+    /// *permanently* (transient degradation is the expected outcome).
+    Adversarial,
 }
 
 fn chaos_peer(id: PeerId, profile: ChaosProfile) -> PeerSetup {
@@ -285,7 +338,7 @@ fn chaos_peer(id: PeerId, profile: ChaosProfile) -> PeerSetup {
     c.server_keepalive = Duration::from_secs(2);
     c.register_retry = Duration::from_secs(1);
     c.punch = match profile {
-        ChaosProfile::Resilient => {
+        ChaosProfile::Resilient | ChaosProfile::Adversarial => {
             let mut p = PunchConfig::resilient();
             p.keepalive_interval = Duration::from_secs(1);
             p
@@ -349,6 +402,75 @@ pub fn generate_faults(seed: u64, max_faults: usize) -> Vec<ChaosFault> {
         });
     }
     faults
+}
+
+/// Samples an adversarial schedule for `seed`: the classic fault mix
+/// plus scripted attack bursts (mapping floods, squat storms,
+/// introduction floods). Identical seeds always produce identical
+/// schedules; the stream is distinct from [`generate_faults`]'s so the
+/// two profiles explore independent schedule spaces.
+pub fn generate_adversarial_faults(seed: u64, max_faults: usize) -> Vec<ChaosFault> {
+    // A different decorrelation constant than generate_faults, so the
+    // adversarial stream is not the classic stream plus a suffix.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6a09_e667_f3bc_c908);
+    let count = rng.gen_range(1..=max_faults.max(1));
+    let mut faults = Vec::with_capacity(count);
+    for _ in 0..count {
+        let at_ms = rng.gen_range(0..MAX_AT_MS);
+        let dur_ms = rng.gen_range(MIN_DUR_MS..=MAX_DUR_MS);
+        let link = LINKS[rng.gen_range(0..LINKS.len())];
+        faults.push(match rng.gen_range(0..10u64) {
+            0 => ChaosFault::Outage { link, at_ms, dur_ms },
+            1 => ChaosFault::Lossy {
+                link,
+                at_ms,
+                dur_ms,
+                loss_pct: rng.gen_range(10..=60u64) as u8,
+            },
+            2 => ChaosFault::Corrupt {
+                link,
+                at_ms,
+                dur_ms,
+                prob_pct: rng.gen_range(5..=40u64) as u8,
+            },
+            3 => ChaosFault::Truncate {
+                link,
+                at_ms,
+                dur_ms,
+                prob_pct: rng.gen_range(5..=30u64) as u8,
+            },
+            4 => ChaosFault::RebootNatA { at_ms },
+            5 => ChaosFault::RebootNatB { at_ms },
+            6 => ChaosFault::RestartServer { at_ms },
+            7 => ChaosFault::MappingFlood {
+                at_ms,
+                ports: rng.gen_range(32..=96u64) as u16,
+            },
+            8 => ChaosFault::SquatStorm {
+                at_ms,
+                count: rng.gen_range(24..=64u64) as u32,
+            },
+            _ => ChaosFault::IntroFlood {
+                at_ms,
+                count: rng.gen_range(8..=32u64) as u32,
+            },
+        });
+    }
+    faults
+}
+
+/// The schedule generator matching `profile`: adversarial schedules
+/// mix in attack bursts, every other profile samples the classic
+/// fault-only stream.
+pub fn generate_profile_faults(
+    seed: u64,
+    max_faults: usize,
+    profile: ChaosProfile,
+) -> Vec<ChaosFault> {
+    match profile {
+        ChaosProfile::Adversarial => generate_adversarial_faults(seed, max_faults),
+        _ => generate_faults(seed, max_faults),
+    }
 }
 
 /// Everything one chaos trial observed, for verdicts and replay
@@ -435,19 +557,100 @@ fn build_fault_plan(sc: &Scenario, t0: SimTime, faults: &[ChaosFault]) -> FaultP
             ChaosFault::RestartServer { at_ms } => {
                 plan.restart(t0 + Duration::from_millis(at_ms), sc.server)
             }
+            // Attack bursts are carried out by attacker nodes scripted
+            // at build time, not by the link-fault machinery.
+            ChaosFault::MappingFlood { .. }
+            | ChaosFault::SquatStorm { .. }
+            | ChaosFault::IntroFlood { .. } => plan,
         };
     }
     plan
 }
 
-fn run_trial_inner(seed: u64, faults: &[ChaosFault], profile: ChaosProfile) -> TrialOutcome {
-    let mut sc = fig5(
-        seed,
-        NatBehavior::well_behaved(),
-        NatBehavior::well_behaved(),
-        chaos_peer(A, profile),
-        chaos_peer(B, profile),
+/// The Figure-5 world with attacker nodes and capped victim tables:
+/// NAT A holds at most 64 mappings, the rendezvous server 32 clients
+/// (both with the defenses OFF), a [`FloodBot`] shares client A's
+/// realm, and an [`AbuseBot`] sits on the public Internet. Attack
+/// bursts in `faults` become the bots' scripts; the bots exist (idle)
+/// even for all-classic schedules so shrinking an attack away never
+/// changes the topology itself.
+fn adversarial_scenario(seed: u64, faults: &[ChaosFault], profile: ChaosProfile) -> Scenario {
+    // The schedule goes live at t0 = 2 s after boot (the registration
+    // warm-up run below is exact), so bot scripts are offset by it.
+    let t0 = Duration::from_secs(2);
+    let server_ep = Endpoint::new(addrs::SERVER, 1234);
+    let flood: Vec<(Duration, u16)> = faults
+        .iter()
+        .filter_map(|f| match *f {
+            ChaosFault::MappingFlood { at_ms, ports } => {
+                Some((t0 + Duration::from_millis(at_ms), ports))
+            }
+            _ => None,
+        })
+        .collect();
+    let abuse: Vec<(Duration, AbuseAction)> = faults
+        .iter()
+        .filter_map(|f| match *f {
+            ChaosFault::SquatStorm { at_ms, count } => Some((
+                t0 + Duration::from_millis(at_ms),
+                AbuseAction::Squat {
+                    base_id: 50_000 + at_ms,
+                    count,
+                },
+            )),
+            ChaosFault::IntroFlood { at_ms, count } => Some((
+                t0 + Duration::from_millis(at_ms),
+                AbuseAction::IntroFlood {
+                    base_id: 90_000,
+                    count,
+                },
+            )),
+            _ => None,
+        })
+        .collect();
+
+    let mut wb = WorldBuilder::new(seed);
+    let s = wb.server(
+        addrs::SERVER,
+        RendezvousServer::new(ServerConfig::default().with_max_clients(32)),
     );
+    let na = wb.nat(
+        NatBehavior::well_behaved().with_max_mappings(64),
+        addrs::NAT_A,
+    );
+    let nb = wb.nat(NatBehavior::well_behaved(), addrs::NAT_B);
+    let a = wb.client(addrs::CLIENT_A, na, chaos_peer(A, profile));
+    let b = wb.client(addrs::CLIENT_B, nb, chaos_peer(B, profile));
+    wb.client(
+        std::net::Ipv4Addr::new(10, 0, 0, 66),
+        na,
+        PeerSetup::new(FloodBot::new(server_ep, flood)),
+    );
+    wb.public_client(
+        std::net::Ipv4Addr::new(99, 9, 9, 9),
+        PeerSetup::new(AbuseBot::new(server_ep, abuse)),
+    );
+    let world = wb.build();
+    Scenario {
+        server: world.servers[s],
+        a: world.clients[a],
+        b: world.clients[b],
+        world,
+    }
+}
+
+fn run_trial_inner(seed: u64, faults: &[ChaosFault], profile: ChaosProfile) -> TrialOutcome {
+    let mut sc = if profile == ChaosProfile::Adversarial {
+        adversarial_scenario(seed, faults, profile)
+    } else {
+        fig5(
+            seed,
+            NatBehavior::well_behaved(),
+            NatBehavior::well_behaved(),
+            chaos_peer(A, profile),
+            chaos_peer(B, profile),
+        )
+    };
     sc.world.sim.enable_metrics();
 
     // Let both peers register, then start punching with the schedule
@@ -550,28 +753,61 @@ fn outcomes_match(a: &TrialOutcome, b: &TrialOutcome) -> bool {
         && a.metrics_json == b.metrics_json
 }
 
-/// Greedy delta debugging: repeatedly drops any single fault whose
-/// removal keeps the trial failing, until no further fault can go.
-/// Returns the schedule unchanged if it does not fail to begin with.
+/// Greedy delta debugging: drops any single fault whose removal keeps
+/// the trial failing until no single fault can go, then tries removing
+/// *pairs* — coupled faults (an attack burst plus the outage masking
+/// its recovery, say) are often individually load-bearing for the
+/// repro yet jointly removable — and returns to the single pass after
+/// any pair goes. Returns the schedule unchanged if it does not fail
+/// to begin with.
 pub fn shrink(seed: u64, faults: &[ChaosFault], profile: ChaosProfile) -> Vec<ChaosFault> {
+    shrink_with(faults, |cand| {
+        run_trial(seed, cand, profile).violation.is_some()
+    })
+}
+
+/// The shrinking loop over an arbitrary failure predicate (the trial
+/// runner in production, synthetic predicates in tests).
+pub(crate) fn shrink_with(
+    faults: &[ChaosFault],
+    mut fails: impl FnMut(&[ChaosFault]) -> bool,
+) -> Vec<ChaosFault> {
     let mut cur = faults.to_vec();
-    if run_trial(seed, &cur, profile).violation.is_none() {
+    if !fails(&cur) {
         return cur;
     }
     loop {
+        // Single-removal pass to a fixed point.
         let mut progressed = false;
         let mut i = 0;
         while i < cur.len() {
             let mut cand = cur.clone();
             cand.remove(i);
-            if run_trial(seed, &cand, profile).violation.is_some() {
+            if fails(&cand) {
                 cur = cand;
                 progressed = true;
             } else {
                 i += 1;
             }
         }
-        if !progressed {
+        if progressed {
+            continue;
+        }
+        // Pair-removal pass: one success re-opens the single pass.
+        let mut removed_pair = false;
+        'pairs: for i in 0..cur.len() {
+            for j in (i + 1)..cur.len() {
+                let mut cand = cur.clone();
+                cand.remove(j);
+                cand.remove(i);
+                if fails(&cand) {
+                    cur = cand;
+                    removed_pair = true;
+                    break 'pairs;
+                }
+            }
+        }
+        if !removed_pair {
             return cur;
         }
     }
@@ -604,7 +840,7 @@ pub struct ScheduleReport {
 /// and shrinks it if any invariant — liveness, no-panic, or replay
 /// byte-identity — was violated.
 pub fn run_schedule(seed: u64, profile: ChaosProfile, max_faults: usize) -> ScheduleReport {
-    let faults = generate_faults(seed, max_faults);
+    let faults = generate_profile_faults(seed, max_faults, profile);
     let first = run_trial(seed, &faults, profile);
     let second = run_trial(seed, &faults, profile);
     let verdict = if !outcomes_match(&first, &second) {

@@ -23,10 +23,17 @@
 //! liveness and replay-determinism invariants, and shrinks failing
 //! schedules to minimal replayable fault plans.
 //!
+//! The [`adversary`] module puts seeded attacker nodes *inside* the
+//! simulation — mapping-exhaustion floods, off-path RST/forgery
+//! injection, rendezvous-abuse storms — and measures the victim's
+//! punch success and recovery latency with each paired defense off
+//! and on.
+//!
 //! The [`shard`] module scales the Figure-5 scenario to populations of
 //! 10^5–10^6 endpoints by partitioning sessions across per-shard sims
 //! advanced in parallel, with deterministic epoch-boundary handoff.
 
+pub mod adversary;
 pub mod chaos;
 pub mod par;
 pub mod shard;
@@ -35,5 +42,9 @@ pub mod world;
 #[cfg(test)]
 mod tests;
 
+pub use adversary::{
+    add_spoofer, run_intro_forgery, run_mapping_flood, run_reg_squat, run_rst_inject, spoof_at,
+    AbuseAction, AbuseBot, AttackReport, FloodBot, SpoofBot,
+};
 pub use shard::{OutcomeCounts, SessionOutcome, ShardConfig, ShardedWorld};
 pub use world::{addrs, fig4, fig5, fig6, PeerSetup, Scenario, World, WorldBuilder};

@@ -160,3 +160,63 @@ fn sink_devices_compose_with_builder_nodes() {
     world.sim.run_for(Duration::from_millis(10));
     assert_eq!(world.sim.device::<SinkDevice>(extra).packets.len(), 0);
 }
+
+// ---------------------------------------------------------------------
+// Chaos shrinker: the pair-removal pass (delta debugging beyond the
+// single-removal fixed point).
+// ---------------------------------------------------------------------
+
+mod shrinker {
+    use crate::chaos::{shrink_with, ChaosFault};
+
+    fn reboots(n: usize) -> Vec<ChaosFault> {
+        (0..n)
+            .map(|i| ChaosFault::RebootNatA {
+                at_ms: 1_000 + i as u64,
+            })
+            .collect()
+    }
+
+    /// A synthetic failure that only reproduces with an *even, nonzero*
+    /// number of faults: removing any single fault makes it pass, so
+    /// the single-removal pass is stuck at the full schedule; removing
+    /// pairs walks it down to the minimal failing pair.
+    #[test]
+    fn pair_removal_shrinks_past_the_single_removal_fixed_point() {
+        let schedule = reboots(6);
+        let shrunk = shrink_with(&schedule, |c| c.len() % 2 == 0 && !c.is_empty());
+        assert_eq!(shrunk.len(), 2, "pairs must fall 6 -> 4 -> 2: {shrunk:?}");
+    }
+
+    /// Single-removal shrinking still works and runs first: a failure
+    /// pinned to one specific fault shrinks to exactly that fault.
+    #[test]
+    fn single_removal_still_reaches_singletons() {
+        let schedule = reboots(5);
+        let keep = schedule[3];
+        let shrunk = shrink_with(&schedule, |c| c.contains(&keep));
+        assert_eq!(shrunk, vec![keep]);
+    }
+
+    /// A passing schedule comes back untouched.
+    #[test]
+    fn passing_schedules_are_not_shrunk() {
+        let schedule = reboots(4);
+        assert_eq!(shrink_with(&schedule, |_| false), schedule);
+    }
+
+    /// Coupled decoys: the repro needs fault 0, and faults 1+2 only
+    /// cancel each other out jointly — the single pass removes neither,
+    /// the pair pass removes both.
+    #[test]
+    fn coupled_decoys_are_removed_jointly() {
+        let schedule = reboots(3);
+        let shrunk = shrink_with(&schedule, |c| {
+            let has_anchor = c.contains(&schedule[0]);
+            let d1 = c.contains(&schedule[1]);
+            let d2 = c.contains(&schedule[2]);
+            has_anchor && (d1 == d2)
+        });
+        assert_eq!(shrunk, vec![schedule[0]]);
+    }
+}

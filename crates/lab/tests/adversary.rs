@@ -1,0 +1,70 @@
+//! Off/on defense flips for every adversary leg: with the defense off
+//! the attack must visibly bite, with it on the victim must ride
+//! through untouched and the defense counters must show it fired.
+
+use punch_lab::{run_intro_forgery, run_mapping_flood, run_reg_squat, run_rst_inject};
+
+const SEED: u64 = 11;
+
+#[test]
+fn mapping_flood_kills_sessions_until_quotas_are_on() {
+    let off = run_mapping_flood(SEED, false);
+    assert!(off.established, "victim pair must punch before the flood");
+    assert!(off.disrupted, "undefended flood must kill the session");
+    assert!(off.deaths > 0);
+    assert_eq!(off.defense_events, 0, "defenses are off");
+    assert!(off.recovered, "victim must re-punch once the flood drains");
+
+    let on = run_mapping_flood(SEED, true);
+    assert!(on.established);
+    assert!(!on.disrupted, "quota + fair eviction must absorb the flood");
+    assert_eq!(on.deaths, 0);
+    assert!(on.recovered);
+    assert!(on.defense_events > 0, "quota must have refused flood ports");
+}
+
+#[test]
+fn blind_rst_volley_tears_down_tcp_until_validation_is_on() {
+    let off = run_rst_inject(SEED, false);
+    assert!(off.established, "TCP pair must punch before the volley");
+    assert!(off.disrupted, "unvalidated RST must tear the session down");
+    assert!(off.deaths > 0);
+    assert_eq!(off.defense_events, 0);
+    assert!(off.recovered, "victim must reconnect after the teardown");
+
+    let on = run_rst_inject(SEED, true);
+    assert!(on.established);
+    assert!(!on.disrupted, "sequence validation must drop forged RSTs");
+    assert_eq!(on.deaths, 0);
+    assert!(on.recovered);
+    assert!(on.defense_events > 0, "forged RSTs must be counted rejected");
+}
+
+#[test]
+fn squat_storm_stalls_registration_until_protection_is_on() {
+    let off = run_reg_squat(SEED, false);
+    assert!(off.established, "pair must eventually get through");
+    assert!(off.disrupted, "squat storm must stall the punch visibly");
+    assert_eq!(off.defense_events, 0);
+
+    let on = run_reg_squat(SEED, true);
+    assert!(on.established);
+    assert!(!on.disrupted, "protect-active + rate limit must keep the punch fast");
+    assert!(on.recovered);
+    assert!(on.defense_events > 0, "squats must be refused or rate-limited");
+}
+
+#[test]
+fn forged_introductions_hijack_probes_until_fleet_auth_is_on() {
+    let off = run_intro_forgery(SEED, false);
+    assert!(off.established);
+    assert!(off.disrupted, "forged SrvIntroduce must steer probes at the attacker");
+    assert!(!off.recovered, "undefended victim leaks probes to the attacker");
+    assert_eq!(off.defense_events, 0);
+
+    let on = run_intro_forgery(SEED, true);
+    assert!(on.established);
+    assert!(!on.disrupted, "unauthenticated fleet frames must be dropped");
+    assert!(on.recovered, "no probe may reach the attacker");
+    assert!(on.defense_events > 0, "forgery must be counted auth_rejected");
+}

@@ -151,6 +151,21 @@ pub struct NatBehavior {
     /// Check cannot see this; the paired check (`punch-natcheck::pair`)
     /// can.
     pub contention_breaks_consistency: bool,
+    /// Hard cap on live mappings. When full, a new allocation evicts an
+    /// existing mapping (see [`NatBehavior::fair_eviction`]) — the
+    /// consumer-router table limit that ReDAN-style exhaustion floods
+    /// target. `None` (the default) models an unbounded table.
+    pub max_mappings: Option<usize>,
+    /// Defense knob: maximum live mappings any single private source IP
+    /// may hold. Allocations beyond the quota are refused, so one
+    /// flooding host cannot monopolise a capped table. `None` (default)
+    /// disables the quota.
+    pub per_source_quota: Option<usize>,
+    /// Defense knob: when the capped table is full, evict the oldest
+    /// mapping *of the heaviest source* instead of the globally oldest
+    /// mapping. Off (default), a flooder's fresh mappings push out every
+    /// other host's older ones; on, the flood cannibalises itself.
+    pub fair_eviction: bool,
 }
 
 impl NatBehavior {
@@ -176,6 +191,9 @@ impl NatBehavior {
             per_session_timers: true,
             mangle_payloads: false,
             contention_breaks_consistency: false,
+            max_mappings: None,
+            per_source_quota: None,
+            fair_eviction: false,
         }
     }
 
@@ -244,6 +262,25 @@ impl NatBehavior {
     /// Enables the §5.3 payload-mangling misbehaviour.
     pub fn with_payload_mangling(mut self) -> Self {
         self.mangle_payloads = true;
+        self
+    }
+
+    /// Caps the mapping table at `n` live entries (eviction on overflow).
+    pub fn with_max_mappings(mut self, n: usize) -> Self {
+        self.max_mappings = Some(n);
+        self
+    }
+
+    /// Enables the per-source allocation quota defense.
+    pub fn with_per_source_quota(mut self, n: usize) -> Self {
+        self.per_source_quota = Some(n);
+        self
+    }
+
+    /// Enables the flood-resistant (heaviest-source-first) eviction
+    /// policy for capped tables.
+    pub fn with_fair_eviction(mut self) -> Self {
+        self.fair_eviction = true;
         self
     }
 

@@ -45,6 +45,10 @@ pub struct NatStats {
     pub payloads_mangled: u64,
     /// Times the device rebooted, flushing all state.
     pub reboots: u64,
+    /// Live mappings evicted to make room under a `max_mappings` cap.
+    pub mappings_evicted: u64,
+    /// Allocations refused by the per-source quota defense.
+    pub quota_refused: u64,
 }
 
 /// A configurable NAT/NAPT middlebox.
@@ -238,18 +242,14 @@ impl NatDevice {
     }
 
     /// Finds or creates the outbound mapping for (`private` → `remote`),
-    /// updating filters, TCP tracking and the idle timer.
-    fn outbound_mapping(&mut self, ctx: &mut Ctx<'_>, pkt: &Packet) -> Option<MapId> {
+    /// updating filters, TCP tracking and the idle timer. `Err` carries
+    /// the drop reason when no mapping can be made.
+    fn outbound_mapping(&mut self, ctx: &mut Ctx<'_>, pkt: &Packet) -> Result<MapId, &'static str> {
         let now = ctx.now();
         let proto = pkt.proto();
-        let behavior = &self.behavior;
-        let public_ips = &self.public_ips;
-        let basic_assign = &mut self.basic_assign;
-        let next_seq_port = &mut self.next_seq_port;
-        let rng = ctx.rng();
         let private = pkt.src;
-        let mut policy = behavior.mapping_for_tcp(proto == Proto::Tcp);
-        if behavior.contention_breaks_consistency
+        let mut policy = self.behavior.mapping_for_tcp(proto == Proto::Tcp);
+        if self.behavior.contention_breaks_consistency
             && policy == MappingPolicy::EndpointIndependent
             && self.tables.iter().any(|e| {
                 e.proto == proto && e.private.port == private.port && e.private.ip != private.ip
@@ -259,20 +259,59 @@ impl NatDevice {
             // translation to symmetric.
             policy = MappingPolicy::AddressAndPortDependent;
         }
-        let (id, created) =
-            self.tables
-                .outbound(policy, proto, private, pkt.dst, now, |tables| {
-                    Self::alloc_public(
-                        behavior,
-                        public_ips,
-                        basic_assign,
-                        next_seq_port,
-                        rng,
-                        tables,
-                        proto,
-                        private,
-                    )
-                })?;
+        // Capacity enforcement, only on the path that would create a
+        // fresh mapping: the per-source quota refuses over-quota sources
+        // outright, and a full capped table evicts per the configured
+        // policy before the allocator runs.
+        if (self.behavior.max_mappings.is_some() || self.behavior.per_source_quota.is_some())
+            && self
+                .tables
+                .lookup_outbound(policy, proto, private, pkt.dst, now)
+                .is_none()
+        {
+            self.tables.sweep(now);
+            if let Some(quota) = self.behavior.per_source_quota {
+                if self.tables.live_count_for_source(private.ip, now) >= quota {
+                    self.stats.quota_refused += 1;
+                    ctx.metric_inc("defense.nat.quota_refused");
+                    return Err("nat-quota-refused");
+                }
+            }
+            if let Some(cap) = self.behavior.max_mappings {
+                let fair = self.behavior.fair_eviction;
+                while self.tables.len(now) >= cap {
+                    let Some(victim) = self.tables.eviction_victim(now, fair) else {
+                        break;
+                    };
+                    self.tables.remove(victim);
+                    self.stats.mappings_evicted += 1;
+                    ctx.metric_inc_labeled(
+                        "nat.mapping.evicted",
+                        if fair { "fair" } else { "oldest" },
+                    );
+                }
+            }
+        }
+        let behavior = &self.behavior;
+        let public_ips = &self.public_ips;
+        let basic_assign = &mut self.basic_assign;
+        let next_seq_port = &mut self.next_seq_port;
+        let rng = ctx.rng();
+        let (id, created) = self
+            .tables
+            .outbound(policy, proto, private, pkt.dst, now, |tables| {
+                Self::alloc_public(
+                    behavior,
+                    public_ips,
+                    basic_assign,
+                    next_seq_port,
+                    rng,
+                    tables,
+                    proto,
+                    private,
+                )
+            })
+            .ok_or("nat-ports-exhausted")?;
         if created {
             self.stats.mappings_created += 1;
             ctx.metric_inc("nat.mapping.created");
@@ -293,7 +332,7 @@ impl NatDevice {
         if ctx.metrics_enabled() {
             ctx.metric_gauge_max("nat.mapping.live.max", self.tables.len(now) as i64);
         }
-        Some(id)
+        Ok(id)
     }
 
     fn mangle(&mut self, pkt: &mut Packet, from: Ipv4Addr, to: Ipv4Addr) {
@@ -328,9 +367,12 @@ impl NatDevice {
             ctx.note_drop("ttl-exceeded", &pkt);
             return;
         }
-        let Some(id) = self.outbound_mapping(ctx, &pkt) else {
-            ctx.note_drop("nat-ports-exhausted", &pkt);
-            return;
+        let id = match self.outbound_mapping(ctx, &pkt) {
+            Ok(id) => id,
+            Err(reason) => {
+                ctx.note_drop(reason, &pkt);
+                return;
+            }
         };
         let entry = self.tables.get(id).expect("live mapping"); // punch-lint: allow(P001) id comes from the live-mapping lookup just above; sweeps run between packets
         let (private_ip, public) = (entry.private.ip, entry.public);
@@ -508,9 +550,12 @@ impl NatDevice {
             Hairpin::Full => {
                 // Translate the source exactly as if the packet had left
                 // for the public Internet.
-                let Some(sender) = self.outbound_mapping(ctx, &pkt) else {
-                    ctx.note_drop("nat-ports-exhausted", &pkt);
-                    return;
+                let sender = match self.outbound_mapping(ctx, &pkt) {
+                    Ok(id) => id,
+                    Err(reason) => {
+                        ctx.note_drop(reason, &pkt);
+                        return;
+                    }
                 };
                 self.tables.get(sender).expect("live mapping").public // punch-lint: allow(P001) sender id comes from the live-mapping lookup just above
             }

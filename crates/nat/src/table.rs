@@ -320,6 +320,39 @@ impl NatTables {
     pub fn iter(&self) -> impl Iterator<Item = &MapEntry> {
         self.entries.values().map(Box::as_ref)
     }
+
+    /// Number of live mappings owned by private source IP `ip` (the
+    /// per-source quota's accounting).
+    pub fn live_count_for_source(&self, ip: Ipv4Addr, now: SimTime) -> usize {
+        self.entries
+            .values()
+            .filter(|e| e.private.ip == ip && e.expires_at > now)
+            .count()
+    }
+
+    /// Picks the live mapping a full table should evict. With `fair` off,
+    /// the globally least-recently-refreshed entry (oldest `expires_at`,
+    /// lowest id as the deterministic tie-break) — the policy a flooder
+    /// exploits, since its own mappings are always the freshest. With
+    /// `fair` on, the oldest entry *of the source owning the most live
+    /// mappings* (ties: lower IP), so the heaviest talker pays for its
+    /// own overflow.
+    pub fn eviction_victim(&self, now: SimTime, fair: bool) -> Option<MapId> {
+        let live = self.entries.values().filter(|e| e.expires_at > now);
+        if !fair {
+            return live.min_by_key(|e| (e.expires_at, e.id)).map(|e| e.id);
+        }
+        let mut counts: BTreeMap<Ipv4Addr, usize> = BTreeMap::new();
+        for e in self.entries.values().filter(|e| e.expires_at > now) {
+            *counts.entry(e.private.ip).or_insert(0) += 1;
+        }
+        let (&heaviest, _) = counts.iter().max_by_key(|(ip, n)| (**n, std::cmp::Reverse(**ip)))?;
+        self.entries
+            .values()
+            .filter(|e| e.expires_at > now && e.private.ip == heaviest)
+            .min_by_key(|e| (e.expires_at, e.id))
+            .map(|e| e.id)
+    }
 }
 
 #[cfg(test)]
@@ -749,6 +782,50 @@ mod tests {
             ..TcpTrack::default()
         };
         assert!(rst.closing());
+    }
+
+    #[test]
+    fn eviction_victim_policies() {
+        let mut t = NatTables::new();
+        let t0 = SimTime::ZERO;
+        // Victim allocates first (oldest), flooder 10.0.0.99 owns three
+        // fresher mappings.
+        let mut mk = |src: &str, port: u16, secs: u64| {
+            let id = t
+                .outbound(
+                    MappingPolicy::EndpointIndependent,
+                    Proto::Udp,
+                    ep(src),
+                    ep("2.2.2.2:2"),
+                    t0,
+                    fixed_alloc(port),
+                )
+                .unwrap()
+                .0;
+            t.refresh(id, t0, Duration::from_secs(secs));
+            id
+        };
+        let victim = mk("10.0.0.1:4321", 62000, 100);
+        let flood0 = mk("10.0.0.99:5000", 62001, 110);
+        mk("10.0.0.99:5001", 62002, 120);
+        mk("10.0.0.99:5002", 62003, 130);
+        let now = SimTime::from_secs(1);
+        assert_eq!(
+            t.eviction_victim(now, false),
+            Some(victim),
+            "oldest-first picks the victim"
+        );
+        assert_eq!(
+            t.eviction_victim(now, true),
+            Some(flood0),
+            "fair eviction picks the heaviest source's oldest entry"
+        );
+        assert_eq!(t.live_count_for_source("10.0.0.99".parse().unwrap(), now), 3);
+        assert_eq!(t.live_count_for_source("10.0.0.1".parse().unwrap(), now), 1);
+        // Expired entries count for neither accounting nor eviction.
+        let late = SimTime::from_secs(105);
+        assert_eq!(t.live_count_for_source("10.0.0.1".parse().unwrap(), late), 0);
+        assert_ne!(t.eviction_victim(late, false), Some(victim));
     }
 
     #[test]

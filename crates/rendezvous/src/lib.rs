@@ -23,5 +23,6 @@ pub mod wire;
 pub use peer::PeerId;
 pub use server::{RendezvousServer, ServerConfig, ServerStats};
 pub use wire::{
-    encode_frame, FrameBuf, Message, WireError, ERR_UNKNOWN_PEER, MAX_BUFFER, MAX_FRAME, VERSION,
+    auth_tag, decode_signed, encode_frame, encode_signed, FrameBuf, Message, WireError,
+    AUTH_TAG_LEN, ERR_TABLE_FULL, ERR_UNKNOWN_PEER, MAX_BUFFER, MAX_FRAME, VERSION,
 };

@@ -7,11 +7,16 @@
 //! client's UDP and TCP public endpoints are distinct NAT mappings.
 
 use crate::peer::PeerId;
-use crate::wire::{encode_frame, FrameBuf, Message, ERR_UNKNOWN_PEER};
+use crate::wire::{
+    decode_signed, encode_frame, encode_signed, FrameBuf, Message, WireError, AUTH_TAG_LEN,
+    ERR_TABLE_FULL, ERR_UNKNOWN_PEER,
+};
 use bytes::Bytes;
-use punch_net::Endpoint;
+use punch_net::{Endpoint, SimTime};
 use punch_transport::{App, Os, SockEvent, SocketId};
 use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+use std::time::Duration;
 
 /// Rendezvous server configuration.
 #[derive(Clone, Debug)]
@@ -45,6 +50,25 @@ pub struct ServerConfig {
     /// Only consulted when forwarding: the owner chain for a missing
     /// target is the target's first `replication` ring owners.
     pub replication: usize,
+    /// Per-source-IP token-bucket rate limit on the main UDP socket, in
+    /// datagrams per second (bucket capacity = one second's tokens).
+    /// `None` (the default, and the paper's implicit model) serves every
+    /// datagram; an introduction or registration flood from one source
+    /// then costs the same as legitimate traffic.
+    pub rate_limit: Option<u32>,
+    /// Protect-active eviction: a registration refreshed within this
+    /// window is never the eviction victim; when every entry in a full
+    /// table is protected, the *newcomer* is refused
+    /// ([`crate::wire::ERR_TABLE_FULL`]) instead. `None` (the default)
+    /// keeps pure oldest-first eviction, under which a squatting storm
+    /// bigger than the table evicts even actively-refreshing clients.
+    pub protect_active: Option<Duration>,
+    /// Shared fleet secret: when set, server-to-server messages carry an
+    /// [`AUTH_TAG_LEN`]-byte keyed tag and `Srv*` messages that arrive
+    /// unsigned or mis-signed are rejected, closing the rogue-forgery
+    /// hole (source-endpoint checks alone fall to spoofed sources).
+    /// `None` (the default) trusts source endpoints, as PR 7's fleet did.
+    pub fleet_secret: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -57,6 +81,9 @@ impl Default for ServerConfig {
             fleet: Vec::new(),
             fleet_index: 0,
             replication: 2,
+            rate_limit: None,
+            protect_active: None,
+            fleet_secret: None,
         }
     }
 }
@@ -118,6 +145,33 @@ impl ServerConfig {
         self.replication = k;
         self
     }
+
+    /// Same configuration with a per-source UDP rate limit, in
+    /// datagrams per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_sec` is zero (that would refuse all traffic; turn
+    /// the limiter off with `None` instead).
+    pub fn with_rate_limit(mut self, per_sec: u32) -> Self {
+        assert!(per_sec > 0, "rate_limit must be positive");
+        self.rate_limit = Some(per_sec);
+        self
+    }
+
+    /// Same configuration with protect-active eviction: registrations
+    /// refreshed within `window` are never evicted.
+    pub fn with_protect_active(mut self, window: Duration) -> Self {
+        self.protect_active = Some(window);
+        self
+    }
+
+    /// Same configuration with a shared fleet secret for authenticated
+    /// server-to-server messages.
+    pub fn with_fleet_secret(mut self, secret: u64) -> Self {
+        self.fleet_secret = Some(secret);
+        self
+    }
 }
 
 /// Server-side counters (used by the relay-load experiment E12).
@@ -147,6 +201,15 @@ pub struct ServerStats {
     pub forwards_served: u64,
     /// Forwarded introductions that exhausted the target's owner chain.
     pub forward_errors: u64,
+    /// Datagrams refused by the per-source token bucket
+    /// ([`ServerConfig::rate_limit`]).
+    pub rate_limited: u64,
+    /// Registrations refused because every slot was protected-active
+    /// ([`ServerConfig::protect_active`]).
+    pub reg_refused: u64,
+    /// Server-to-server messages rejected for a missing or unverifiable
+    /// authentication tag ([`ServerConfig::fleet_secret`]).
+    pub auth_rejected: u64,
 }
 
 impl ServerStats {
@@ -163,6 +226,9 @@ impl ServerStats {
         self.forwards += other.forwards;
         self.forwards_served += other.forwards_served;
         self.forward_errors += other.forward_errors;
+        self.rate_limited += other.rate_limited;
+        self.reg_refused += other.reg_refused;
+        self.auth_rejected += other.auth_rejected;
     }
 }
 
@@ -174,6 +240,9 @@ struct UdpReg {
     /// request from the client, so a full table evicts the
     /// least-recently-active entry, never a chatty long-lived one.
     seq: u64,
+    /// Wall time of the last activity, for the protect-active window
+    /// (the relative `seq` ordering cannot express "recent enough").
+    last_active: SimTime,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -185,7 +254,21 @@ struct TcpReg {
     /// request from the client, so a full table evicts the
     /// least-recently-active entry, never a chatty long-lived one.
     seq: u64,
+    /// Wall time of the last activity, for the protect-active window
+    /// (the relative `seq` ordering cannot express "recent enough").
+    last_active: SimTime,
 }
+
+/// Token-bucket state for one source IP, in micro-tokens (one datagram
+/// costs [`MICRO`]; integer arithmetic keeps refills deterministic).
+#[derive(Clone, Copy, Debug)]
+struct Bucket {
+    tokens: u64,
+    last: SimTime,
+}
+
+/// Micro-tokens per datagram.
+const MICRO: u64 = 1_000_000;
 
 /// An introduction forwarded to the target's owning shard, awaiting
 /// its [`Message::SrvIntroduceReply`] / [`Message::SrvIntroduceErr`].
@@ -245,6 +328,8 @@ pub struct RendezvousServer {
     /// Cross-shard introductions in flight, keyed by
     /// `(requester, target, nonce)`.
     pending: BTreeMap<(u64, u64, u64), PendingIntro>,
+    /// Per-source-IP token buckets ([`ServerConfig::rate_limit`]).
+    buckets: BTreeMap<Ipv4Addr, Bucket>,
     stats: ServerStats,
     /// Monotone activity counter shared by both transports; stamps
     /// make the eviction victim (unique minimum) independent of
@@ -277,6 +362,7 @@ impl RendezvousServer {
             tcp_clients: BTreeMap::new(),
             conns: BTreeMap::new(),
             pending: BTreeMap::new(),
+            buckets: BTreeMap::new(),
             stats: ServerStats::default(),
             reg_seq: 0,
         }
@@ -306,22 +392,76 @@ impl RendezvousServer {
 
     /// Refreshes a UDP client's activity stamp (keepalive or request
     /// traffic counts as life; see the eviction policy on [`UdpReg`]).
-    fn touch_udp(&mut self, peer: PeerId) {
+    fn touch_udp(&mut self, peer: PeerId, now: SimTime) {
         if self.udp_clients.contains_key(&peer) {
             let seq = self.next_seq();
             if let Some(r) = self.udp_clients.get_mut(&peer) {
                 r.seq = seq;
+                r.last_active = now;
             }
         }
     }
 
     /// TCP counterpart of [`Self::touch_udp`].
-    fn touch_tcp(&mut self, peer: PeerId) {
+    fn touch_tcp(&mut self, peer: PeerId, now: SimTime) {
         if self.tcp_clients.contains_key(&peer) {
             let seq = self.next_seq();
             if let Some(r) = self.tcp_clients.get_mut(&peer) {
                 r.seq = seq;
+                r.last_active = now;
             }
+        }
+    }
+
+    /// True when `last_active` is stale enough to evict: outside the
+    /// protect-active window, or the protection is off.
+    fn evictable(&self, last_active: SimTime, now: SimTime) -> bool {
+        match self.cfg.protect_active {
+            Some(window) => now.saturating_since(last_active) >= window,
+            None => true,
+        }
+    }
+
+    /// Admits or refuses one datagram from `from` through the
+    /// per-source token bucket. Always admits when the limiter is off.
+    fn rate_allow(&mut self, os: &mut Os<'_, '_>, from: Endpoint) -> bool {
+        let Some(rate) = self.cfg.rate_limit else {
+            return true;
+        };
+        let now = os.now();
+        let cap = u64::from(rate) * MICRO;
+        let b = self.buckets.entry(from.ip).or_insert(Bucket {
+            tokens: cap,
+            last: now,
+        });
+        let elapsed =
+            u64::try_from(now.saturating_since(b.last).as_nanos()).unwrap_or(u64::MAX);
+        // rate tokens/s = rate × MICRO micro-tokens per 1e9 ns.
+        b.tokens = b
+            .tokens
+            .saturating_add(elapsed.saturating_mul(u64::from(rate)) / 1000)
+            .min(cap);
+        b.last = now;
+        if b.tokens >= MICRO {
+            b.tokens -= MICRO;
+            // Bound the bucket map: once it outgrows the client table,
+            // drop sources whose bucket has (or by now would have)
+            // refilled completely — forgetting them loses nothing.
+            if self.buckets.len() > self.cfg.max_clients {
+                let rate = u64::from(rate);
+                self.buckets.retain(|_, b| {
+                    let refill = u64::try_from(now.saturating_since(b.last).as_nanos())
+                        .unwrap_or(u64::MAX)
+                        .saturating_mul(rate)
+                        / 1000;
+                    b.tokens.saturating_add(refill) < cap
+                });
+            }
+            true
+        } else {
+            self.stats.rate_limited += 1;
+            os.metric_inc("defense.rendezvous.rate_limited");
+            false
         }
     }
 
@@ -373,16 +513,20 @@ impl RendezvousServer {
     }
 
     /// Makes room for a new UDP registration when the table is full by
-    /// evicting the oldest entry. The victim is the unique minimum
-    /// `(seq, peer_id)`, so the choice never depends on `BTreeMap`
-    /// iteration order.
-    fn evict_oldest_udp(&mut self, os: &mut Os<'_, '_>) {
+    /// evicting the oldest *evictable* entry. The victim is the unique
+    /// minimum `(seq, peer_id)`, so the choice never depends on
+    /// `BTreeMap` iteration order. Returns `false` when every entry is
+    /// protected-active ([`ServerConfig::protect_active`]) — the
+    /// newcomer must be refused instead.
+    fn make_room_udp(&mut self, os: &mut Os<'_, '_>) -> bool {
         if self.udp_clients.len() < self.cfg.max_clients {
-            return;
+            return true;
         }
+        let now = os.now();
         let victim = self
             .udp_clients
             .iter()
+            .filter(|(_, r)| self.evictable(r.last_active, now))
             .min_by_key(|(id, r)| (r.seq, id.0))
             .map(|(&id, _)| id);
         if let Some(id) = victim {
@@ -393,19 +537,26 @@ impl RendezvousServer {
             }
             self.stats.evictions += 1;
             os.metric_inc_labeled("rendezvous.evict", "udp");
+            true
+        } else {
+            self.stats.reg_refused += 1;
+            os.metric_inc("defense.rendezvous.reg_refused");
+            false
         }
     }
 
-    /// TCP counterpart of [`Self::evict_oldest_udp`]; the victim's
+    /// TCP counterpart of [`Self::make_room_udp`]; the victim's
     /// connection stays open (it may re-register), only its
     /// registration slot is reclaimed.
-    fn evict_oldest_tcp(&mut self, os: &mut Os<'_, '_>) {
+    fn make_room_tcp(&mut self, os: &mut Os<'_, '_>) -> bool {
         if self.tcp_clients.len() < self.cfg.max_clients {
-            return;
+            return true;
         }
+        let now = os.now();
         let victim = self
             .tcp_clients
             .iter()
+            .filter(|(_, r)| self.evictable(r.last_active, now))
             .min_by_key(|(id, r)| (r.seq, id.0))
             .map(|(&id, _)| id);
         if let Some(id) = victim {
@@ -416,6 +567,11 @@ impl RendezvousServer {
             }
             self.stats.evictions += 1;
             os.metric_inc_labeled("rendezvous.evict", "tcp");
+            true
+        } else {
+            self.stats.reg_refused += 1;
+            os.metric_inc("defense.rendezvous.reg_refused");
+            false
         }
     }
 
@@ -425,15 +581,48 @@ impl RendezvousServer {
         }
     }
 
+    /// Sends a server-to-server message, signed when the fleet shares a
+    /// secret (wire bytes are identical to [`Self::send_udp`] otherwise).
+    fn send_srv(&self, os: &mut Os<'_, '_>, to: Endpoint, msg: &Message) {
+        match self.cfg.fleet_secret {
+            Some(secret) => {
+                if let Some(sock) = self.udp_sock {
+                    let _ = os.udp_send(sock, to, encode_signed(msg, self.cfg.obfuscate, secret));
+                }
+            }
+            None => self.send_udp(os, to, msg),
+        }
+    }
+
+    /// Gate for inbound `Srv*` messages: with a fleet secret configured,
+    /// only datagrams that carried a verified tag are honored.
+    fn srv_authorized(&mut self, os: &mut Os<'_, '_>, signed: bool) -> bool {
+        if self.cfg.fleet_secret.is_some() && !signed {
+            self.stats.auth_rejected += 1;
+            os.metric_inc("defense.rendezvous.auth_rejected");
+            return false;
+        }
+        true
+    }
+
     fn send_tcp(&self, os: &mut Os<'_, '_>, sock: SocketId, msg: &Message) {
         let _ = os.tcp_send(sock, &encode_frame(msg, self.cfg.obfuscate));
     }
 
-    fn handle_udp(&mut self, os: &mut Os<'_, '_>, from: Endpoint, msg: Message) {
+    fn handle_udp(&mut self, os: &mut Os<'_, '_>, from: Endpoint, msg: Message, signed: bool) {
         match msg {
             Message::Register { peer_id, private } => {
-                if !self.udp_clients.contains_key(&peer_id) {
-                    self.evict_oldest_udp(os);
+                if !self.udp_clients.contains_key(&peer_id) && !self.make_room_udp(os) {
+                    // Every slot is held by a protected-active client;
+                    // the newcomer — not an active client — loses.
+                    self.send_udp(
+                        os,
+                        from,
+                        &Message::ErrorReply {
+                            code: ERR_TABLE_FULL,
+                        },
+                    );
+                    return;
                 }
                 let seq = self.next_seq();
                 if let Some(old) = self.udp_clients.insert(
@@ -442,6 +631,7 @@ impl RendezvousServer {
                         public: from,
                         private,
                         seq,
+                        last_active: os.now(),
                     },
                 ) {
                     // Re-registration from a new mapping: retire the old
@@ -461,7 +651,7 @@ impl RendezvousServer {
                 target,
                 nonce,
             } => {
-                self.touch_udp(peer_id);
+                self.touch_udp(peer_id, os.now());
                 let Some(req) = self.udp_clients.get(&peer_id).copied() else {
                     self.stats.errors += 1;
                     os.metric_inc("rendezvous.error");
@@ -532,7 +722,7 @@ impl RendezvousServer {
                 target,
                 data,
             } => {
-                self.touch_udp(sender);
+                self.touch_udp(sender, os.now());
                 let Some(tgt) = self.udp_clients.get(&target).copied() else {
                     if self.fleet_routable() {
                         // Best-effort: hand the payload to the target's
@@ -541,7 +731,7 @@ impl RendezvousServer {
                         let chain = self.owner_chain(target);
                         if let Some(owner) = chain.first() {
                             os.metric_inc_labeled("rendezvous.forward", "relay");
-                            self.send_udp(
+                            self.send_srv(
                                 os,
                                 *owner,
                                 &Message::SrvRelay {
@@ -576,7 +766,7 @@ impl RendezvousServer {
                 target,
                 nonce,
             } => {
-                self.touch_udp(peer_id);
+                self.touch_udp(peer_id, os.now());
                 // Reversal stays shard-local by design: it only helps when
                 // the target is unNATed and reachable, and those targets
                 // register with every owner anyway (k-of-n).
@@ -614,7 +804,7 @@ impl RendezvousServer {
                 // cannot evict it (the ping carries no id — the reverse
                 // index recovers it from the source mapping).
                 if let Some(&peer) = self.udp_by_ep.get(&from) {
-                    self.touch_udp(peer);
+                    self.touch_udp(peer, os.now());
                 }
                 self.send_udp(os, from, &Message::Pong);
             }
@@ -626,6 +816,9 @@ impl RendezvousServer {
                 nonce,
                 tcp,
             } => {
+                if !self.srv_authorized(os, signed) {
+                    return;
+                }
                 self.handle_srv_introduce(
                     os,
                     from,
@@ -645,6 +838,9 @@ impl RendezvousServer {
                 nonce,
                 tcp: _,
             } => {
+                if !self.srv_authorized(os, signed) {
+                    return;
+                }
                 self.handle_srv_reply(os, from, requester, target, target_public, target_private, nonce);
             }
             Message::SrvIntroduceErr {
@@ -653,6 +849,9 @@ impl RendezvousServer {
                 nonce,
                 tcp: _,
             } => {
+                if !self.srv_authorized(os, signed) {
+                    return;
+                }
                 self.handle_srv_err(os, from, requester, target, nonce);
             }
             Message::SrvRelay {
@@ -661,6 +860,9 @@ impl RendezvousServer {
                 data,
                 tcp,
             } => {
+                if !self.srv_authorized(os, signed) {
+                    return;
+                }
                 self.handle_srv_relay(os, from, sender, target, data, tcp);
             }
             // Peer-to-peer and server-to-client messages are not for us.
@@ -714,7 +916,7 @@ impl RendezvousServer {
         );
         self.stats.forwards += 1;
         os.metric_inc_labeled("rendezvous.forward", "sent");
-        self.send_udp(
+        self.send_srv(
             os,
             first,
             &Message::SrvIntroduce {
@@ -791,7 +993,7 @@ impl RendezvousServer {
             Some((target_public, target_private)) => {
                 self.stats.forwards_served += 1;
                 os.metric_inc_labeled("rendezvous.forward", "served");
-                self.send_udp(
+                self.send_srv(
                     os,
                     from,
                     &Message::SrvIntroduceReply {
@@ -806,7 +1008,7 @@ impl RendezvousServer {
             }
             None => {
                 os.metric_inc_labeled("rendezvous.forward", "miss");
-                self.send_udp(
+                self.send_srv(
                     os,
                     from,
                     &Message::SrvIntroduceErr {
@@ -894,7 +1096,7 @@ impl RendezvousServer {
                 tcp: p.tcp,
             };
             self.pending.insert(key, p);
-            self.send_udp(os, next, &fwd);
+            self.send_srv(os, next, &fwd);
         } else {
             self.stats.forward_errors += 1;
             os.metric_inc_labeled("rendezvous.forward", "err");
@@ -953,8 +1155,15 @@ impl RendezvousServer {
                 let Ok(public) = os.remote_endpoint(sock) else {
                     return;
                 };
-                if !self.tcp_clients.contains_key(&peer_id) {
-                    self.evict_oldest_tcp(os);
+                if !self.tcp_clients.contains_key(&peer_id) && !self.make_room_tcp(os) {
+                    self.send_tcp(
+                        os,
+                        sock,
+                        &Message::ErrorReply {
+                            code: ERR_TABLE_FULL,
+                        },
+                    );
+                    return;
                 }
                 let seq = self.next_seq();
                 self.tcp_clients.insert(
@@ -964,6 +1173,7 @@ impl RendezvousServer {
                         public,
                         private,
                         seq,
+                        last_active: os.now(),
                     },
                 );
                 if let Some(conn) = self.conns.get_mut(&sock) {
@@ -978,7 +1188,7 @@ impl RendezvousServer {
                 target,
                 nonce,
             } => {
-                self.touch_tcp(peer_id);
+                self.touch_tcp(peer_id, os.now());
                 let Some(req) = self.tcp_clients.get(&peer_id).copied() else {
                     self.stats.errors += 1;
                     os.metric_inc("rendezvous.error");
@@ -1046,13 +1256,13 @@ impl RendezvousServer {
                 target,
                 data,
             } => {
-                self.touch_tcp(sender);
+                self.touch_tcp(sender, os.now());
                 let Some(tgt) = self.tcp_clients.get(&target).copied() else {
                     if self.fleet_routable() {
                         let chain = self.owner_chain(target);
                         if let Some(owner) = chain.first() {
                             os.metric_inc_labeled("rendezvous.forward", "relay");
-                            self.send_udp(
+                            self.send_srv(
                                 os,
                                 *owner,
                                 &Message::SrvRelay {
@@ -1087,7 +1297,7 @@ impl RendezvousServer {
                 target,
                 nonce,
             } => {
-                self.touch_tcp(peer_id);
+                self.touch_tcp(peer_id, os.now());
                 let (Some(req), Some(tgt)) = (
                     self.tcp_clients.get(&peer_id).copied(),
                     self.tcp_clients.get(&target).copied(),
@@ -1120,7 +1330,7 @@ impl RendezvousServer {
                 // Keepalive over an established connection: the socket
                 // identifies the peer; refresh its activity stamp.
                 if let Some(peer) = self.conns.get(&sock).and_then(|c| c.peer) {
-                    self.touch_tcp(peer);
+                    self.touch_tcp(peer, os.now());
                 }
                 self.send_tcp(os, sock, &Message::Pong);
             }
@@ -1203,13 +1413,35 @@ impl App for RendezvousServer {
                 let reply = Message::RegisterAck { public: from };
                 let _ = os.udp_send(sock, from, reply.encode(self.cfg.obfuscate));
             }
-            SockEvent::UdpReceived { from, data, .. } => match Message::decode(&data) {
-                Ok(msg) => self.handle_udp(os, from, msg),
-                Err(_) => {
-                    self.stats.errors += 1;
-                    os.metric_inc("rendezvous.error");
+            SockEvent::UdpReceived { from, data, .. } => {
+                if !self.rate_allow(os, from) {
+                    return;
                 }
-            },
+                match Message::decode(&data) {
+                    Ok(msg) => self.handle_udp(os, from, msg, false),
+                    // With a fleet secret, an 8-byte tail may be a signed
+                    // server-to-server message: verify the tag before
+                    // honoring it, and treat verification failure as a
+                    // forgery, not a codec error.
+                    Err(WireError::TrailingBytes(AUTH_TAG_LEN)) => {
+                        match self.cfg.fleet_secret.map(|s| decode_signed(&data, s)) {
+                            Some(Ok(msg)) => self.handle_udp(os, from, msg, true),
+                            Some(Err(_)) => {
+                                self.stats.auth_rejected += 1;
+                                os.metric_inc("defense.rendezvous.auth_rejected");
+                            }
+                            None => {
+                                self.stats.errors += 1;
+                                os.metric_inc("rendezvous.error");
+                            }
+                        }
+                    }
+                    Err(_) => {
+                        self.stats.errors += 1;
+                        os.metric_inc("rendezvous.error");
+                    }
+                }
+            }
             SockEvent::TcpIncoming { listener } => {
                 while let Ok(Some((conn, _remote))) = os.tcp_accept(listener) {
                     self.conns.insert(conn, ConnState::default());

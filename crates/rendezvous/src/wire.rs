@@ -22,6 +22,10 @@ pub const VERSION: u8 = 1;
 /// Error code: the requested peer is not registered.
 pub const ERR_UNKNOWN_PEER: u8 = 1;
 
+/// Error code: the registration table is full of clients whose
+/// activity protects them from eviction; the newcomer is refused.
+pub const ERR_TABLE_FULL: u8 = 2;
+
 /// Codec errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WireError {
@@ -40,6 +44,10 @@ pub enum WireError {
     /// A reassembly buffer exceeded its cap ([`MAX_BUFFER`]); the
     /// stream is poisoned and the connection should be torn down.
     Oversize(usize),
+    /// A signed message's authentication tag did not verify — the
+    /// sender does not hold the fleet secret (or the body was altered
+    /// in flight).
+    BadAuth,
 }
 
 impl fmt::Display for WireError {
@@ -51,6 +59,7 @@ impl fmt::Display for WireError {
             WireError::FrameTooLarge(n) => write!(f, "frame of {n} bytes exceeds limit"),
             WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
             WireError::Oversize(n) => write!(f, "reassembly buffer overflow at {n} bytes"),
+            WireError::BadAuth => write!(f, "authentication tag mismatch"),
         }
     }
 }
@@ -572,6 +581,48 @@ impl Message {
     }
 }
 
+/// Size of the authentication tag appended by [`encode_signed`].
+pub const AUTH_TAG_LEN: usize = 8;
+
+/// Keyed tag over a message body: FNV-1a over the bytes, folded with the
+/// shared secret. Not cryptography — the simulation models *possession
+/// of a shared secret*, and an off-path forger without it cannot produce
+/// a verifying tag; collision resistance beyond that is out of scope.
+pub fn auth_tag(body: &[u8], secret: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ secret;
+    for &b in body {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^= secret.rotate_left(17);
+    h.wrapping_mul(0x0000_0100_0000_01b3)
+}
+
+/// Encodes a message and appends an [`AUTH_TAG_LEN`]-byte keyed tag, for
+/// server-to-server traffic inside a fleet that shares `secret`.
+pub fn encode_signed(msg: &Message, obfuscate: bool, secret: u64) -> Bytes {
+    let body = msg.encode(obfuscate);
+    let mut buf = BytesMut::with_capacity(body.len() + AUTH_TAG_LEN);
+    buf.put_slice(&body);
+    buf.put_u64(auth_tag(&body, secret));
+    buf.freeze()
+}
+
+/// Decodes a message produced by [`encode_signed`], verifying its tag
+/// against `secret`. A datagram without the trailing tag, or whose tag
+/// does not verify, is rejected with [`WireError::BadAuth`].
+pub fn decode_signed(data: &[u8], secret: u64) -> Result<Message, WireError> {
+    let Some(split) = data.len().checked_sub(AUTH_TAG_LEN) else {
+        return Err(WireError::BadAuth);
+    };
+    let (body, tag) = data.split_at(split);
+    let mut tag_bytes = tag;
+    if tag_bytes.get_u64() != auth_tag(body, secret) {
+        return Err(WireError::BadAuth);
+    }
+    Message::decode(body)
+}
+
 /// Encodes a message as a length-prefixed TCP frame.
 pub fn encode_frame(msg: &Message, obfuscate: bool) -> Bytes {
     let body = msg.encode(obfuscate);
@@ -805,6 +856,56 @@ mod tests {
                 enc.extend_from_slice(b"junk");
                 assert_eq!(Message::decode(&enc), Err(WireError::TrailingBytes(5)));
             }
+        }
+    }
+
+    #[test]
+    fn signed_roundtrip_and_forgery_rejection() {
+        let secret = 0x5eed_f1ee_7001_u64;
+        for msg in all_messages() {
+            for obf in [false, true] {
+                let enc = encode_signed(&msg, obf, secret);
+                assert_eq!(enc.len(), msg.encode(obf).len() + AUTH_TAG_LEN);
+                assert_eq!(decode_signed(&enc, secret), Ok(msg.clone()));
+                // Wrong secret: the forger guessed the format but not the key.
+                assert_eq!(
+                    decode_signed(&enc, secret ^ 1),
+                    Err(WireError::BadAuth),
+                    "{msg:?}"
+                );
+                // Unsigned bytes fail verification (no valid tag suffix).
+                assert_eq!(
+                    decode_signed(&msg.encode(obf), secret),
+                    Err(WireError::BadAuth),
+                    "{msg:?}"
+                );
+                // The strict plain decoder still rejects the signed form,
+                // seeing the tag as trailing garbage.
+                assert_eq!(
+                    Message::decode(&enc),
+                    Err(WireError::TrailingBytes(AUTH_TAG_LEN))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn auth_tag_covers_every_body_byte() {
+        let secret = 42_u64;
+        let msg = Message::SrvIntroduceErr {
+            requester: PeerId(7),
+            target: PeerId(9),
+            nonce: 0xdead,
+            tcp: false,
+        };
+        let enc = encode_signed(&msg, false, secret);
+        for i in 0..enc.len() - AUTH_TAG_LEN {
+            let mut bent = enc.to_vec();
+            bent[i] ^= 0x80;
+            assert!(
+                decode_signed(&bent, secret).is_err(),
+                "flipping body byte {i} must not verify"
+            );
         }
     }
 

@@ -43,6 +43,18 @@ pub struct StackConfig {
     pub time_wait: Duration,
     /// Inclusive range from which ephemeral ports are drawn.
     pub ephemeral_ports: (u16, u16),
+    /// RFC 5961-style RST validation: only a RST whose sequence number
+    /// exactly matches `rcv_nxt` tears the connection down; an in-window
+    /// RST elicits a challenge ACK and is otherwise ignored. Off by
+    /// default (classic RFC 793 behaviour, which accepts any RST and is
+    /// what an off-path injector exploits).
+    pub rst_validation: bool,
+    /// RFC 5927-style ICMP hardening: treat destination-unreachable
+    /// errors as soft even during connection establishment, so spoofed
+    /// ICMP cannot abort an in-progress connect. Off by default (a
+    /// genuine unreachable then fails the connect fast, as real stacks
+    /// do).
+    pub icmp_strict: bool,
 }
 
 impl Default for StackConfig {
@@ -57,6 +69,8 @@ impl Default for StackConfig {
             send_window: 64 * 1024,
             time_wait: Duration::from_secs(30),
             ephemeral_ports: (49152, 65535),
+            rst_validation: false,
+            icmp_strict: false,
         }
     }
 }
@@ -124,6 +138,18 @@ impl StackConfig {
     /// (inclusive).
     pub fn with_ephemeral_ports(mut self, lo: u16, hi: u16) -> Self {
         self.ephemeral_ports = (lo, hi);
+        self
+    }
+
+    /// Same configuration with RFC 5961 RST sequence validation enabled.
+    pub fn with_rst_validation(mut self) -> Self {
+        self.rst_validation = true;
+        self
+    }
+
+    /// Same configuration with strict (soft-error) ICMP handling enabled.
+    pub fn with_icmp_strict(mut self) -> Self {
+        self.icmp_strict = true;
         self
     }
 }

@@ -284,6 +284,15 @@ impl HostDevice {
         if s.checksum_drops > p.checksum_drops {
             ctx.metric_inc_by("transport.checksum_drop", s.checksum_drops - p.checksum_drops);
         }
+        if s.rsts_accepted > p.rsts_accepted {
+            ctx.metric_inc_by("transport.rst_accepted", s.rsts_accepted - p.rsts_accepted);
+        }
+        if s.rsts_rejected > p.rsts_rejected {
+            ctx.metric_inc_by("transport.rst_rejected", s.rsts_rejected - p.rsts_rejected);
+        }
+        if s.icmp_ignored > p.icmp_ignored {
+            ctx.metric_inc_by("defense.transport.icmp_ignored", s.icmp_ignored - p.icmp_ignored);
+        }
         self.published = s;
     }
 

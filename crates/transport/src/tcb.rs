@@ -100,6 +100,14 @@ pub struct StackStats {
     /// not verify (link-level corruption or truncation). Dropped before
     /// demux — damaged bytes never reach sockets or applications.
     pub checksum_drops: u64,
+    /// Inbound RSTs that tore a synchronized connection down.
+    pub rsts_accepted: u64,
+    /// Inbound RSTs discarded by RFC 5961 sequence validation (a
+    /// challenge ACK answers the in-window ones).
+    pub rsts_rejected: u64,
+    /// ICMP unreachable errors ignored as soft by the strict-ICMP
+    /// defense during connection establishment.
+    pub icmp_ignored: u64,
 }
 
 /// What the stack should do with the TCB after a callback.
@@ -444,11 +452,17 @@ impl Tcb {
 
     /// Handles an inbound ICMP destination-unreachable for this
     /// connection.
-    pub fn on_icmp_unreachable(&mut self, _io: &mut TcpIo<'_>) -> TcbOutcome {
+    pub fn on_icmp_unreachable(&mut self, io: &mut TcpIo<'_>) -> TcbOutcome {
         match self.state {
             // A connect in progress fails hard (§4.2 step 4 retries at the
-            // application level).
+            // application level) — unless the RFC 5927-style defense
+            // treats the error as soft, so off-path spoofed ICMP cannot
+            // abort the handshake.
             TcpState::SynSent | TcpState::SynReceived => {
+                if io.cfg.icmp_strict {
+                    io.stats.icmp_ignored += 1;
+                    return TcbOutcome::default();
+                }
                 self.cancel_timer();
                 TcbOutcome::deleted(Some(SocketError::HostUnreachable))
             }
@@ -514,6 +528,10 @@ impl Tcb {
 
     fn segment_in_syn_received(&mut self, seg: &TcpSegment, io: &mut TcpIo<'_>) -> TcbOutcome {
         if seg.flags.contains(TcpFlags::RST) {
+            if !self.rst_acceptable(seg, io) {
+                return TcbOutcome::default();
+            }
+            io.stats.rsts_accepted += 1;
             self.cancel_timer();
             return TcbOutcome::deleted(Some(SocketError::ConnectionReset));
         }
@@ -551,8 +569,32 @@ impl Tcb {
         TcbOutcome::default()
     }
 
+    /// RFC 5961 §3.2 gate: with validation off every RST is acceptable
+    /// (classic RFC 793); with it on, only an exact `rcv_nxt` match is.
+    /// An in-window near-miss draws a challenge ACK — a genuine peer
+    /// whose connection is really dead answers that with an exact-match
+    /// RST — and anything else is dropped silently. Off-path injectors
+    /// must now guess the exact 32-bit sequence, not merely land in the
+    /// receive window.
+    fn rst_acceptable(&mut self, seg: &TcpSegment, io: &mut TcpIo<'_>) -> bool {
+        if !io.cfg.rst_validation || seg.seq == self.rcv_nxt {
+            return true;
+        }
+        io.stats.rsts_rejected += 1;
+        let in_window = seq::le(self.rcv_nxt, seg.seq)
+            && seq::lt(seg.seq, self.rcv_nxt.wrapping_add(u32::from(u16::MAX)));
+        if in_window {
+            self.emit_ack(io);
+        }
+        false
+    }
+
     fn segment_in_synchronized(&mut self, seg: &TcpSegment, io: &mut TcpIo<'_>) -> TcbOutcome {
         if seg.flags.contains(TcpFlags::RST) {
+            if !self.rst_acceptable(seg, io) {
+                return TcbOutcome::default();
+            }
+            io.stats.rsts_accepted += 1;
             self.cancel_timer();
             if self.state != TcpState::TimeWait {
                 io.events.push(SockEvent::TcpAborted {
@@ -1097,6 +1139,85 @@ mod tests {
             sock: SocketId(1),
             err: SocketError::ConnectionReset
         }));
+        assert_eq!(h.stats.rsts_accepted, 1);
+        assert_eq!(h.stats.rsts_rejected, 0);
+    }
+
+    #[test]
+    fn rst_with_any_seq_kills_unvalidated_connection() {
+        // The attack baseline: classic RFC 793 accepts a RST regardless
+        // of its sequence number, so a blind injector wins every time.
+        let (mut h, mut tcb) = established_pair();
+        let rst = TcpSegment::control(TcpFlags::RST, 0xdead_beef, 0);
+        let outcome = tcb.on_segment(&rst, &mut h.io());
+        assert!(outcome.delete);
+        assert_eq!(h.stats.rsts_accepted, 1);
+    }
+
+    #[test]
+    fn rst_validation_rejects_out_of_window_silently() {
+        let (mut h, mut tcb) = established_pair();
+        h.cfg.rst_validation = true;
+        // rcv_nxt is 5001; an out-of-window guess is dropped without a
+        // challenge (no feedback to the attacker).
+        let rst = TcpSegment::control(TcpFlags::RST, 5001 + 100_000, 0);
+        let n = h.out.len();
+        let outcome = tcb.on_segment(&rst, &mut h.io());
+        assert!(!outcome.delete);
+        assert_eq!(tcb.state, TcpState::Established);
+        assert_eq!(h.out.len(), n, "no challenge for out-of-window");
+        assert_eq!(h.stats.rsts_rejected, 1);
+        assert_eq!(h.stats.rsts_accepted, 0);
+    }
+
+    #[test]
+    fn rst_validation_challenges_in_window_near_miss() {
+        let (mut h, mut tcb) = established_pair();
+        h.cfg.rst_validation = true;
+        let rst = TcpSegment::control(TcpFlags::RST, 5001 + 10, 0);
+        let outcome = tcb.on_segment(&rst, &mut h.io());
+        assert!(!outcome.delete, "in-window but inexact: survive");
+        let challenge = h.last_seg();
+        assert_eq!(challenge.flags, TcpFlags::ACK);
+        assert_eq!(challenge.ack, 5001, "challenge ACK re-asserts rcv_nxt");
+        assert_eq!(h.stats.rsts_rejected, 1);
+        // A genuine peer answers the challenge with an exact-match RST,
+        // which is accepted.
+        let exact = TcpSegment::control(TcpFlags::RST, 5001, 0);
+        let outcome = tcb.on_segment(&exact, &mut h.io());
+        assert!(outcome.delete);
+        assert_eq!(h.stats.rsts_accepted, 1);
+    }
+
+    #[test]
+    fn rst_validation_guards_syn_received_too() {
+        let mut h = Harness::new();
+        h.cfg.rst_validation = true;
+        let syn = TcpSegment::control(TcpFlags::SYN, 9000, 0);
+        let mut tcb = Tcb::open_passive(
+            SocketId(2),
+            ep("5.5.5.5:80"),
+            ep("6.6.6.6:1234"),
+            SocketId(1),
+            4000,
+            &syn,
+            &mut h.io(),
+        );
+        let spoofed = TcpSegment::control(TcpFlags::RST, 123, 0);
+        let outcome = tcb.on_segment(&spoofed, &mut h.io());
+        assert!(!outcome.delete);
+        assert_eq!(tcb.state, TcpState::SynReceived);
+        let exact = TcpSegment::control(TcpFlags::RST, 9001, 0);
+        assert!(tcb.on_segment(&exact, &mut h.io()).delete);
+    }
+
+    #[test]
+    fn icmp_strict_keeps_connect_alive() {
+        let (mut h, mut tcb) = active();
+        h.cfg.icmp_strict = true;
+        let outcome = tcb.on_icmp_unreachable(&mut h.io());
+        assert!(!outcome.delete, "spoofed ICMP must not abort the connect");
+        assert_eq!(h.stats.icmp_ignored, 1);
     }
 
     #[test]

@@ -209,3 +209,42 @@ if predict <= basic:
     )
 PYEOF
 echo "OK: strategy matrix byte-identical across worker counts, prediction beats Basic on symmetric x symmetric"
+
+echo "== attack-suite smoke (adversary legs, defense flips, 1 vs 2 workers) =="
+PUNCH_JOBS=1 cargo run --release --quiet -p punch-bench --bin attacks -- \
+    --trials 2 --out "$tmpdir/atk1.json" > /dev/null
+PUNCH_JOBS=2 cargo run --release --quiet -p punch-bench --bin attacks -- \
+    --trials 2 --out "$tmpdir/atk2.json" > /dev/null
+if ! cmp -s "$tmpdir/atk1.json" "$tmpdir/atk2.json"; then
+    echo "FAIL: attack suite differs between 1 and 2 workers" >&2
+    diff "$tmpdir/atk1.json" "$tmpdir/atk2.json" >&2 || true
+    exit 1
+fi
+python3 - "$tmpdir/atk1.json" <<'PYEOF'
+import json, sys
+j = json.load(open(sys.argv[1]))
+trials = j["trials"]
+for leg, arms in j["attacks"].items():
+    off, on = arms["off"], arms["on"]
+    if not off["disrupted"]:
+        sys.exit(f"FAIL: {leg} with defenses off never disrupted the victim")
+    if off["defense_events"]:
+        sys.exit(f"FAIL: {leg} counted defense events with defenses off")
+    if on["disrupted"]:
+        sys.exit(f"FAIL: {leg} disrupted the victim despite its defense")
+    if on["recovered"] != trials:
+        sys.exit(f"FAIL: {leg} victim not healthy in every defended trial")
+    if not on["defense_events"]:
+        sys.exit(f"FAIL: {leg} defense never fired")
+PYEOF
+echo "OK: every attack bites undefended, every defense rides through, byte-identical across worker counts"
+
+echo "== adversarial chaos search smoke (attack schedules, zero violations) =="
+out=$(cargo run --release --quiet -p punch-bench --bin chaos_search -- \
+    --profile adversarial --schedules 20 --no-write)
+echo "$out"
+if ! echo "$out" | grep -q "violations: 0"; then
+    echo "FAIL: adversarial chaos search found invariant violations" >&2
+    exit 1
+fi
+echo "OK: no invariant violations under sampled attack schedules"
