@@ -87,6 +87,31 @@ fn n16_fleet_is_worker_invariant() {
     assert_eq!(stats.forward_errors, 0, "{stats:?}");
 }
 
+/// Regression: the forward-latency histogram is registered under the
+/// `layer.name` metric taxonomy (it once shipped as the prefix-less
+/// `introduce.forward`, invisible to the S004 registry in
+/// `results/LINT_metric_registry.json`).
+#[test]
+fn forward_latency_histogram_uses_taxonomy_name() {
+    let mut cfg = ShardConfig::new(7, 24);
+    cfg.servers = 16;
+    cfg.replication = 2;
+    cfg.shards = 4;
+    cfg.metrics = true;
+    let w = run(&cfg);
+    let stats = w.fleet_stats();
+    assert!(stats.forwards > 0, "no introduction ever crossed a shard");
+    let metrics = w.merged_metrics();
+    let h = metrics
+        .histogram("rendezvous.introduce_forward")
+        .expect("forward histogram missing under its taxonomy name");
+    assert!(h.count() > 0, "forwards happened but none were observed");
+    assert!(
+        metrics.histogram("introduce.forward").is_none(),
+        "pre-taxonomy histogram name resurfaced"
+    );
+}
+
 #[test]
 fn server_restart_during_flash_crowd_recovers() {
     // A fleet member dies (tables wiped) right as the crowd's connect

@@ -21,17 +21,72 @@ pub struct Token {
     pub kind: TokKind,
 }
 
-/// Token kinds. Literal contents are discarded: no rule matches inside
-/// string or numeric literals, only their presence matters (e.g. as the
-/// token preceding a `.`).
+/// Token kinds. Literal contents are **kept**: the semantic passes need
+/// wire-tag const values (numeric literals) and metric-name strings, so
+/// a literal token carries its text and whether it is string-like.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TokKind {
     /// An identifier or keyword, with its text.
     Ident(String),
     /// A single punctuation character.
     Punct(char),
-    /// A string / char / numeric literal (contents dropped).
-    Literal,
+    /// A string / char / numeric literal, with its contents.
+    Literal(Lit),
+}
+
+/// A literal's contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lit {
+    /// For string-like literals: the contents between the delimiters
+    /// (escape sequences left uncooked). For numeric/char literals: the
+    /// raw source text.
+    pub text: String,
+    /// True for string and byte-string literals (`"…"`, `r#"…"#`,
+    /// `b"…"`, `br##"…"##`, `c"…"`); false for numeric and char
+    /// literals.
+    pub str_like: bool,
+}
+
+impl Lit {
+    fn num(text: String) -> Self {
+        Lit {
+            text,
+            str_like: false,
+        }
+    }
+
+    fn str(text: String) -> Self {
+        Lit {
+            text,
+            str_like: true,
+        }
+    }
+
+    /// Parses a numeric literal's integer value, handling `_`
+    /// separators, `0x`/`0o`/`0b` prefixes, and type suffixes
+    /// (`1u8`, `0x10_u32`). `None` for floats, chars, and strings.
+    pub fn int_value(&self) -> Option<u64> {
+        if self.str_like {
+            return None;
+        }
+        let cleaned: String = self.text.chars().filter(|&c| c != '_').collect();
+        let (radix, digits) = match cleaned.as_bytes() {
+            [b'0', b'x', ..] | [b'0', b'X', ..] => (16, &cleaned[2..]),
+            [b'0', b'o', b'0'..=b'7', ..] => (8, &cleaned[2..]),
+            [b'0', b'b', b'0' | b'1', ..] => (2, &cleaned[2..]),
+            _ => (10, cleaned.as_str()),
+        };
+        // Strip a type suffix: the digits end at the first char that is
+        // not valid in this radix.
+        let end = digits
+            .char_indices()
+            .find(|&(_, c)| !c.is_digit(radix))
+            .map_or(digits.len(), |(i, _)| i);
+        if end == 0 {
+            return None;
+        }
+        u64::from_str_radix(&digits[..end], radix).ok()
+    }
 }
 
 /// A comment, kept separately from the token stream so suppression
@@ -123,13 +178,13 @@ pub fn lex(src: &str) -> Lexed {
         } else if c == '/' && cur.peek(1) == Some('*') {
             lex_block_comment(&mut cur, &mut out, line, col);
         } else if c == '"' {
-            lex_string(&mut cur);
-            push(&mut cur, &mut out, line, col, TokKind::Literal);
+            let text = lex_string(&mut cur);
+            push(&mut cur, &mut out, line, col, TokKind::Literal(Lit::str(text)));
         } else if c == '\'' {
             lex_quote(&mut cur, &mut out, line, col);
         } else if c.is_ascii_digit() {
-            lex_number(&mut cur);
-            push(&mut cur, &mut out, line, col, TokKind::Literal);
+            let text = lex_number(&mut cur);
+            push(&mut cur, &mut out, line, col, TokKind::Literal(Lit::num(text)));
         } else if is_ident_start(c) {
             lex_word(&mut cur, &mut out, line, col);
         } else {
@@ -199,23 +254,30 @@ fn lex_block_comment(cur: &mut Cursor, out: &mut Lexed, line: u32, col: u32) {
 }
 
 /// Consumes a `"…"` string with escape handling (opening quote at the
-/// cursor).
-fn lex_string(cur: &mut Cursor) {
+/// cursor) and returns its contents, escapes left uncooked.
+fn lex_string(cur: &mut Cursor) -> String {
     cur.bump(); // opening quote
+    let mut text = String::new();
     while let Some(c) = cur.bump() {
         match c {
             '\\' => {
-                cur.bump();
+                text.push(c);
+                if let Some(e) = cur.bump() {
+                    text.push(e);
+                }
             }
             '"' => break,
-            _ => {}
+            _ => text.push(c),
         }
     }
+    text
 }
 
-/// Consumes a raw string `r"…"` / `r#"…"#` with `hashes` leading `#`s
-/// (cursor just past the opening quote).
-fn lex_raw_string_body(cur: &mut Cursor, hashes: usize) {
+/// Consumes a raw string `r"…"` / `r##"…"##` with `hashes` leading `#`s
+/// (cursor just past the opening quote) and returns its contents. A
+/// quote followed by fewer than `hashes` hashes is part of the body.
+fn lex_raw_string_body(cur: &mut Cursor, hashes: usize) -> String {
+    let mut text = String::new();
     while let Some(c) = cur.bump() {
         if c == '"' {
             let mut ok = true;
@@ -232,7 +294,9 @@ fn lex_raw_string_body(cur: &mut Cursor, hashes: usize) {
                 break;
             }
         }
+        text.push(c);
     }
+    text
 }
 
 /// Disambiguates `'a` (lifetime) from `'a'` / `'\n'` (char literal).
@@ -241,19 +305,21 @@ fn lex_quote(cur: &mut Cursor, out: &mut Lexed, line: u32, col: u32) {
     match cur.peek(0) {
         Some('\\') => {
             // Escaped char literal: consume through the closing quote.
+            let mut text = String::new();
             while let Some(c) = cur.bump() {
                 if c == '\'' {
                     break;
                 }
+                text.push(c);
             }
-            push(cur, out, line, col, TokKind::Literal);
+            push(cur, out, line, col, TokKind::Literal(Lit::num(text)));
         }
         Some(c) if is_ident_start(c) => {
             if cur.peek(1) == Some('\'') {
                 // 'x' — a one-character char literal.
                 cur.bump();
                 cur.bump();
-                push(cur, out, line, col, TokKind::Literal);
+                push(cur, out, line, col, TokKind::Literal(Lit::num(c.to_string())));
             } else {
                 // 'lifetime — consume the identifier, emit nothing (no
                 // rule cares about lifetimes).
@@ -266,29 +332,32 @@ fn lex_quote(cur: &mut Cursor, out: &mut Lexed, line: u32, col: u32) {
                 cur.code_on_line = true;
             }
         }
-        Some(_) => {
+        Some(q) => {
             // Something like '9' or punctuation char literal.
             cur.bump();
             if cur.peek(0) == Some('\'') {
                 cur.bump();
             }
-            push(cur, out, line, col, TokKind::Literal);
+            push(cur, out, line, col, TokKind::Literal(Lit::num(q.to_string())));
         }
         None => {}
     }
 }
 
-fn lex_number(cur: &mut Cursor) {
+fn lex_number(cur: &mut Cursor) -> String {
     // Integers, floats, and suffixed literals lex as one blob; a `.`
     // is included only when followed by a digit so ranges (`0..n`) and
     // method calls on literals (`1.to_string()`) split correctly.
+    let mut text = String::new();
     while let Some(c) = cur.peek(0) {
         if is_ident_continue(c) || (c == '.' && cur.peek(1).is_some_and(|d| d.is_ascii_digit())) {
+            text.push(c);
             cur.bump();
         } else {
             break;
         }
     }
+    text
 }
 
 fn lex_word(cur: &mut Cursor, out: &mut Lexed, line: u32, col: u32) {
@@ -300,17 +369,17 @@ fn lex_word(cur: &mut Cursor, out: &mut Lexed, line: u32, col: u32) {
         word.push(c);
         cur.bump();
     }
-    // String-literal prefixes: b"…", r"…", r#"…"#, br"…", c"…".
+    // String-literal prefixes: b"…", r"…", r##"…"##, br"…", c"…".
     if is_literal_prefix(&word) {
         match cur.peek(0) {
             Some('"') => {
-                if word.contains('r') {
+                let text = if word.contains('r') {
                     cur.bump();
-                    lex_raw_string_body(cur, 0);
+                    lex_raw_string_body(cur, 0)
                 } else {
-                    lex_string(cur);
-                }
-                push(cur, out, line, col, TokKind::Literal);
+                    lex_string(cur)
+                };
+                push(cur, out, line, col, TokKind::Literal(Lit::str(text)));
                 return;
             }
             Some('#') if word.contains('r') => {
@@ -324,8 +393,8 @@ fn lex_word(cur: &mut Cursor, out: &mut Lexed, line: u32, col: u32) {
                     for _ in 0..=hashes {
                         cur.bump(); // hashes + opening quote
                     }
-                    lex_raw_string_body(cur, hashes);
-                    push(cur, out, line, col, TokKind::Literal);
+                    let text = lex_raw_string_body(cur, hashes);
+                    push(cur, out, line, col, TokKind::Literal(Lit::str(text)));
                     return;
                 }
                 if word == "r" && cur.peek(1).is_some_and(is_ident_start) {
@@ -428,5 +497,57 @@ mod tests {
         let lx = lex("ab\n  cd");
         assert_eq!((lx.tokens[0].line, lx.tokens[0].col), (1, 1));
         assert_eq!((lx.tokens[1].line, lx.tokens[1].col), (2, 3));
+    }
+
+    fn strs(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Literal(l) if l.str_like => Some(l.text),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn multi_hash_raw_strings_keep_contents() {
+        // A `"#` inside an `r##` string is body, not a terminator; the
+        // token after the literal must still lex.
+        let src = r####"let s = r##"quote "# inside"##; let t = done;"####;
+        assert_eq!(strs(src), [r##"quote "# inside"##]);
+        assert!(idents(src).contains(&"done".to_string()));
+    }
+
+    #[test]
+    fn byte_and_byte_raw_strings_keep_contents() {
+        let src = r###"let a = b"bytes"; let b2 = br#"raw " bytes"#; let c = b'x';"###;
+        assert_eq!(strs(src), ["bytes", r#"raw " bytes"#]);
+        // b'x' is a char-like literal, not a string.
+        let lx = lex(src);
+        assert!(lx.tokens.iter().any(|t| matches!(
+            &t.kind,
+            TokKind::Literal(l) if !l.str_like && l.text == "x"
+        )));
+    }
+
+    #[test]
+    fn string_contents_and_escapes_survive() {
+        let src = r#"m.inc("nat.mapping.created"); let e = "a\"b";"#;
+        assert_eq!(strs(src), ["nat.mapping.created", r#"a\"b"#]);
+    }
+
+    #[test]
+    fn numeric_literals_parse_int_values() {
+        let lits: Vec<Lit> = lex("const A: u8 = 16; const B: u8 = 0x10_u8; const C: u64 = 1_000;")
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Literal(l) => Some(l),
+                _ => None,
+            })
+            .collect();
+        let vals: Vec<Option<u64>> = lits.iter().map(Lit::int_value).collect();
+        assert_eq!(vals, [Some(16), Some(16), Some(1000)]);
     }
 }

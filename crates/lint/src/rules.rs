@@ -21,11 +21,20 @@
 //! * **A001** — a malformed suppression: `punch-lint: allow(...)`
 //!   without a reason, or naming an unknown rule. Never suppressible.
 
-use crate::lexer::{lex, Comment, TokKind, Token};
+use crate::lexer::{lex, Comment, Lexed, TokKind, Token};
 use std::collections::BTreeMap;
 
-/// All rule identifiers, in report order.
-pub const RULES: &[&str] = &["A001", "D001", "D002", "P001", "W001"];
+/// All rule identifiers, in report order. The `S` family is the
+/// cross-file semantic pass (the `semantic` module); everything else
+/// is per-file token matching in this module.
+pub const RULES: &[&str] = &[
+    "A001", "D001", "D002", "P001", "S001", "S002", "S003", "S004", "W001",
+];
+
+/// Interns a rule name to its `&'static str` in [`RULES`].
+pub(crate) fn rule_id(name: &str) -> Option<&'static str> {
+    RULES.iter().find(|r| **r == name).copied()
+}
 
 /// One reported violation.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -75,7 +84,7 @@ fn is_test_path(path: &str) -> bool {
         || path.contains("/examples/")
 }
 
-fn is_library_src(path: &str) -> bool {
+pub(crate) fn is_library_src(path: &str) -> bool {
     !is_test_path(path) && (path.starts_with("src/") || path.contains("/src/"))
 }
 
@@ -182,7 +191,7 @@ fn parse_allows(comments: &[Comment], token_lines: &[u32], out: &mut Vec<Violati
 /// Marks tokens inside `#[cfg(test)]` / `#[test]` items (and, for an
 /// inner `#![cfg(test)]`, the whole file). Token-level approximation:
 /// after a test attribute, the next braced block is skipped.
-fn test_token_mask(tokens: &[Token]) -> Vec<bool> {
+pub fn test_token_mask(tokens: &[Token]) -> Vec<bool> {
     let mut mask = vec![false; tokens.len()];
     let punct = |i: usize, c: char| matches!(tokens.get(i), Some(t) if t.kind == TokKind::Punct(c));
     let mut i = 0;
@@ -295,13 +304,26 @@ pub struct FileReport {
     pub violations: Vec<Violation>,
     /// Number of violations silenced by a well-formed allow annotation.
     pub suppressed: usize,
+    /// Suppressions broken down by rule.
+    pub suppressed_by_rule: BTreeMap<&'static str, usize>,
+    /// The violations that were silenced (the semantic pass inspects
+    /// suppressed D001 sites for reachability — rule S003).
+    pub suppressed_sites: Vec<Violation>,
+    /// Every `(line, rule)` a well-formed allow annotation covers, so
+    /// tree-level passes can honor inline suppressions too.
+    pub allow_lines: Vec<(u32, &'static str)>,
 }
 
 /// Lints one file's source. `path` is relative to the repo root and
 /// selects which rules apply (see [`scope_for`]).
 pub fn lint_source(path: &str, src: &str) -> FileReport {
+    lint_lexed(path, &lex(src))
+}
+
+/// Lints an already-lexed file (the tree pass lexes once and shares the
+/// tokens with the item parser and the semantic rules).
+pub fn lint_lexed(path: &str, lexed: &Lexed) -> FileReport {
     let scope = scope_for(path);
-    let lexed = lex(src);
     let tokens = &lexed.tokens;
     let test_mask = test_token_mask(tokens);
 
@@ -380,28 +402,40 @@ pub fn lint_source(path: &str, src: &str) -> FileReport {
 
     // Suppression: a violation is silenced when a well-formed allow for
     // its rule applies to its line.
-    let mut allow_lines: BTreeMap<(u32, &str), bool> = BTreeMap::new();
+    let mut allow_lines: Vec<(u32, &'static str)> = Vec::new();
     for a in &allows {
         if !a.reason_ok {
             continue; // already reported as A001; never suppresses
         }
         for r in &a.rules {
-            allow_lines.insert((a.applies_to, r.as_str()), true);
+            if let Some(id) = rule_id(r) {
+                allow_lines.push((a.applies_to, id));
+            }
         }
     }
+    allow_lines.sort_unstable();
+    allow_lines.dedup();
     let mut suppressed = 0usize;
+    let mut suppressed_by_rule: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut suppressed_sites: Vec<Violation> = Vec::new();
     let mut violations: Vec<Violation> = Vec::new();
     for v in raw {
-        if allow_lines.contains_key(&(v.line, v.rule)) {
+        if allow_lines.binary_search(&(v.line, v.rule)).is_ok() {
             suppressed += 1;
+            *suppressed_by_rule.entry(v.rule).or_insert(0) += 1;
+            suppressed_sites.push(v);
         } else {
             violations.push(v);
         }
     }
     violations.extend(annots);
     violations.sort();
+    suppressed_sites.sort();
     FileReport {
         violations,
         suppressed,
+        suppressed_by_rule,
+        suppressed_sites,
+        allow_lines,
     }
 }

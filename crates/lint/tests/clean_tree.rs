@@ -6,17 +6,39 @@
 
 use std::path::Path;
 
-#[test]
-fn workspace_tree_has_no_unsuppressed_violations() {
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .nth(2)
-        .expect("crates/lint sits two levels below the workspace root");
-    let report = punch_lint::lint_tree(root).expect("workspace tree is readable");
+        .expect("crates/lint sits two levels below the workspace root")
+}
+
+#[test]
+fn workspace_tree_has_no_unsuppressed_violations() {
+    let report = punch_lint::lint_tree(workspace_root()).expect("workspace tree is readable");
     assert!(report.files_scanned > 50, "scan looks truncated: {} files", report.files_scanned);
     assert!(
         report.violations.is_empty(),
         "punch-lint violations in the tree:\n{}",
         report.render_text()
     );
+}
+
+/// The pinned registries under `results/` must match what the semantic
+/// pass emits for the current tree, byte for byte. Drift means a wire
+/// tag, RNG draw site, or metric name changed without the registry
+/// being re-emitted and reviewed (`punch-lint --emit-registries results`).
+#[test]
+fn pinned_registries_match_the_tree() {
+    let root = workspace_root();
+    let report = punch_lint::lint_tree(root).expect("workspace tree is readable");
+    for (name, emitted) in report.registries.entries() {
+        let pinned = std::fs::read_to_string(root.join("results").join(name))
+            .unwrap_or_else(|e| panic!("pinned registry results/{name} unreadable: {e}"));
+        assert_eq!(
+            pinned, emitted,
+            "results/{name} drifted from the tree; re-emit with \
+             `cargo run -p punch-lint -- --emit-registries results` and review the diff"
+        );
+    }
 }

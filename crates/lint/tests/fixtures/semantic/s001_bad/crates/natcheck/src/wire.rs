@@ -1,0 +1,22 @@
+//! S001 fixture: every way a wire-tag registry can rot.
+
+pub const TAG_A: u8 = 1;
+pub const TAG_B: u8 = 1; // duplicate value
+pub const TAG_C: u8 = 2; // encoded, never decoded
+pub const TAG_D: u8 = 3; // decoded, never encoded
+pub const TAG_E: u8 = 4; // never used at all
+
+pub fn encode(buf: &mut Vec<u8>) {
+    buf.push(TAG_A);
+    buf.push(TAG_B);
+    buf.push(TAG_C);
+}
+
+pub fn decode(b: u8) -> u32 {
+    match b {
+        TAG_A => 1,
+        TAG_B => 2,
+        TAG_D => 4,
+        _ => 0,
+    }
+}

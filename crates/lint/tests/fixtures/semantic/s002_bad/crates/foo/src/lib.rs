@@ -1,0 +1,16 @@
+//! S002 fixture: one inventoried-but-unreviewed draw site and one the
+//! inventory has never seen (the pinned file also carries a stale entry).
+
+pub struct Node {
+    rng: Rng,
+}
+
+impl Node {
+    pub fn inventoried(&mut self) -> u64 {
+        self.rng.gen()
+    }
+
+    pub fn brand_new(&mut self) -> u64 {
+        self.rng.gen_range(0..10)
+    }
+}

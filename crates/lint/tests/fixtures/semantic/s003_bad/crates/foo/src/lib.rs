@@ -1,0 +1,20 @@
+//! S003 fixture: a D001-suppressed wall-clock read buried two calls
+//! below `Sim::step` — the suppression claims "host-side only" but the
+//! call graph says otherwise.
+
+pub struct Sim;
+
+impl Sim {
+    pub fn step(&mut self) {
+        dispatch();
+    }
+}
+
+fn dispatch() {
+    profile_hook();
+}
+
+fn profile_hook() {
+    let t = Instant::now(); // punch-lint: allow(D001) host profiling only, never on the sim path
+    drop(t);
+}

@@ -1,0 +1,11 @@
+//! S004 fixture: one of each metric-registry failure — unknown layer,
+//! malformed name, near-duplicate, and kind conflict.
+
+pub fn record(m: &mut Metrics) {
+    m.inc("bogus.thing"); // unknown layer
+    m.inc("NoDots"); // malformed: no dot, uppercase
+    m.inc("net.foo_bar");
+    m.observe("net.foo.bar", 1); // near-duplicate of net.foo_bar
+    m.inc("net.mixed");
+    m.observe("net.mixed", 2); // same name, different instrument kind
+}

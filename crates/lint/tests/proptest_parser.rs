@@ -1,0 +1,92 @@
+//! Property tests for the item-level parser: on arbitrary token soup it
+//! must never panic, and every span it reports must land inside the
+//! token stream it was given. The parser is allowed to *miss* items in
+//! garbage input (it degrades to "fewer facts"), but it is never
+//! allowed to crash the lint or point outside the file.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use punch_lint::{lex, parse};
+
+/// Source fragments the generator splices together. Deliberately heavy
+/// on the constructs the parser tracks (fn/impl/const/match) and on
+/// unbalanced delimiters, stray arrows, and literal edge cases.
+const FRAGS: &[&str] = &[
+    "fn", "impl", "match", "const", "struct", "trait", "for", "where", "pub", "unsafe",
+    "foo", "Bar", "Sim", "step", "TAG_X", "self", "Self",
+    "{", "}", "(", ")", "[", "]", "<", ">", ">>",
+    "=>", "->", "=", ";", ",", ":", "::", ".", "&", "&&", "|", "#", "!", "?", "'a",
+    "0", "1u8", "0x1F", "1_000_000u64", "3.14",
+    "\"str\"", "r#\"raw \" str\"#", "r##\"nested \"# quote\"##", "b\"bytes\"", "br#\"raw bytes\"#",
+    "'c'", "b'\\n'",
+    "// line comment\n", "/* block */", "\n",
+];
+
+fn assemble(picks: &[usize]) -> String {
+    let mut src = String::new();
+    for &i in picks {
+        src.push_str(FRAGS[i % FRAGS.len()]);
+        src.push(' ');
+    }
+    src
+}
+
+/// A realistic source the truncation test mutilates: every item kind the
+/// parser extracts, nested.
+const REALISTIC: &str = r####"
+pub const TAG_A: u8 = 1;
+const TAG_B: u8 = 0x1F;
+impl Sim<'a, T: Clone> {
+    pub fn step(&mut self) -> Option<u32> {
+        match self.next() {
+            Some(TAG_A) => self.dispatch(TAG_A),
+            Some(x) if x > 3 => { self.skip(x); None }
+            _ => None,
+        }
+    }
+    fn dispatch(&mut self, t: u8) -> Option<u32> { Some(u32::from(t)) }
+}
+fn free_fn() { let s = r##"raw "# body"##; drop(s); }
+"####;
+
+fn check_invariants(src: &str) {
+    let lexed = lex(src);
+    let parsed = parse(&lexed); // must not panic
+    let n = lexed.tokens.len();
+    for f in &parsed.fns {
+        assert!(!f.name.is_empty(), "fn with empty name in {src:?}");
+        if let Some((lo, hi)) = f.body {
+            assert!(lo <= hi && hi < n, "fn body span [{lo}, {hi}] out of 0..{n}");
+        }
+    }
+    for c in &parsed.consts {
+        assert!(c.idx < n, "const idx {} out of 0..{n}", c.idx);
+        assert!(!c.name.is_empty(), "const with empty name");
+    }
+    for a in &parsed.arms {
+        let (lo, hi) = a.pat;
+        assert!(lo <= hi && hi <= n, "arm pattern span [{lo}, {hi}) out of 0..{n}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary fragment soup: lex + parse never panic, spans stay
+    /// in-bounds.
+    #[test]
+    fn parser_survives_token_soup(picks in vec(any::<usize>(), 0..96)) {
+        check_invariants(&assemble(&picks));
+    }
+
+    /// Realistic source truncated at an arbitrary char boundary — the
+    /// "half-saved file" case an editor hands the linter.
+    #[test]
+    fn parser_survives_truncation(cut in 0usize..1024) {
+        let mut end = cut.min(REALISTIC.len());
+        while !REALISTIC.is_char_boundary(end) {
+            end -= 1;
+        }
+        check_invariants(&REALISTIC[..end]);
+    }
+}

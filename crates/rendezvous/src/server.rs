@@ -279,7 +279,7 @@ struct PendingIntro {
     requester_public: Endpoint,
     requester_private: Endpoint,
     requester_sock: Option<SocketId>,
-    /// When the first forward left — the `introduce.forward` histogram
+    /// When the first forward left — the `rendezvous.introduce_forward` histogram
     /// observes reply minus this, across the whole retry chain.
     sent_at: punch_net::SimTime,
     /// The target's owner chain (self excluded), tried in order.
@@ -1043,7 +1043,7 @@ impl RendezvousServer {
         let Some(p) = self.pending.remove(&(requester.0, target.0, nonce)) else {
             return; // duplicate or late reply; the pair already resolved
         };
-        os.metric_observe("introduce.forward", os.now().saturating_since(p.sent_at));
+        os.metric_observe("rendezvous.introduce_forward", os.now().saturating_since(p.sent_at));
         // The pair counts once, at the shard that fielded the client's
         // request (the owner counted forwards_served).
         self.stats.introductions += 1;

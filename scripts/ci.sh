@@ -20,9 +20,15 @@
 #   6. punch-lint                         — the workspace's own determinism
 #                                           & wire-safety analyzer (LINTS.md)
 #                                           must report zero violations, its
-#                                           report must be byte-identical
-#                                           across runs, and a seeded
-#                                           violation must make it fail
+#                                           text/JSON reports and emitted
+#                                           registries must be byte-identical
+#                                           across runs, the emitted
+#                                           registries must match the pinned
+#                                           results/LINT_*.json (no
+#                                           unexplained drift), and a seeded
+#                                           violation per rule family
+#                                           (P001 + S001–S004) must make it
+#                                           fail
 #   7. chaos smoke test                   — 2 trials per fault class, must
 #                                           report zero failures
 #   8. metrics determinism smoke          — the chaos bin's metrics export
@@ -73,8 +79,28 @@ if ! cmp -s "$tmpdir/lint1.txt" "$tmpdir/lint2.txt"; then
     exit 1
 fi
 cargo run --release --quiet -p punch-lint -- --json > "$tmpdir/lint.json"
+cargo run --release --quiet -p punch-lint -- --json > "$tmpdir/lint2.json"
+if ! cmp -s "$tmpdir/lint.json" "$tmpdir/lint2.json"; then
+    echo "FAIL: punch-lint --json report is not byte-identical across runs" >&2
+    diff "$tmpdir/lint.json" "$tmpdir/lint2.json" >&2 || true
+    exit 1
+fi
 python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$tmpdir/lint.json"
-echo "OK: tree is clean, report deterministic, --json well-formed"
+echo "OK: tree is clean, text/JSON reports deterministic, --json well-formed"
+
+echo "== punch-lint registry drift gate (results/LINT_*.json) =="
+cargo run --release --quiet -p punch-lint -- --emit-registries "$tmpdir/registries" \
+    > /dev/null
+for reg in LINT_wire_registry.json LINT_rng_inventory.json LINT_metric_registry.json; do
+    if ! cmp -s "results/$reg" "$tmpdir/registries/$reg"; then
+        echo "FAIL: results/$reg drifted from the tree; re-emit with" >&2
+        echo "      cargo run -p punch-lint -- --emit-registries results" >&2
+        echo "      and review the diff (reasons survive re-emission)" >&2
+        diff "results/$reg" "$tmpdir/registries/$reg" >&2 || true
+        exit 1
+    fi
+done
+echo "OK: pinned registries match the tree byte-for-byte"
 
 echo "== punch-lint seeded-violation smoke (the gate actually gates) =="
 mkdir -p "$tmpdir/seeded/src"
@@ -90,7 +116,21 @@ if ! grep -q "P001" "$tmpdir/seeded.txt"; then
     cat "$tmpdir/seeded.txt" >&2
     exit 1
 fi
-echo "OK: seeded violation detected and exit status is nonzero"
+for srule in S001 S002 S003 S004; do
+    tree="crates/lint/tests/fixtures/semantic/$(echo "$srule" | tr 'A-Z' 'a-z')_bad"
+    if cargo run --release --quiet -p punch-lint -- --root "$tree" \
+        > "$tmpdir/seeded_$srule.txt" 2>&1; then
+        echo "FAIL: punch-lint exited 0 on the $srule violating fixture tree" >&2
+        cat "$tmpdir/seeded_$srule.txt" >&2
+        exit 1
+    fi
+    if ! grep -q "$srule" "$tmpdir/seeded_$srule.txt"; then
+        echo "FAIL: seeded $srule violation not reported" >&2
+        cat "$tmpdir/seeded_$srule.txt" >&2
+        exit 1
+    fi
+done
+echo "OK: seeded violations (P001 + S001-S004) detected, exit status nonzero"
 
 echo "== chaos smoke test (2 trials per fault class) =="
 out=$(cargo run --release --quiet -p punch-bench --bin chaos -- --trials 2 --no-write)
